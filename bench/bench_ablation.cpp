@@ -1,0 +1,142 @@
+// Ablations of the campaign's design choices (DESIGN.md): redundant-query
+// count, per-PoP service radii vs one max radius, transport, and campaign
+// duration (loop count). Run at a reduced scale so the sweep stays fast;
+// set REPRO_SCALE to override.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "anycast/vantage.h"
+#include "common.h"
+#include "sim/activity.h"
+
+using namespace netclients;
+
+namespace {
+
+struct Setup {
+  sim::World world;
+  std::unique_ptr<sim::WorldActivityModel> activity;
+  std::unique_ptr<googledns::GooglePublicDns> gdns;
+};
+
+Setup make_setup() {
+  Setup s;
+  sim::WorldConfig config;
+  const char* env = std::getenv("REPRO_SCALE");
+  config.scale = 1.0 / (env ? std::atof(env) : 256.0);
+  s.world = sim::World::generate(config);
+  s.activity = std::make_unique<sim::WorldActivityModel>(&s.world);
+  s.gdns = std::make_unique<googledns::GooglePublicDns>(
+      &s.world.pops(), &s.world.catchment(), &s.world.authoritative(),
+      googledns::GoogleDnsConfig{}, s.activity.get());
+  return s;
+}
+
+core::CampaignResult run_with(Setup& s, const core::CacheProbeOptions& opts,
+                              std::uint64_t* assigned = nullptr) {
+  core::CacheProbeCampaign campaign(
+      &s.world.authoritative(), s.gdns.get(), &s.world.geodb(),
+      anycast::default_vantage_fleet(), s.world.domains(), 1u << 16,
+      s.world.address_space_end(), opts);
+  const auto pops = campaign.discover_pops();
+  const auto calibration = campaign.calibrate(pops);
+  auto result = campaign.run(pops, calibration);
+  if (assigned) *assigned = result.average_assigned_per_pop;
+  return result;
+}
+
+double truth_coverage(const Setup& s, const core::CampaignResult& r) {
+  double covered = 0, total = 0;
+  for (const sim::Slash24Block& block : s.world.blocks()) {
+    if (block.clients() <= 0) continue;
+    total += block.clients();
+    if (r.active.covers(net::Prefix::from_slash24_index(block.index))) {
+      covered += block.clients();
+    }
+  }
+  return total > 0 ? 100.0 * covered / total : 0;
+}
+
+}  // namespace
+
+int main() {
+  Setup s = make_setup();
+  std::fprintf(stderr, "[ablation] world: %zu /24s\n", s.world.blocks().size());
+
+  // ---- 1. Redundant queries (the paper uses 5 to cover cache pools) ----
+  std::printf("Ablation 1 — redundant queries per (PoP, prefix, domain)\n");
+  std::printf("  %-10s %12s %14s %12s\n", "redundant", "probes", "client cov",
+              "upper bound");
+  for (int redundant : {1, 2, 3, 5, 8}) {
+    core::CacheProbeOptions opts;
+    opts.redundant_queries = redundant;
+    opts.max_loops = 3;
+    const auto result = run_with(s, opts);
+    std::printf("  %-10d %12llu %13.1f%% %12llu\n", redundant,
+                static_cast<unsigned long long>(result.probes_sent),
+                truth_coverage(s, result),
+                static_cast<unsigned long long>(
+                    result.slash24_upper_bound()));
+  }
+
+  // ---- 2. Per-PoP radii vs one max radius ------------------------------
+  // The paper: per-PoP radii average 2.4M candidates per PoP vs 4.4M with
+  // the 5,524 km maximum everywhere.
+  std::printf("\nAblation 2 — service-radius policy\n");
+  std::printf("  %-22s %16s %12s %14s\n", "policy", "assigned/PoP",
+              "probes", "client cov");
+  {
+    core::CacheProbeOptions per_pop;
+    per_pop.max_loops = 3;
+    std::uint64_t assigned = 0;
+    const auto result = run_with(s, per_pop, &assigned);
+    std::printf("  %-22s %16llu %12llu %13.1f%%\n", "per-PoP (paper)",
+                static_cast<unsigned long long>(assigned),
+                static_cast<unsigned long long>(result.probes_sent),
+                truth_coverage(s, result));
+  }
+  {
+    core::CacheProbeOptions max_radius;
+    max_radius.max_loops = 3;
+    max_radius.use_max_radius_everywhere = true;
+    const auto result = run_with(s, max_radius, nullptr);
+    std::uint64_t assigned = result.average_assigned_per_pop;
+    std::printf("  %-22s %16llu %12llu %13.1f%%\n", "max radius everywhere",
+                static_cast<unsigned long long>(assigned),
+                static_cast<unsigned long long>(result.probes_sent),
+                truth_coverage(s, result));
+  }
+
+  // ---- 3. Transport ------------------------------------------------------
+  std::printf("\nAblation 3 — transport (why the campaign uses TCP)\n");
+  std::printf("  %-6s %12s %14s %14s\n", "proto", "probes", "rate-limited",
+              "client cov");
+  for (auto transport :
+       {googledns::Transport::kTcp, googledns::Transport::kUdp}) {
+    core::CacheProbeOptions opts;
+    opts.transport = transport;
+    opts.max_loops = 3;
+    const auto result = run_with(s, opts);
+    std::printf("  %-6s %12llu %14llu %13.1f%%\n",
+                transport == googledns::Transport::kTcp ? "TCP" : "UDP",
+                static_cast<unsigned long long>(result.probes_sent),
+                static_cast<unsigned long long>(result.rate_limited),
+                truth_coverage(s, result));
+  }
+
+  // ---- 4. Campaign duration (loops over the assigned list) --------------
+  std::printf("\nAblation 4 — campaign duration (loop count; the paper "
+              "loops for 120h)\n");
+  std::printf("  %-6s %12s %14s\n", "loops", "probes", "client cov");
+  for (int loops : {1, 2, 4, 6}) {
+    core::CacheProbeOptions opts;
+    opts.max_loops = loops;
+    const auto result = run_with(s, opts);
+    std::printf("  %-6d %12llu %13.1f%%\n", loops,
+                static_cast<unsigned long long>(result.probes_sent),
+                truth_coverage(s, result));
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 4: CDF over ASes of the fraction of announced /24s detected as
+// active by cache probing, with the lower bound (one /24 per hit prefix)
+// and upper bound (all /24s in every hit prefix). Paper: bounds are wide —
+// the median AS could be anywhere between 25% and 100% active — and at
+// least 15% of ASes have most prefixes inactive.
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace netclients;
+
+int main() {
+  bench::BuildOptions options;
+  options.run_chromium = false;
+  options.run_validation = false;
+  bench::Pipelines p = bench::build_pipelines(options);
+
+  const auto bounds = core::per_as_active_fraction(p.world, p.probing.active);
+
+  std::vector<double> lower, upper;
+  lower.reserve(bounds.size());
+  upper.reserve(bounds.size());
+  for (const auto& row : bounds) {
+    lower.push_back(static_cast<double>(row.lower) /
+                    static_cast<double>(row.announced_slash24));
+    upper.push_back(static_cast<double>(row.upper) /
+                    static_cast<double>(row.announced_slash24));
+  }
+  const core::Cdf lower_cdf(std::move(lower));
+  const core::Cdf upper_cdf(std::move(upper));
+
+  std::printf("Figure 4 — fraction of each AS's announced /24s detected "
+              "active (%zu ASes)\n\n", bounds.size());
+  std::printf("  quantile   lower bound   upper bound\n");
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    std::printf("  p%-8.0f %10.2f %13.2f\n", q * 100,
+                lower_cdf.quantile(q), upper_cdf.quantile(q));
+  }
+  std::printf("\nmedian AS active fraction is in [%.0f%%, %.0f%%] "
+              "(paper: [25%%, 100%%])\n",
+              100 * lower_cdf.quantile(0.5), 100 * upper_cdf.quantile(0.5));
+  std::printf("ASes with upper bound < 50%% of prefixes: %.1f%% "
+              "(paper: \"most prefixes in at least 15%% of ASes do not "
+              "contain clients\")\n",
+              100 * [&] {
+                std::size_t below = 0;
+                for (const auto& row : bounds) {
+                  if (row.upper * 2 < row.announced_slash24) ++below;
+                }
+                return static_cast<double>(below) / bounds.size();
+              }());
+
+  std::vector<std::vector<std::string>> csv;
+  for (const auto& [value, frac] : lower_cdf.points(100)) {
+    csv.push_back({"lower", core::fixed(value, 4), core::fixed(frac, 4)});
+  }
+  for (const auto& [value, frac] : upper_cdf.points(100)) {
+    csv.push_back({"upper", core::fixed(value, 4), core::fixed(frac, 4)});
+  }
+  core::write_csv(bench::out_path("fig4_active_fraction.csv"),
+                  {"bound", "active_fraction", "cumulative_fraction"}, csv);
+  return 0;
+}

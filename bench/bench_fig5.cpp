@@ -1,0 +1,63 @@
+// Figure 5 (Appendix A.1): classification of the 45 Google Public DNS
+// PoPs — probed & verified (22), unprobed but verified as serving clients
+// via the CDN's resolver logs (5), unprobed & unverified / inactive (18).
+// Also checks the paper's load split: probed PoPs carry ~95% of Google
+// query volume, the unprobed-but-verified ones ~5%.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "common.h"
+
+using namespace netclients;
+
+int main() {
+  bench::BuildOptions options;
+  options.run_chromium = false;
+  bench::Pipelines p = bench::build_pipelines(options);
+
+  std::unordered_set<anycast::PopId> probed;
+  for (const auto& [pop, vp] : p.pops.probed_pops) probed.insert(pop);
+
+  int probed_verified = 0, unprobed_verified = 0, unprobed_unverified = 0;
+  double probed_clients = 0, unprobed_clients = 0;
+  core::TextTable table;
+  table.set_header({"PoP", "country", "class", "CDN-observed clients"});
+  for (const auto& site : p.world.pops().sites()) {
+    const bool is_probed = probed.contains(site.id);
+    const auto it = p.ms.google_pop_clients.find(site.id);
+    const double clients = it == p.ms.google_pop_clients.end() ? 0
+                                                               : it->second;
+    std::string cls;
+    if (is_probed) {
+      cls = "probed & verified";
+      ++probed_verified;
+      probed_clients += clients;
+    } else if (clients > 0) {
+      cls = "unprobed, verified";
+      ++unprobed_verified;
+      unprobed_clients += clients;
+    } else {
+      cls = "unprobed, unverified";
+      ++unprobed_unverified;
+    }
+    table.add_row({site.city, site.country_code, cls,
+                   core::human_count(clients)});
+  }
+  std::printf("Figure 5 — PoP coverage classes\n\n%s\n",
+              table.to_string().c_str());
+  std::printf("probed & verified      : %2d   (paper: 22)\n",
+              probed_verified);
+  std::printf("unprobed, verified     : %2d   (paper:  5)\n",
+              unprobed_verified);
+  std::printf("unprobed, unverified   : %2d   (paper: 18)\n",
+              unprobed_unverified);
+  const double total = probed_clients + unprobed_clients;
+  std::printf("\nGoogle DNS clients at probed PoPs   : %5.1f%%  "
+              "(paper: 95%%)\n",
+              total > 0 ? 100 * probed_clients / total : 0);
+  std::printf("Google DNS clients at unprobed PoPs : %5.1f%%  "
+              "(paper:  5%%)\n",
+              total > 0 ? 100 * unprobed_clients / total : 0);
+  return 0;
+}

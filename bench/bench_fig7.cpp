@@ -1,0 +1,56 @@
+// Figure 7 (Appendix B.3): per-AS differences in relative volume between
+// pairs of activity estimates. Paper: the datasets disagree by at most
+// 1e-5 for 90% of ASes, and DNS logs tracks Microsoft resolvers more
+// closely than APNIC tracks either (both resolver-based signals).
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+
+using namespace netclients;
+
+int main() {
+  bench::Pipelines p = bench::build_pipelines();
+
+  const auto logs = core::relative_volumes(p.logs_as);
+  const auto resolvers = core::relative_volumes(p.resolvers_as);
+  const auto apnic = core::relative_volumes(p.apnic_as);
+
+  struct Pair {
+    const char* label;
+    std::vector<double> diffs;
+  };
+  std::vector<Pair> pairs;
+  pairs.push_back(
+      {"Microsoft resolvers - APNIC", core::volume_differences(resolvers,
+                                                               apnic)});
+  pairs.push_back({"Microsoft resolvers - DNS logs",
+                   core::volume_differences(resolvers, logs)});
+  pairs.push_back({"APNIC - DNS logs", core::volume_differences(apnic,
+                                                                logs)});
+
+  std::printf("Figure 7 — per-AS difference in relative volume\n\n");
+  std::printf("  %-32s %8s %12s %12s\n", "", "ASes", "|diff| p90",
+              "|diff| p99");
+  std::vector<std::vector<std::string>> csv;
+  for (auto& pair : pairs) {
+    std::vector<double> magnitudes;
+    magnitudes.reserve(pair.diffs.size());
+    for (double d : pair.diffs) magnitudes.push_back(std::fabs(d));
+    core::Cdf cdf(std::move(magnitudes));
+    std::printf("  %-32s %8zu %12.2e %12.2e\n", pair.label, cdf.size(),
+                cdf.quantile(0.90), cdf.quantile(0.99));
+    core::Cdf signed_cdf(std::move(pair.diffs));
+    for (const auto& [value, frac] : signed_cdf.points(200)) {
+      csv.push_back({pair.label, core::fixed(value, 9),
+                     core::fixed(frac, 4)});
+    }
+  }
+  std::printf("\n(paper: datasets disagree by <= 1e-5 for 90%% of ASes at "
+              "full scale;\n scaled worlds concentrate volume in fewer "
+              "ASes, so magnitudes shift up)\n");
+  core::write_csv(bench::out_path("fig7_volume_differences.csv"),
+                  {"pair", "difference", "cumulative_fraction"}, csv);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) for the hot data structures under
+// the measurement pipelines: prefix-trie longest-prefix match, DNS wire
+// codec, resolver cache operations, anycast catchment scoring, the
+// count-min sketch, and a full Google-DNS probe.
+
+#include <benchmark/benchmark.h>
+
+#include "anycast/catchment.h"
+#include "core/chromium/sketch.h"
+#include "dns/wire.h"
+#include "dnssrv/cache.h"
+#include "googledns/google_dns.h"
+#include "net/prefix_trie.h"
+#include "net/rng.h"
+
+using namespace netclients;
+
+namespace {
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  net::PrefixTrie<std::uint32_t> trie;
+  net::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    const auto base = static_cast<std::uint32_t>(rng());
+    const auto len = static_cast<std::uint8_t>(12 + rng.below(13));
+    trie.insert(net::Prefix(net::Ipv4Addr(base), len),
+                static_cast<std::uint32_t>(i));
+  }
+  net::Rng query_rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trie.longest_match(net::Ipv4Addr(static_cast<std::uint32_t>(
+            query_rng()))));
+  }
+}
+BENCHMARK(BM_TrieLongestMatch);
+
+void BM_WireEncode(benchmark::State& state) {
+  auto query = dns::make_query(
+      0x1234, *dns::DnsName::parse("www.google.com"), dns::RecordType::kA,
+      false,
+      dns::EcsOption::for_query(*net::Prefix::parse("203.0.113.0/24")));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::encode(query));
+  }
+}
+BENCHMARK(BM_WireEncode);
+
+void BM_WireDecode(benchmark::State& state) {
+  auto query = dns::make_query(
+      0x1234, *dns::DnsName::parse("www.google.com"), dns::RecordType::kA,
+      false,
+      dns::EcsOption::for_query(*net::Prefix::parse("203.0.113.0/24")));
+  const auto wire = dns::encode(query);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode(wire));
+  }
+}
+BENCHMARK(BM_WireDecode);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  dnssrv::DnsCache cache(1 << 16);
+  const dnssrv::CacheKey key{*dns::DnsName::parse("www.google.com"),
+                             dns::RecordType::kA,
+                             *net::Prefix::parse("203.0.113.0/24")};
+  dnssrv::CacheEntry entry;
+  entry.expires_at = 1e18;
+  cache.insert(key, entry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(key, 1.0));
+  }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_CatchmentScore(benchmark::State& state) {
+  const auto pops = anycast::PopTable::google_default();
+  const anycast::CatchmentModel catchment(&pops, 7);
+  net::Rng rng(3);
+  for (auto _ : state) {
+    const net::LatLon loc{rng.uniform(-60, 70), rng.uniform(-180, 180)};
+    benchmark::DoNotOptimize(catchment.pop_for(loc, rng()));
+  }
+}
+BENCHMARK(BM_CatchmentScore);
+
+void BM_SketchAddEstimate(benchmark::State& state) {
+  core::CountMinSketch sketch(1 << 20, 4, 5);
+  net::Rng rng(4);
+  for (auto _ : state) {
+    const std::uint64_t key = rng();
+    sketch.add(key);
+    benchmark::DoNotOptimize(sketch.estimate(key));
+  }
+}
+BENCHMARK(BM_SketchAddEstimate);
+
+void BM_GoogleDnsProbe(benchmark::State& state) {
+  static const auto pops = anycast::PopTable::google_default();
+  static const anycast::CatchmentModel catchment(&pops, 7);
+  static dnssrv::AuthoritativeServer auth = [] {
+    dnssrv::AuthoritativeServer a;
+    dnssrv::ZoneConfig zone;
+    zone.name = *dns::DnsName::parse("www.google.com");
+    zone.min_scope = 20;
+    zone.max_scope = 24;
+    a.add_zone(zone);
+    return a;
+  }();
+  googledns::GooglePublicDns gdns(&pops, &catchment, &auth);
+  const auto name = *dns::DnsName::parse("www.google.com");
+  net::Rng rng(6);
+  double t = 0;
+  for (auto _ : state) {
+    const net::Prefix scope(
+        net::Ipv4Addr(static_cast<std::uint32_t>(rng())), 22);
+    t += 0.01;
+    benchmark::DoNotOptimize(gdns.probe(0, name, scope, t,
+                                        googledns::Transport::kTcp, 0, 0));
+  }
+}
+BENCHMARK(BM_GoogleDnsProbe);
+
+}  // namespace
+
+BENCHMARK_MAIN();

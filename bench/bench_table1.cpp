@@ -1,0 +1,41 @@
+// Table 1: /24-prefix overlap between {cache probing, DNS logs, their
+// union, Microsoft clients, Microsoft resolvers}. Paper reference (full
+// scale): cache probing 9712.2K, DNS logs 692.2K, union 9753.9K, clients
+// 8849.9K, resolvers 967.7K; clients∩probing = 74.7% of clients row.
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace netclients;
+
+int main() {
+  bench::Pipelines p = bench::build_pipelines();
+
+  const std::vector<const core::PrefixDataset*> sets = {
+      &p.probing_prefixes, &p.logs_prefixes, &p.union_prefixes,
+      &p.clients_prefixes, &p.resolvers_prefixes};
+  const core::OverlapMatrix matrix = core::prefix_overlap(sets);
+
+  std::printf("Table 1 — /24 prefix overlap (row: count in both, %% of row "
+              "dataset also in column)\n\n%s\n",
+              core::render_overlap(matrix).c_str());
+
+  std::printf("paper reference (%% of row in column):\n");
+  std::printf("  Microsoft clients in cache probing : paper 74.7%%\n");
+  std::printf("  DNS logs in Microsoft clients      : paper 95.5%%\n");
+  std::printf("  cache probing in Microsoft clients : paper 68.1%%\n");
+  std::printf("  Microsoft resolvers in union       : paper 98.6%%\n");
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t r = 0; r < matrix.names.size(); ++r) {
+    for (std::size_t c = 0; c < matrix.names.size(); ++c) {
+      rows.push_back({matrix.names[r], matrix.names[c],
+                      std::to_string(matrix.cells[r][c]),
+                      core::fixed(matrix.row_pct(r, c), 2)});
+    }
+  }
+  core::write_csv(bench::out_path("table1.csv"),
+                  {"row", "column", "intersection", "row_pct"}, rows);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table 2: stability of ECS scopes — for each probed domain, how many
+// cache hits returned a response scope equal to the (earlier-discovered)
+// query scope, within 2 bits, or within 4. Paper: 90% exact, 97% within 2,
+// 99% within 4 overall.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+
+using namespace netclients;
+
+int main() {
+  bench::BuildOptions options;
+  options.run_chromium = false;
+  options.run_validation = false;
+  bench::Pipelines p = bench::build_pipelines(options);
+
+  const std::size_t domains = p.world.domains().size();
+  std::vector<std::uint64_t> total(domains, 0), exact(domains, 0),
+      within2(domains, 0), within4(domains, 0);
+  for (const core::CacheHit& hit : p.probing.hits) {
+    const auto d = static_cast<std::size_t>(hit.domain_index);
+    const int diff = std::abs(static_cast<int>(hit.query_scope.length()) -
+                              static_cast<int>(hit.return_scope));
+    ++total[d];
+    if (diff == 0) ++exact[d];
+    if (diff <= 2) ++within2[d];
+    if (diff <= 4) ++within4[d];
+  }
+
+  core::TextTable table;
+  std::vector<std::string> header{"Scope difference"};
+  for (const auto& domain : p.world.domains()) {
+    header.push_back(domain.name.to_string());
+  }
+  header.push_back("Overall");
+  table.set_header(std::move(header));
+
+  auto add_row = [&](const char* label,
+                     const std::vector<std::uint64_t>& counts) {
+    std::vector<std::string> row{label};
+    std::uint64_t sum = 0, denom = 0;
+    for (std::size_t d = 0; d < domains; ++d) {
+      sum += counts[d];
+      denom += total[d];
+      const double share =
+          total[d] == 0 ? 0 : 100.0 * counts[d] / total[d];
+      row.push_back(std::to_string(counts[d]) + " (" +
+                    core::pct(share, 0) + ")");
+    }
+    row.push_back(std::to_string(sum) + " (" +
+                  core::pct(denom == 0 ? 0 : 100.0 * sum / denom, 0) + ")");
+    table.add_row(std::move(row));
+  };
+  add_row("Exact match", exact);
+  add_row("Within 2", within2);
+  add_row("Within 4", within4);
+
+  std::printf("Table 2 — query scope vs response scope of cache hits\n"
+              "(paper: 90%% exact, 97%% within 2, 99%% within 4 overall)\n\n"
+              "%s\n",
+              table.to_string().c_str());
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t d = 0; d < domains; ++d) {
+    rows.push_back({p.world.domains()[d].name.to_string(),
+                    std::to_string(total[d]), std::to_string(exact[d]),
+                    std::to_string(within2[d]), std::to_string(within4[d])});
+  }
+  core::write_csv(bench::out_path("table2.csv"),
+                  {"domain", "hits", "exact", "within2", "within4"}, rows);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 4: percent of each dataset's activity *volume* in ASes that also
+// appear in each other dataset. Rows need a volume measure, so cache
+// probing and the union appear only as columns (as in the paper). Paper:
+// DNS-logs ASes hold 97.6% of APNIC population; union holds 98.8% of
+// Microsoft clients volume and 100.0% of Microsoft resolvers volume.
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace netclients;
+
+int main() {
+  bench::Pipelines p = bench::build_pipelines();
+
+  const std::vector<const core::AsDataset*> rows = {
+      &p.logs_as, &p.apnic_as, &p.clients_as, &p.resolvers_as};
+  const std::vector<const core::AsDataset*> cols = {
+      &p.probing_as, &p.logs_as,    &p.union_as,
+      &p.apnic_as,   &p.clients_as, &p.resolvers_as};
+  const auto volume = core::as_volume_overlap(rows, cols);
+
+  core::TextTable table;
+  std::vector<std::string> header{""};
+  for (const auto* ds : cols) header.push_back(ds->name());
+  table.set_header(std::move(header));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<std::string> row{rows[r]->name()};
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      row.push_back(core::pct(volume[r][c]));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("Table 4 — %% of row dataset's activity volume in ASes also "
+              "observed by column dataset\n\n%s\n",
+              table.to_string().c_str());
+
+  std::printf("paper reference:\n");
+  std::printf("  APNIC volume in cache-probing ASes      : paper 97.6%%, "
+              "ours %.1f%%\n", volume[1][0]);
+  std::printf("  APNIC volume in DNS-logs ASes           : paper 97.6%%, "
+              "ours %.1f%%\n", volume[1][1]);
+  std::printf("  MS clients volume in union ASes         : paper 98.8%%, "
+              "ours %.1f%%\n", volume[2][2]);
+  std::printf("  MS clients volume in APNIC ASes         : paper 92.0%%, "
+              "ours %.1f%%\n", volume[2][3]);
+  std::printf("  MS resolvers volume in union ASes       : paper 100.0%%, "
+              "ours %.1f%%\n", volume[3][2]);
+
+  std::vector<std::vector<std::string>> csv;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      csv.push_back({rows[r]->name(), cols[c]->name(),
+                     core::fixed(volume[r][c], 2)});
+    }
+  }
+  core::write_csv(bench::out_path("table4.csv"),
+                  {"row", "column", "volume_pct"}, csv);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Table 5 (Appendix B.4): per-domain cache-probing results — total and
+// unique active prefixes / ASes per probed domain, plus pairwise
+// containment-aware prefix overlap. Paper highlights: Wikipedia returns
+// far fewer (but much wider, /16-18) prefixes yet contributes many unique
+// ASes; YouTube adds little beyond Google (89% of its prefixes are also
+// Google hits); Facebook adds least.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "common.h"
+
+using namespace netclients;
+
+int main() {
+  bench::BuildOptions options;
+  options.run_chromium = false;
+  options.run_validation = false;
+  bench::Pipelines p = bench::build_pipelines(options);
+
+  const auto& domains = p.world.domains();
+  const std::size_t n = domains.size();
+  const auto& by_domain = p.probing.active_by_domain;
+
+  // AS sets per domain.
+  std::vector<std::unordered_set<std::uint32_t>> as_sets(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    by_domain[d].for_each([&](net::Prefix prefix) {
+      if (auto match = p.world.prefix2as().longest_match(prefix.base())) {
+        as_sets[d].insert(p.world.ases()[*match->second].asn);
+      }
+    });
+  }
+
+  // Unique prefixes/ASes: present for this domain only (containment-aware
+  // for prefixes, since scopes differ across domains).
+  std::vector<std::uint64_t> unique_prefixes(n, 0), unique_ases(n, 0);
+  for (std::size_t d = 0; d < n; ++d) {
+    by_domain[d].for_each([&](net::Prefix prefix) {
+      for (std::size_t other = 0; other < n; ++other) {
+        if (other != d && by_domain[other].intersects(prefix)) return;
+      }
+      ++unique_prefixes[d];
+    });
+    for (std::uint32_t asn : as_sets[d]) {
+      bool elsewhere = false;
+      for (std::size_t other = 0; other < n && !elsewhere; ++other) {
+        elsewhere = other != d && as_sets[other].contains(asn);
+      }
+      if (!elsewhere) ++unique_ases[d];
+    }
+  }
+
+  core::TextTable top;
+  std::vector<std::string> header{""};
+  for (const auto& domain : domains) header.push_back(domain.name.to_string());
+  top.set_header(header);
+  auto add = [&](const char* label, auto value_of) {
+    std::vector<std::string> row{label};
+    for (std::size_t d = 0; d < n; ++d) row.push_back(value_of(d));
+    top.add_row(std::move(row));
+  };
+  add("Total prefixes", [&](std::size_t d) {
+    return std::to_string(by_domain[d].size());
+  });
+  add("Unique prefixes", [&](std::size_t d) {
+    const double share = by_domain[d].size() == 0
+                             ? 0
+                             : 100.0 * unique_prefixes[d] /
+                                   by_domain[d].size();
+    return std::to_string(unique_prefixes[d]) + " (" + core::pct(share) +
+           ")";
+  });
+  add("Total ASes", [&](std::size_t d) {
+    return std::to_string(as_sets[d].size());
+  });
+  add("Unique ASes", [&](std::size_t d) {
+    const double share =
+        as_sets[d].empty() ? 0 : 100.0 * unique_ases[d] / as_sets[d].size();
+    return std::to_string(unique_ases[d]) + " (" + core::pct(share, 0) + ")";
+  });
+  std::printf("Table 5 (top) — per-domain discovery\n\n%s\n",
+              top.to_string().c_str());
+
+  // Bottom half: prefixes of row domain that also intersect column domain.
+  core::TextTable bottom;
+  bottom.set_header(header);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<std::string> row{domains[r].name.to_string()};
+    for (std::size_t c = 0; c < n; ++c) {
+      std::uint64_t common = 0;
+      by_domain[r].for_each([&](net::Prefix prefix) {
+        if (by_domain[c].intersects(prefix)) ++common;
+      });
+      const double share =
+          by_domain[r].size() == 0 ? 0 : 100.0 * common / by_domain[r].size();
+      row.push_back(std::to_string(common) + " (" + core::pct(share, 0) +
+                    ")");
+    }
+    bottom.add_row(std::move(row));
+  }
+  std::printf("Table 5 (bottom) — containment-aware prefix overlap between "
+              "domains\n(paper: 89%% of YouTube prefixes also hit for "
+              "Google)\n\n%s\n",
+              bottom.to_string().c_str());
+
+  std::vector<std::vector<std::string>> csv;
+  for (std::size_t d = 0; d < n; ++d) {
+    csv.push_back({domains[d].name.to_string(),
+                   std::to_string(by_domain[d].size()),
+                   std::to_string(unique_prefixes[d]),
+                   std::to_string(as_sets[d].size()),
+                   std::to_string(unique_ases[d])});
+  }
+  core::write_csv(bench::out_path("table5.csv"),
+                  {"domain", "total_prefixes", "unique_prefixes",
+                   "total_ases", "unique_ases"},
+                  csv);
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "anycast/vantage.h"
+
+namespace netclients::bench {
+
+namespace {
+
+double env_denominator(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (!value) return fallback;
+  const double parsed = std::atof(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace
+
+double scale_denominator() { return env_denominator("REPRO_SCALE", 64); }
+
+double ditl_sample_denominator() {
+  return env_denominator("REPRO_DITL_SAMPLE", 64);
+}
+
+Pipelines build_pipelines(const BuildOptions& options) {
+  Pipelines p;
+  sim::WorldConfig config;
+  config.scale = 1.0 / scale_denominator();
+  std::fprintf(stderr, "[bench] generating world at scale 1/%.0f...\n",
+               scale_denominator());
+  p.world = sim::World::generate(config);
+  std::fprintf(stderr, "[bench] %zu ASes, %zu /24s, %.0f users\n",
+               p.world.ases().size(), p.world.blocks().size(),
+               p.world.total_users());
+
+  p.activity = std::make_unique<sim::WorldActivityModel>(&p.world);
+  p.google_dns = std::make_unique<googledns::GooglePublicDns>(
+      &p.world.pops(), &p.world.catchment(), &p.world.authoritative(),
+      googledns::GoogleDnsConfig{}, p.activity.get());
+  p.campaign = std::make_unique<core::CacheProbeCampaign>(
+      &p.world.authoritative(), p.google_dns.get(), &p.world.geodb(),
+      anycast::default_vantage_fleet(), p.world.domains(), 1u << 16,
+      p.world.address_space_end());
+
+  if (options.run_cache_probing) {
+    std::fprintf(stderr, "[bench] cache probing campaign...\n");
+    p.pops = p.campaign->discover_pops();
+    p.calibration = p.campaign->calibrate(p.pops);
+    p.probing = p.campaign->run(p.pops, p.calibration);
+    p.probing_prefixes = p.probing.to_prefix_dataset("cache probing");
+    std::fprintf(stderr, "[bench] %llu probes, %zu hits\n",
+                 static_cast<unsigned long long>(p.probing.probes_sent),
+                 p.probing.hits.size());
+  }
+
+  if (options.run_chromium) {
+    std::fprintf(stderr, "[bench] DITL crawl...\n");
+    const roots::RootSystem root_system =
+        roots::RootSystem::ditl_2020(config.seed);
+    sim::DitlOptions ditl;
+    ditl.sample_rate = 1.0 / ditl_sample_denominator();
+    core::ChromiumOptions chromium_options;
+    chromium_options.sample_rate = ditl.sample_rate;
+    core::ChromiumCounter counter(chromium_options);
+    p.chromium = counter.process(
+        [&](const std::function<void(const roots::TraceRecord&)>& emit) {
+          sim::generate_ditl(p.world, root_system, ditl, emit);
+        });
+    p.logs_prefixes = p.chromium.to_prefix_dataset("DNS logs");
+  }
+
+  if (options.run_validation) {
+    std::fprintf(stderr, "[bench] CDN + APNIC observation...\n");
+    p.ms = cdn::observe_cdn(p.world, {});
+    p.apnic = apnic::estimate_population(p.world, {});
+    for (const auto& [idx, volume] : p.ms.client_volume) {
+      p.clients_prefixes.add(idx, volume);
+    }
+    for (const auto& [idx, clients] : p.ms.resolver_clients) {
+      p.resolvers_prefixes.add(idx, clients);
+    }
+    for (std::uint32_t idx : p.ms.ecs_prefixes) p.ecs_prefixes.add(idx);
+    for (const auto& [asn, users] : p.apnic.users_by_as) {
+      p.apnic_as.add(asn, users);
+    }
+  }
+
+  p.union_prefixes = core::PrefixDataset::union_of(
+      "cache probing + DNS logs", p.probing_prefixes, p.logs_prefixes);
+  p.probing_as = core::to_as_dataset("cache probing", p.probing_prefixes,
+                                     p.world);
+  p.logs_as = core::to_as_dataset("DNS logs", p.logs_prefixes, p.world);
+  p.union_as = core::AsDataset::union_of("cache probing + DNS logs",
+                                         p.probing_as, p.logs_as);
+  p.clients_as =
+      core::to_as_dataset("Microsoft clients", p.clients_prefixes, p.world);
+  p.resolvers_as = core::to_as_dataset("Microsoft resolvers",
+                                       p.resolvers_prefixes, p.world);
+  return p;
+}
+
+std::string out_path(const std::string& name) {
+  std::filesystem::create_directories("bench_out");
+  return "bench_out/" + name;
+}
+
+}  // namespace netclients::bench

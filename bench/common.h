@@ -1,0 +1,79 @@
+#pragma once
+
+// Shared scaffolding for the per-table / per-figure bench binaries.
+//
+// Every bench generates the same deterministic world (size controlled by
+// the REPRO_SCALE env var: the denominator of the scale fraction, default
+// 64 — i.e. a 1/64-size Internet) and runs whichever pipelines it needs.
+// Output: a paper-style table on stdout plus CSV series under bench_out/.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "apnic/apnic.h"
+#include "cdn/cdn.h"
+#include "core/cacheprobe/cacheprobe.h"
+#include "core/chromium/chromium.h"
+#include "core/compare/compare.h"
+#include "core/datasets/datasets.h"
+#include "core/report/report.h"
+#include "googledns/google_dns.h"
+#include "roots/root_server.h"
+#include "sim/activity.h"
+#include "sim/ditl.h"
+#include "sim/world.h"
+
+namespace netclients::bench {
+
+/// Denominator of the world scale (REPRO_SCALE env var, default 64).
+double scale_denominator();
+
+/// DITL downsampling used at bench scale (REPRO_DITL_SAMPLE, default 64).
+double ditl_sample_denominator();
+
+struct Pipelines {
+  sim::World world;
+  std::unique_ptr<sim::WorldActivityModel> activity;
+  std::unique_ptr<googledns::GooglePublicDns> google_dns;
+  std::unique_ptr<core::CacheProbeCampaign> campaign;
+
+  core::PopDiscoveryResult pops;
+  core::CalibrationResult calibration;
+  core::CampaignResult probing;
+
+  core::ChromiumResult chromium;
+  cdn::CdnObservation ms;
+  apnic::ApnicEstimate apnic;
+
+  // /24-level datasets (Table 1 naming).
+  core::PrefixDataset probing_prefixes{"cache probing"};
+  core::PrefixDataset logs_prefixes{"DNS logs"};
+  core::PrefixDataset union_prefixes{"cache probing + DNS logs"};
+  core::PrefixDataset clients_prefixes{"Microsoft clients"};
+  core::PrefixDataset resolvers_prefixes{"Microsoft resolvers"};
+  core::PrefixDataset ecs_prefixes{"cloud ECS prefixes"};
+
+  // AS-level datasets (Tables 3/4 naming).
+  core::AsDataset probing_as{"cache probing"};
+  core::AsDataset logs_as{"DNS logs"};
+  core::AsDataset union_as{"cache probing + DNS logs"};
+  core::AsDataset apnic_as{"APNIC"};
+  core::AsDataset clients_as{"Microsoft clients"};
+  core::AsDataset resolvers_as{"Microsoft resolvers"};
+};
+
+struct BuildOptions {
+  bool run_cache_probing = true;
+  bool run_chromium = true;
+  bool run_validation = true;  // CDN + APNIC datasets
+};
+
+/// Builds the world and runs the requested pipelines; prints progress to
+/// stderr so table output stays clean.
+Pipelines build_pipelines(const BuildOptions& options = {});
+
+/// Creates bench_out/ (if needed) and returns "bench_out/<name>".
+std::string out_path(const std::string& name);
+
+}  // namespace netclients::bench

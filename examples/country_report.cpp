@@ -1,0 +1,88 @@
+// Per-country Internet activity report: combines both techniques with the
+// APNIC baseline into the kind of per-country summary the paper's Figure 3
+// is built from — APNIC population, ASes detected by each technique, and
+// coverage of the population.
+//
+// Run:  build/examples/country_report [scale-denominator] [country-code]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apnic/apnic.h"
+#include "core/cacheprobe/cacheprobe.h"
+#include "core/chromium/chromium.h"
+#include "core/compare/compare.h"
+#include "core/report/report.h"
+#include "roots/root_server.h"
+#include "sim/activity.h"
+#include "sim/ditl.h"
+#include "sim/world.h"
+
+using namespace netclients;
+
+int main(int argc, char** argv) {
+  double denominator = 256;
+  if (argc > 1) denominator = std::atof(argv[1]);
+  const char* focus = argc > 2 ? argv[2] : nullptr;
+
+  sim::WorldConfig config;
+  config.scale = 1.0 / denominator;
+  const sim::World world = sim::World::generate(config);
+
+  sim::WorldActivityModel activity(&world);
+  googledns::GooglePublicDns google_dns(&world.pops(), &world.catchment(),
+                                        &world.authoritative(), {},
+                                        &activity);
+  core::CacheProbeCampaign campaign(
+      &world.authoritative(), &google_dns, &world.geodb(),
+      anycast::default_vantage_fleet(), world.domains(), 1u << 16,
+      world.address_space_end());
+  const auto probing = campaign.run_full();
+  const auto probing_as = core::to_as_dataset(
+      "cache probing", probing.to_prefix_dataset("p"), world);
+
+  const roots::RootSystem roots = roots::RootSystem::ditl_2020(config.seed);
+  sim::DitlOptions ditl;
+  ditl.sample_rate = 1.0 / 64;
+  core::ChromiumOptions chromium_options;
+  chromium_options.sample_rate = ditl.sample_rate;
+  const core::ChromiumCounter counter(chromium_options);
+  const auto chromium = counter.process(
+      [&](const std::function<void(const roots::TraceRecord&)>& emit) {
+        sim::generate_ditl(world, roots, ditl, emit);
+      });
+  const auto logs_as = core::to_as_dataset(
+      "DNS logs", chromium.to_prefix_dataset("l"), world);
+
+  const auto apnic_est = apnic::estimate_population(world, {});
+  const auto coverage =
+      core::country_coverage(world, apnic_est.users_by_as, probing_as);
+
+  // Per-country AS tallies.
+  std::unordered_map<std::uint16_t, int> total_ases, probing_hits, log_hits;
+  for (const sim::AsEntry& as : world.ases()) {
+    ++total_ases[as.country];
+    probing_hits[as.country] += probing_as.contains(as.asn);
+    log_hits[as.country] += logs_as.contains(as.asn);
+  }
+  std::unordered_map<std::string, std::uint16_t> index_of;
+  for (std::uint16_t c = 0; c < world.countries().size(); ++c) {
+    index_of[world.countries()[c].code] = c;
+  }
+
+  core::TextTable table;
+  table.set_header({"country", "APNIC users", "ASes", "probing", "DNS logs",
+                    "APNIC pop covered"});
+  for (const auto& row : coverage) {
+    if (focus && std::strcmp(row.code.c_str(), focus) != 0) continue;
+    const std::uint16_t c = index_of[row.code];
+    table.add_row({row.name, core::human_count(row.apnic_users),
+                   std::to_string(total_ases[c]),
+                   std::to_string(probing_hits[c]),
+                   std::to_string(log_hits[c]),
+                   core::pct(100 * row.covered_fraction)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

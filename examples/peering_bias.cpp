@@ -1,0 +1,92 @@
+// The "are we one hop away?" bias — the paper's §1 example: Google peered
+// directly with 41% of all networks but 61% of networks hosting end users,
+// so conclusions about Internet structure flip depending on whether you
+// weight networks by user activity.
+//
+// We reproduce that analysis shape in the synthetic world: a cloud
+// provider peers preferentially with large networks; we then compute the
+// fraction of direct-peer networks (a) over all ASes and (b) over the ASes
+// the cache-probing technique marks as client-hosting.
+//
+// Run:  build/examples/peering_bias [scale-denominator]
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "core/cacheprobe/cacheprobe.h"
+#include "core/datasets/datasets.h"
+#include "net/rng.h"
+#include "sim/activity.h"
+#include "sim/world.h"
+
+using namespace netclients;
+
+int main(int argc, char** argv) {
+  double denominator = 256;
+  if (argc > 1) denominator = std::atof(argv[1]);
+  sim::WorldConfig config;
+  config.scale = 1.0 / denominator;
+  const sim::World world = sim::World::generate(config);
+
+  // A synthetic cloud's peering policy: peer probability grows with the
+  // network's announced footprint (big networks meet you at IXPs).
+  std::unordered_set<std::uint32_t> direct_peers;
+  net::Rng rng(0x9EE2);
+  for (const sim::AsEntry& as : world.ases()) {
+    std::uint64_t footprint = 0;
+    for (const net::Prefix& p : as.announced) {
+      footprint += p.slash24_count();
+    }
+    const double p_peer =
+        footprint >= 128 ? 0.92 : (footprint >= 16 ? 0.55 : 0.12);
+    if (rng.bernoulli(p_peer)) direct_peers.insert(as.asn);
+  }
+
+  // The activity map.
+  sim::WorldActivityModel activity(&world);
+  googledns::GooglePublicDns google_dns(&world.pops(), &world.catchment(),
+                                        &world.authoritative(), {},
+                                        &activity);
+  core::CacheProbeCampaign campaign(
+      &world.authoritative(), &google_dns, &world.geodb(),
+      anycast::default_vantage_fleet(), world.domains(), 1u << 16,
+      world.address_space_end());
+  const auto probing = campaign.run_full();
+  const auto client_ases = core::to_as_dataset(
+      "clients", probing.to_prefix_dataset("cache probing"), world);
+
+  std::size_t all = 0, all_direct = 0, client = 0, client_direct = 0;
+  std::size_t truth_client = 0, truth_client_direct = 0;
+  for (const sim::AsEntry& as : world.ases()) {
+    ++all;
+    const bool direct = direct_peers.contains(as.asn);
+    all_direct += direct;
+    if (client_ases.contains(as.asn)) {
+      ++client;
+      client_direct += direct;
+    }
+    // Ground truth "user network": hosts a non-trivial user population
+    // (nearly every AS has a stray user or two; the interesting class is
+    // networks whose purpose is serving eyeballs).
+    if (as.users > 10) {
+      ++truth_client;
+      truth_client_direct += direct;
+    }
+  }
+
+  std::printf("direct peering with the synthetic cloud:\n");
+  std::printf("  over all networks              : %5.1f%%   (paper's Google "
+              "example: 41%%)\n",
+              100.0 * all_direct / all);
+  std::printf("  over measured client networks  : %5.1f%%   (paper: 61%%)\n",
+              client ? 100.0 * client_direct / client : 0);
+  std::printf("  over ground-truth user networks: %5.1f%%\n",
+              truth_client ? 100.0 * truth_client_direct / truth_client : 0);
+  std::printf(
+      "\nReading: restricting the question to networks that actually host\n"
+      "clients changes the answer by tens of percentage points, and the\n"
+      "measured activity map recovers nearly the same figure as ground\n"
+      "truth — the paper's argument for why such a map matters.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Quickstart: generate a small synthetic Internet, run both measurement
+// techniques (Google Public DNS cache probing and Chromium root-trace
+// counting), and cross-compare against the CDN's privileged view — the
+// whole paper in one file.
+//
+// Run:  build/examples/quickstart [scale-denominator]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apnic/apnic.h"
+#include "cdn/cdn.h"
+#include "core/cacheprobe/cacheprobe.h"
+#include "core/chromium/chromium.h"
+#include "core/compare/compare.h"
+#include "core/report/report.h"
+#include "roots/root_server.h"
+#include "sim/activity.h"
+#include "sim/ditl.h"
+#include "sim/world.h"
+
+using namespace netclients;
+
+int main(int argc, char** argv) {
+  double denominator = 256;
+  if (argc > 1) denominator = std::atof(argv[1]);
+
+  // 1. A synthetic Internet.
+  sim::WorldConfig config;
+  config.scale = 1.0 / denominator;
+  const sim::World world = sim::World::generate(config);
+  std::printf("world: %zu ASes, %zu allocated /24s, %.0f users\n",
+              world.ases().size(), world.blocks().size(),
+              world.total_users());
+
+  // 2. Technique 1 — cache probing Google Public DNS.
+  sim::WorldActivityModel activity(&world);
+  googledns::GoogleDnsConfig gdns_config;
+  googledns::GooglePublicDns google_dns(&world.pops(), &world.catchment(),
+                                        &world.authoritative(), gdns_config,
+                                        &activity);
+  core::CacheProbeCampaign campaign(
+      &world.authoritative(), &google_dns, &world.geodb(),
+      anycast::default_vantage_fleet(), world.domains(), 1u << 16,
+      world.address_space_end());
+  const auto pops = campaign.discover_pops();
+  std::printf("cache probing: %zu vantage points reach %zu PoPs\n",
+              pops.vp_pop.size(), pops.probed_pops.size());
+  const auto calibration = campaign.calibrate(pops);
+  const auto probing = campaign.run(pops, calibration);
+  std::printf(
+      "cache probing: %llu probes, %zu hits, active /24s in [%llu, %llu]\n",
+      static_cast<unsigned long long>(probing.probes_sent),
+      probing.hits.size(),
+      static_cast<unsigned long long>(probing.slash24_lower_bound()),
+      static_cast<unsigned long long>(probing.slash24_upper_bound()));
+
+  // 3. Technique 2 — Chromium probes in root DITL traces.
+  const roots::RootSystem root_system =
+      roots::RootSystem::ditl_2020(config.seed);
+  sim::DitlOptions ditl;
+  // DITL is processed streaming with uniform sampling (the pipeline scales
+  // counts back up); see DESIGN.md on laptop-scale trace handling.
+  ditl.sample_rate = 1.0 / 64;
+  core::ChromiumOptions chromium_options;
+  chromium_options.sample_rate = ditl.sample_rate;
+  core::ChromiumCounter counter(chromium_options);
+  const auto chromium = counter.process(
+      [&](const std::function<void(const roots::TraceRecord&)>& emit) {
+        sim::generate_ditl(world, root_system, ditl, emit);
+      });
+  std::printf(
+      "DNS logs: %llu records, %llu matches, %llu collision-rejected, "
+      "%zu resolvers\n",
+      static_cast<unsigned long long>(chromium.records_scanned),
+      static_cast<unsigned long long>(chromium.signature_matches),
+      static_cast<unsigned long long>(chromium.rejected_collisions),
+      chromium.probes_by_resolver.size());
+
+  // 4. Validation datasets + cross-comparison.
+  const cdn::CdnObservation ms = cdn::observe_cdn(world, {});
+  core::PrefixDataset probing_ds =
+      probing.to_prefix_dataset("cache probing");
+  core::PrefixDataset logs_ds = chromium.to_prefix_dataset("DNS logs");
+  core::PrefixDataset clients_ds("Microsoft clients");
+  for (const auto& [idx, volume] : ms.client_volume) {
+    clients_ds.add(idx, volume);
+  }
+  const auto matrix = core::prefix_overlap(
+      {&probing_ds, &logs_ds, &clients_ds});
+  std::printf("\n%s\n", core::render_overlap(matrix).c_str());
+  std::printf("volume coverage: %.1f%% of CDN requests are in prefixes "
+              "cache probing marks active\n",
+              core::prefix_volume_share(clients_ds, probing_ds));
+
+  const auto apnic_est = apnic::estimate_population(world, {});
+  std::printf("APNIC publishes estimates for %zu of %zu ASes\n",
+              apnic_est.users_by_as.size(), world.ases().size());
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "anycast/catchment.h"
+
+#include <cmath>
+#include <limits>
+
+namespace netclients::anycast {
+
+PopId CatchmentModel::pop_for(net::LatLon location, std::uint64_t route_key,
+                              const RouteBias& bias) const {
+  if (!bias.empty()) {
+    net::Rng rng(net::stable_seed(seed_ ^ 0xB1A5u, route_key));
+    if (rng.uniform() < bias.misroute_probability) {
+      return bias.alternates[rng.below(bias.alternates.size())];
+    }
+  }
+  PopId best = kNoPop;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& site : pops_->sites()) {
+    if (!site.active) continue;
+    // Stable per-(network, PoP) detour: e^{N(0, sigma)} stretches the
+    // geographic distance to emulate BGP path quality. A small constant
+    // offset keeps PoP choice well-defined for co-located clients.
+    net::Rng rng(net::stable_seed(seed_, route_key,
+                                  static_cast<std::uint64_t>(site.id)));
+    const double detour = std::exp(rng.normal(0.0, detour_sigma_));
+    // Low-capacity sites announce the anycast route sparsely (few transit
+    // relationships), so BGP prefers well-connected sites even at larger
+    // geographic distance; the capacity factor models that preference.
+    const double capacity =
+        0.08 + 0.92 * site.traffic_weight / (site.traffic_weight + 1.0);
+    const double score =
+        (net::haversine_km(location, site.location) + 50.0) * detour /
+        capacity;
+    if (score < best_score) {
+      best_score = score;
+      best = site.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace netclients::anycast

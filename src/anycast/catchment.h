@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anycast/pop.h"
+#include "net/geo.h"
+#include "net/rng.h"
+
+namespace netclients::anycast {
+
+/// Per-network routing bias injected by the world model. Anycast catchments
+/// follow BGP, not geography; the paper observes that anycast "does not
+/// always route clients to the nearest PoP" [8,21,24] and that South
+/// American coverage is poor even with all SA PoPs probed. The bias says:
+/// with `misroute_probability`, a network's queries land on one of
+/// `alternates` (weighted) instead of the geographically sensible PoP.
+struct RouteBias {
+  double misroute_probability = 0.0;
+  std::vector<PopId> alternates;  // must be active PoPs
+
+  bool empty() const { return alternates.empty() || misroute_probability <= 0; }
+};
+
+/// Deterministic anycast catchment model.
+///
+/// For a network identified by `route_key` (hash of its prefix/AS) at a
+/// geographic location, picks the serving PoP:
+///   1. with the network's misroute probability, a biased alternate;
+///   2. otherwise the active PoP minimizing distance × detour, where the
+///      detour factor is a per-(network, PoP) lognormal sample — stable for
+///      the lifetime of the network, as real BGP decisions are on the
+///      timescale of a probing campaign.
+class CatchmentModel {
+ public:
+  CatchmentModel(const PopTable* pops, std::uint64_t seed,
+                 double detour_sigma = 0.25)
+      : pops_(pops), seed_(seed), detour_sigma_(detour_sigma) {}
+
+  /// The PoP serving queries from this network. kNoPop only if no PoP is
+  /// active.
+  PopId pop_for(net::LatLon location, std::uint64_t route_key,
+                const RouteBias& bias = {}) const;
+
+  const PopTable& pops() const { return *pops_; }
+
+ private:
+  const PopTable* pops_;
+  std::uint64_t seed_;
+  double detour_sigma_;
+};
+
+}  // namespace netclients::anycast

@@ -1,0 +1,113 @@
+#include "anycast/pop.h"
+
+#include <cassert>
+#include <limits>
+
+namespace netclients::anycast {
+namespace {
+
+PopSite make(PopId id, std::string city, std::string cc, double lat,
+             double lon, bool active, double weight) {
+  return PopSite{id, std::move(city), std::move(cc), {lat, lon}, active,
+                 weight};
+}
+
+}  // namespace
+
+PopTable::PopTable(std::vector<PopSite> sites) : sites_(std::move(sites)) {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    assert(sites_[i].id == static_cast<PopId>(i));
+  }
+}
+
+PopTable PopTable::google_default() {
+  std::vector<PopSite> s;
+  PopId id = 0;
+  // --- 22 active sites that the cloud vantage points end up reaching.
+  // United States (seven states) + Canada (two provinces).
+  s.push_back(make(id++, "The Dalles", "US", 45.594, -121.178, true, 3.0));
+  s.push_back(make(id++, "Council Bluffs", "US", 41.261, -95.861, true, 3.0));
+  s.push_back(make(id++, "Charleston", "US", 32.776, -79.931, true, 2.5));
+  s.push_back(make(id++, "Ashburn", "US", 39.043, -77.487, true, 3.5));
+  s.push_back(make(id++, "Atlanta", "US", 33.749, -84.388, true, 2.0));
+  s.push_back(make(id++, "Dallas", "US", 32.776, -96.797, true, 2.0));
+  s.push_back(make(id++, "Los Angeles", "US", 34.052, -118.244, true, 3.0));
+  s.push_back(make(id++, "Montreal", "CA", 45.501, -73.567, true, 1.2));
+  s.push_back(make(id++, "Toronto", "CA", 43.651, -79.347, true, 1.5));
+  // Europe (five countries).
+  s.push_back(make(id++, "Groningen", "NL", 53.219, 6.566, true, 2.5));
+  s.push_back(make(id++, "Zurich", "CH", 47.377, 8.541, true, 1.8));
+  s.push_back(make(id++, "Frankfurt", "DE", 50.110, 8.682, true, 3.0));
+  s.push_back(make(id++, "London", "GB", 51.507, -0.128, true, 2.8));
+  s.push_back(make(id++, "Dublin", "IE", 53.349, -6.260, true, 1.5));
+  // Asia (five countries/regions).
+  s.push_back(make(id++, "Tokyo", "JP", 35.676, 139.650, true, 2.8));
+  s.push_back(make(id++, "Singapore", "SG", 1.352, 103.820, true, 2.5));
+  s.push_back(make(id++, "Changhua", "TW", 24.081, 120.538, true, 2.0));
+  s.push_back(make(id++, "Mumbai", "IN", 19.076, 72.878, true, 3.0));
+  s.push_back(make(id++, "Seoul", "KR", 37.566, 126.978, true, 1.8));
+  // South America (two countries) + Australia.
+  s.push_back(make(id++, "Sao Paulo", "BR", -23.551, -46.633, true, 2.0));
+  s.push_back(make(id++, "Santiago", "CL", -33.449, -70.669, true, 1.0));
+  s.push_back(make(id++, "Sydney", "AU", -33.869, 151.209, true, 1.5));
+  // --- 5 active sites no vantage point reaches ("unprobed and verified").
+  // Low-capacity sites with sparse anycast announcements; together they
+  // carry ~5% of client queries, per Appendix A.1.
+  s.push_back(make(id++, "Hong Kong", "HK", 22.320, 114.170, true, 0.12));
+  s.push_back(make(id++, "Osaka", "JP", 34.694, 135.502, true, 0.10));
+  s.push_back(make(id++, "Hamina", "FI", 60.570, 27.198, true, 0.15));
+  s.push_back(make(id++, "Buenos Aires", "AR", -34.604, -58.382, true, 0.25));
+  s.push_back(make(id++, "Lagos", "NG", 6.524, 3.379, true, 0.12));
+  // --- 18 inactive sites ("unprobed and unverified": no anycast route).
+  s.push_back(make(id++, "Stockholm", "SE", 59.329, 18.069, false, 0));
+  s.push_back(make(id++, "Warsaw", "PL", 52.230, 21.012, false, 0));
+  s.push_back(make(id++, "Madrid", "ES", 40.417, -3.704, false, 0));
+  s.push_back(make(id++, "Milan", "IT", 45.464, 9.190, false, 0));
+  s.push_back(make(id++, "Vienna", "AT", 48.208, 16.374, false, 0));
+  s.push_back(make(id++, "Doha", "QA", 25.285, 51.531, false, 0));
+  s.push_back(make(id++, "Tel Aviv", "IL", 32.085, 34.782, false, 0));
+  s.push_back(make(id++, "Johannesburg", "ZA", -26.204, 28.047, false, 0));
+  s.push_back(make(id++, "Nairobi", "KE", -1.292, 36.822, false, 0));
+  s.push_back(make(id++, "Bangkok", "TH", 13.756, 100.502, false, 0));
+  s.push_back(make(id++, "Kuala Lumpur", "MY", 3.139, 101.687, false, 0));
+  s.push_back(make(id++, "Manila", "PH", 14.600, 120.984, false, 0));
+  s.push_back(make(id++, "Auckland", "NZ", -36.848, 174.763, false, 0));
+  s.push_back(make(id++, "Lima", "PE", -12.046, -77.043, false, 0));
+  s.push_back(make(id++, "Bogota", "CO", 4.711, -74.072, false, 0));
+  s.push_back(make(id++, "Mexico City", "MX", 19.433, -99.133, false, 0));
+  s.push_back(make(id++, "Cairo", "EG", 30.044, 31.236, false, 0));
+  s.push_back(make(id++, "Riyadh", "SA", 24.713, 46.675, false, 0));
+  assert(s.size() == 45);
+  return PopTable(std::move(s));
+}
+
+std::vector<PopId> PopTable::active_pops() const {
+  std::vector<PopId> out;
+  for (const auto& site : sites_) {
+    if (site.active) out.push_back(site.id);
+  }
+  return out;
+}
+
+PopId PopTable::nearest_active(net::LatLon location) const {
+  PopId best = kNoPop;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const auto& site : sites_) {
+    if (!site.active) continue;
+    double km = net::haversine_km(location, site.location);
+    if (km < best_km) {
+      best_km = km;
+      best = site.id;
+    }
+  }
+  return best;
+}
+
+std::optional<PopId> PopTable::find_by_city(const std::string& city) const {
+  for (const auto& site : sites_) {
+    if (site.city == city) return site.id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace netclients::anycast

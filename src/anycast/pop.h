@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/geo.h"
+
+namespace netclients::anycast {
+
+/// Identifier of a Google-Public-DNS-style point of presence.
+using PopId = int;
+inline constexpr PopId kNoPop = -1;
+
+/// One anycast PoP. The default table mirrors the paper's world: 45 sites,
+/// of which 27 actively announce the anycast route (22 end up reachable
+/// from the cloud vantage points, 5 only show up as resolvers in CDN logs)
+/// and 18 are inactive (they answer no clients — the paper verified 18
+/// unprobed sites sent no queries to Microsoft, Appendix A.1).
+struct PopSite {
+  PopId id = kNoPop;
+  std::string city;
+  std::string country_code;  // ISO 3166-1 alpha-2
+  net::LatLon location;
+  bool active = true;          // announces the anycast route
+  double traffic_weight = 1.0; // relative share of client queries
+};
+
+/// The set of PoPs of a public anycast DNS service.
+class PopTable {
+ public:
+  explicit PopTable(std::vector<PopSite> sites);
+
+  /// The default 45-site table modelled on Google Public DNS's public PoP
+  /// list (city locations are real; the active/inactive split reproduces
+  /// the paper's 22/5/18 classification).
+  static PopTable google_default();
+
+  const std::vector<PopSite>& sites() const { return sites_; }
+  const PopSite& site(PopId id) const { return sites_.at(static_cast<std::size_t>(id)); }
+  std::size_t size() const { return sites_.size(); }
+
+  std::vector<PopId> active_pops() const;
+
+  /// Nearest *active* PoP by great-circle distance, or kNoPop if none.
+  PopId nearest_active(net::LatLon location) const;
+
+  std::optional<PopId> find_by_city(const std::string& city) const;
+
+ private:
+  std::vector<PopSite> sites_;
+};
+
+}  // namespace netclients::anycast

@@ -1,0 +1,56 @@
+#include "anycast/vantage.h"
+
+namespace netclients::anycast {
+namespace {
+
+VantagePoint make(int id, std::string name, std::string provider,
+                  std::string cc, double lat, double lon) {
+  // Vantage addresses live in a reserved measurement block (198.18.0.0/15,
+  // RFC 2544 benchmarking space) so they never collide with the synthetic
+  // client address plan.
+  return VantagePoint{
+      id,
+      std::move(name),
+      std::move(provider),
+      std::move(cc),
+      {lat, lon},
+      net::Ipv4Addr::from_octets(198, 18, static_cast<std::uint8_t>(id), 1)};
+}
+
+}  // namespace
+
+std::vector<VantagePoint> default_vantage_fleet() {
+  std::vector<VantagePoint> fleet;
+  int id = 0;
+  // AWS regions.
+  fleet.push_back(make(id++, "aws-us-west-2", "aws", "US", 45.523, -122.676));  // Portland
+  fleet.push_back(make(id++, "aws-us-east-1", "aws", "US", 39.043, -77.487));   // Ashburn
+  fleet.push_back(make(id++, "aws-us-east-2", "aws", "US", 39.961, -82.999));   // Columbus
+  fleet.push_back(make(id++, "aws-us-west-1", "aws", "US", 37.774, -122.419));  // SF
+  fleet.push_back(make(id++, "aws-ca-central-1", "aws", "CA", 45.501, -73.567));// Montreal
+  fleet.push_back(make(id++, "aws-sa-east-1", "aws", "BR", -23.551, -46.633));  // Sao Paulo
+  fleet.push_back(make(id++, "aws-eu-west-1", "aws", "IE", 53.349, -6.260));    // Dublin
+  fleet.push_back(make(id++, "aws-eu-west-2", "aws", "GB", 51.507, -0.128));    // London
+  fleet.push_back(make(id++, "aws-eu-west-3", "aws", "FR", 48.857, 2.352));     // Paris
+  fleet.push_back(make(id++, "aws-eu-central-1", "aws", "DE", 50.110, 8.682));  // Frankfurt
+  fleet.push_back(make(id++, "aws-ap-northeast-1", "aws", "JP", 35.676, 139.650)); // Tokyo
+  fleet.push_back(make(id++, "aws-ap-northeast-2", "aws", "KR", 37.566, 126.978)); // Seoul
+  fleet.push_back(make(id++, "aws-ap-southeast-1", "aws", "SG", 1.352, 103.820));  // Singapore
+  fleet.push_back(make(id++, "aws-ap-southeast-2", "aws", "AU", -33.869, 151.209));// Sydney
+  fleet.push_back(make(id++, "aws-ap-south-1", "aws", "IN", 19.076, 72.878));   // Mumbai
+  fleet.push_back(make(id++, "aws-us-southeast", "aws", "US", 33.749, -84.388));// Atlanta
+  // Vultr locations filling the gaps AWS leaves.
+  fleet.push_back(make(id++, "vultr-dallas", "vultr", "US", 32.776, -96.797));
+  fleet.push_back(make(id++, "vultr-charleston", "vultr", "US", 32.776, -79.931));
+  fleet.push_back(make(id++, "vultr-omaha", "vultr", "US", 41.257, -95.995));
+  fleet.push_back(make(id++, "vultr-los-angeles", "vultr", "US", 34.052, -118.244));
+  fleet.push_back(make(id++, "vultr-toronto", "vultr", "CA", 43.651, -79.347));
+  fleet.push_back(make(id++, "vultr-amsterdam", "vultr", "NL", 52.370, 4.895));
+  fleet.push_back(make(id++, "vultr-zurich", "vultr", "CH", 47.377, 8.541));
+  fleet.push_back(make(id++, "vultr-taipei", "vultr", "TW", 25.033, 121.565));
+  fleet.push_back(make(id++, "vultr-santiago", "vultr", "CL", -33.449, -70.669));
+  fleet.push_back(make(id++, "vultr-miami", "vultr", "US", 25.762, -80.192));
+  return fleet;
+}
+
+}  // namespace netclients::anycast

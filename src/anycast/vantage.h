@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/geo.h"
+#include "net/ipv4.h"
+
+namespace netclients::anycast {
+
+/// A measurement vantage point: a cloud VM that issues DNS probes. Mirrors
+/// the paper's AWS + Vultr fleet (§3.1.1): probes from each VP reach
+/// whatever PoP anycast routes that VM to, and the union of reached PoPs is
+/// the "probed" set (22 of 45 in the paper).
+struct VantagePoint {
+  int id = -1;
+  std::string name;      // e.g. "aws-us-west-2"
+  std::string provider;  // "aws" | "vultr"
+  std::string country_code;
+  net::LatLon location;
+  net::Ipv4Addr address;  // source address of its probes
+};
+
+/// The default fleet: one VM per cloud region the paper could use. VP
+/// placement determines PoP coverage — there are deliberately no VMs near
+/// Hong Kong, Osaka, Hamina, Buenos Aires, or Lagos, which is how those
+/// five active PoPs end up unprobed (Appendix A.1).
+std::vector<VantagePoint> default_vantage_fleet();
+
+}  // namespace netclients::anycast

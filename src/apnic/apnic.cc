@@ -1,0 +1,46 @@
+#include "apnic/apnic.h"
+
+#include <cmath>
+
+#include "net/rng.h"
+
+namespace netclients::apnic {
+
+ApnicEstimate estimate_population(const sim::World& world,
+                                  const ApnicOptions& options) {
+  ApnicEstimate est;
+  net::Rng rng(net::stable_seed(options.seed, 0x0A9Cu));
+
+  // Expected impressions per AS: ad views sample the active user
+  // population (bots filtered to near-zero).
+  double total_impressions = 0;
+  std::unordered_map<std::uint32_t, double> impressions;
+  for (const sim::AsEntry& as : world.ases()) {
+    const double visible_users =
+        as.users + as.bot_users * options.bot_visibility;
+    if (visible_users <= 0) continue;
+    const double expected = visible_users * options.impressions_per_user;
+    const double sampled =
+        expected < 50 ? static_cast<double>(rng.poisson(expected))
+                      : expected * rng.uniform(0.85, 1.15);
+    if (sampled <= 0) continue;
+    impressions.emplace(as.asn, sampled);
+    total_impressions += sampled;
+  }
+  if (total_impressions <= 0) return est;
+
+  // APNIC scales shares against an external world-population figure; we
+  // give that figure the same kind of uncertainty.
+  est.world_population = world.total_users() * rng.uniform(0.93, 1.07);
+  for (const auto& [asn, n] : impressions) {
+    if (n < options.min_impressions) continue;  // publication threshold
+    const double share = n / total_impressions;
+    const double noisy =
+        share * est.world_population *
+        std::exp(rng.normal(0.0, options.estimate_noise_sigma));
+    est.users_by_as.emplace(asn, noisy);
+  }
+  return est;
+}
+
+}  // namespace netclients::apnic

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/world.h"
+
+namespace netclients::apnic {
+
+/// Parameters of an APNIC-labs-style ad measurement campaign [19].
+///
+/// The technique buys Google Ads and records the AS of each impression's
+/// client; per-AS user populations are estimated by scaling impression
+/// shares to a world Internet-population figure. Its blind spots (which the
+/// paper quantifies) come straight from these parameters: the impression
+/// budget caps how deep into the AS tail the sample reaches, and the
+/// publication threshold drops ASes with too few impressions.
+struct ApnicOptions {
+  std::uint64_t seed = 0x47C;
+  /// Expected ad impressions per user over the campaign. Real campaigns
+  /// are tiny relative to the population (one study saw 8,589 addresses
+  /// for $5000 [27]).
+  double impressions_per_user = 0.004;
+  /// Minimum impressions for an AS to appear in the published dataset.
+  double min_impressions = 3;
+  /// Bots see almost no ads (ad networks filter them).
+  double bot_visibility = 0.02;
+  /// Relative noise on the published estimate.
+  double estimate_noise_sigma = 0.25;
+};
+
+struct ApnicEstimate {
+  /// asn → estimated user population.
+  std::unordered_map<std::uint32_t, double> users_by_as;
+  double world_population = 0;  // the figure shares are scaled to
+};
+
+ApnicEstimate estimate_population(const sim::World& world,
+                                  const ApnicOptions& options);
+
+}  // namespace netclients::apnic

@@ -1,0 +1,88 @@
+#include "cdn/cdn.h"
+
+#include <cmath>
+
+#include "net/rng.h"
+#include "sim/domains.h"
+
+namespace netclients::cdn {
+
+using sim::Slash24Block;
+
+CdnObservation observe_cdn(const sim::World& world,
+                           const CdnOptions& options) {
+  CdnObservation obs;
+  const sim::WorldConfig& cfg = world.config();
+
+  for (const Slash24Block& block : world.blocks()) {
+    if (block.as_index == Slash24Block::kNoAs) continue;
+    const sim::AsEntry& as = world.ases()[block.as_index];
+    const double mult =
+        world.country_domain_multiplier(block.country, sim::kDomainMsCdn);
+    net::Rng rng(net::stable_seed(options.seed, 0xCD40u, block.index));
+
+    // ---- Microsoft clients: HTTP request volume per /24 -----------------
+    const double http_rate =
+        (block.users * cfg.ms_cdn_http_per_user_per_day * mult +
+         block.bot_users * cfg.ms_cdn_http_per_user_per_day) *
+        options.days;
+    if (http_rate > 0) {
+      const double observed = http_rate < 50
+                                  ? static_cast<double>(rng.poisson(http_rate))
+                                  : http_rate * rng.uniform(0.9, 1.1);
+      if (observed >= 1) obs.client_volume.emplace(block.index, observed);
+    }
+
+    // ---- cloud ECS prefixes: /24s surfacing as ECS at the authoritative -
+    // Only Google Public DNS forwards ECS; a /24 appears if at least one of
+    // its Google-DNS clients resolved the Traffic Manager domain.
+    const double ecs_rate =
+        (block.users * as.google_dns_share + block.bot_users * 0.45) *
+        cfg.ms_cdn_dns_per_user_per_day * mult * options.days;
+    if (ecs_rate > 0 && rng.uniform() < -std::expm1(-ecs_rate)) {
+      obs.ecs_prefixes.insert(block.index);
+    }
+
+    // ---- Microsoft resolvers: block-level visible resolvers --------------
+    if (block.ms_visible_resolver) {
+      const double isp_share = std::max(
+          0.0, 1.0 - as.google_dns_share - as.other_public_share);
+      const double local_users = block.users * isp_share;
+      const double query_rate = local_users *
+                                cfg.ms_cdn_dns_per_user_per_day * mult *
+                                options.days;
+      if (query_rate > 0 && rng.uniform() < -std::expm1(-query_rate)) {
+        // Distinct clients ≈ users who queried at least once.
+        const double clients =
+            local_users * -std::expm1(-cfg.ms_cdn_dns_per_user_per_day *
+                                      mult * options.days);
+        const std::uint32_t addr = (block.index << 8) + 1;
+        obs.resolver_clients[block.index] += std::max(1.0, clients);
+        obs.resolver_addr_clients[addr] += std::max(1.0, clients);
+      }
+    }
+  }
+
+  // ---- Central resolver endpoints + public DNS front ends ----------------
+  for (const sim::ResolverEndpoint& ep : world.resolver_endpoints()) {
+    // The CDN authoritative sees the endpoint if any served user resolved
+    // the CDN domain — near-certain except for minuscule resolvers.
+    net::Rng rng(net::stable_seed(options.seed, 0xCD41u,
+                                  ep.address.value()));
+    const double query_rate = (ep.served_users + 1e-9) *
+                              cfg.ms_cdn_dns_per_user_per_day * options.days;
+    if (rng.uniform() >= -std::expm1(-query_rate)) continue;
+    const double clients =
+        ep.served_users *
+        -std::expm1(-cfg.ms_cdn_dns_per_user_per_day * options.days);
+    const std::uint32_t slash24 = ep.address.slash24_index();
+    obs.resolver_clients[slash24] += std::max(1.0, clients);
+    obs.resolver_addr_clients[ep.address.value()] += std::max(1.0, clients);
+    if (ep.pop != anycast::kNoPop) {
+      obs.google_pop_clients[ep.pop] += std::max(1.0, clients);
+    }
+  }
+  return obs;
+}
+
+}  // namespace netclients::cdn

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "anycast/pop.h"
+#include "sim/world.h"
+
+namespace netclients::cdn {
+
+/// Options for one simulated observation window at the Microsoft-style CDN.
+struct CdnOptions {
+  std::uint64_t seed = 0xCD4;
+  double days = 1.0;  // the paper compares "a full day" of each dataset
+};
+
+/// The three privileged validation datasets of §4, as the CDN would collect
+/// them:
+///  * `client_volume` (Microsoft clients): HTTP(S) requests per client /24;
+///  * `resolver_clients` (Microsoft resolvers): distinct client addresses
+///    observed behind each recursive-resolver /24 (plus the per-address
+///    map used for Google PoP verification, Appendix A.1);
+///  * `ecs_prefixes` (cloud ECS prefixes): client /24s appearing as ECS in
+///    queries to the Traffic Manager authoritative (only resolvers that
+///    forward ECS — i.e. Google Public DNS — contribute).
+struct CdnObservation {
+  std::unordered_map<std::uint32_t, double> client_volume;
+  std::unordered_map<std::uint32_t, double> resolver_clients;
+  std::unordered_map<std::uint32_t, double> resolver_addr_clients;  // by addr
+  std::unordered_set<std::uint32_t> ecs_prefixes;
+  /// Distinct client-IP count per Google PoP egress (Appendix A.1's
+  /// "which unprobed PoPs actually serve users" check).
+  std::unordered_map<anycast::PopId, double> google_pop_clients;
+};
+
+CdnObservation observe_cdn(const sim::World& world, const CdnOptions& options);
+
+}  // namespace netclients::cdn

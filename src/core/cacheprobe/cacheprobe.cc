@@ -1,0 +1,255 @@
+#include "core/cacheprobe/cacheprobe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/rng.h"
+
+namespace netclients::core {
+
+using anycast::PopId;
+
+PrefixDataset CampaignResult::to_prefix_dataset(std::string name) const {
+  PrefixDataset out(std::move(name));
+  active.for_each([&](net::Prefix p) {
+    const std::uint32_t first = p.first_slash24_index();
+    const std::uint64_t count = p.slash24_count();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      out.add(first + static_cast<std::uint32_t>(i));
+    }
+  });
+  return out;
+}
+
+CacheProbeCampaign::CacheProbeCampaign(
+    const dnssrv::AuthoritativeServer* authoritative,
+    googledns::GooglePublicDns* google_dns, const geo::GeoDatabase* geodb,
+    std::vector<anycast::VantagePoint> vantage_points,
+    std::vector<sim::DomainInfo> domains, std::uint32_t slash24_begin,
+    std::uint32_t slash24_end, CacheProbeOptions options)
+    : authoritative_(authoritative),
+      google_dns_(google_dns),
+      geodb_(geodb),
+      vantage_points_(std::move(vantage_points)),
+      domains_(std::move(domains)),
+      slash24_begin_(slash24_begin),
+      slash24_end_(slash24_end),
+      options_(options) {}
+
+std::vector<ProbeCandidate> CacheProbeCampaign::discover_scopes(
+    int domain_index) const {
+  const sim::DomainInfo& domain =
+      domains_[static_cast<std::size_t>(domain_index)];
+  std::vector<ProbeCandidate> candidates;
+  std::uint32_t idx = slash24_begin_;
+  while (idx < slash24_end_) {
+    const net::Prefix slash24 = net::Prefix::from_slash24_index(idx);
+    const auto scope = authoritative_->scope_for(domain.name, slash24,
+                                                 /*epoch=*/0);
+    if (!scope || *scope == 0) {
+      // Non-ECS answer: the whole address space shares one cache entry, so
+      // there is nothing prefix-specific to learn — skip the domain's /24.
+      ++idx;
+      continue;
+    }
+    const std::uint8_t scope_len = std::min<std::uint8_t>(*scope, 24);
+    const net::Prefix candidate = slash24.widen_to(scope_len);
+    candidates.push_back(ProbeCandidate{candidate});
+    // All /24s inside the returned scope share the cache entry: skip them.
+    idx = candidate.first_slash24_index() +
+          static_cast<std::uint32_t>(candidate.slash24_count());
+  }
+  return candidates;
+}
+
+PopDiscoveryResult CacheProbeCampaign::discover_pops() const {
+  PopDiscoveryResult result;
+  result.vp_pop.reserve(vantage_points_.size());
+  for (const auto& vp : vantage_points_) {
+    // Equivalent of `dig @8.8.8.8 o-o.myaddr.l.google.com -t TXT`.
+    const PopId pop =
+        google_dns_->pop_for(vp.location, vp.address.value());
+    result.vp_pop.push_back(pop);
+    const bool seen =
+        std::any_of(result.probed_pops.begin(), result.probed_pops.end(),
+                    [&](const auto& entry) { return entry.first == pop; });
+    if (!seen) result.probed_pops.emplace_back(pop, vp.id);
+  }
+  std::sort(result.probed_pops.begin(), result.probed_pops.end());
+  return result;
+}
+
+CalibrationResult CacheProbeCampaign::calibrate(
+    const PopDiscoveryResult& pops) const {
+  CalibrationResult result;
+  // Random sample of geolocatable /24s with tight error radius. The target
+  // count scales with the address space so the density matches the paper's
+  // 78,637-of-15.5M sample.
+  const double space_fraction =
+      static_cast<double>(slash24_end_ - slash24_begin_) / 15527909.0;
+  const double target =
+      std::max(64.0, options_.calibration_sample_target * space_fraction);
+
+  std::vector<std::pair<std::uint32_t, net::LatLon>> sample;
+  {
+    std::size_t eligible = 0;
+    geodb_->for_each([&](std::uint32_t, const geo::GeoRecord& rec) {
+      if (rec.error_radius_km < options_.calibration_max_error_radius_km) {
+        ++eligible;
+      }
+    });
+    if (eligible == 0) return result;
+    const double p = std::min(1.0, target / static_cast<double>(eligible));
+    net::Rng rng(net::stable_seed(options_.seed, 0xCA11u));
+    geodb_->for_each([&](std::uint32_t idx, const geo::GeoRecord& rec) {
+      if (rec.error_radius_km < options_.calibration_max_error_radius_km &&
+          rng.bernoulli(p)) {
+        sample.emplace_back(idx, rec.location);
+      }
+    });
+  }
+  result.sampled_prefixes = sample.size();
+
+  // Calibration probes the four Alexa domains (§3.1.1); the Microsoft CDN
+  // domain is reserved for validation.
+  std::vector<int> calibration_domains;
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    if (!domains_[d].is_microsoft_cdn) {
+      calibration_domains.push_back(static_cast<int>(d));
+    }
+  }
+
+  for (const auto& [pop, vp_id] : pops.probed_pops) {
+    std::vector<double>& distances = result.hit_distances_km[pop];
+    double t = 0;
+    for (const auto& [idx, location] : sample) {
+      const net::Prefix query = net::Prefix::from_slash24_index(idx);
+      bool hit = false;
+      for (int d : calibration_domains) {
+        for (int attempt = 0;
+             attempt < options_.redundant_queries && !hit; ++attempt) {
+          auto probe = google_dns_->probe(pop, domains_[d].name, query, t,
+                                          options_.transport, vp_id, attempt);
+          hit = probe.cache_hit && probe.return_scope > 0;
+        }
+        if (hit) break;
+      }
+      t += 1.0 / options_.prefixes_per_second_per_domain;
+      if (hit) {
+        distances.push_back(net::haversine_km(
+            location, google_dns_->pops().site(pop).location));
+      }
+    }
+    if (distances.size() >= 10) {
+      std::vector<double> sorted = distances;
+      std::sort(sorted.begin(), sorted.end());
+      const std::size_t rank = static_cast<std::size_t>(
+          options_.service_radius_percentile *
+          static_cast<double>(sorted.size() - 1));
+      result.service_radius_km[pop] = sorted[rank];
+    } else {
+      result.service_radius_km[pop] = options_.default_service_radius_km;
+    }
+  }
+  return result;
+}
+
+CampaignResult CacheProbeCampaign::run(
+    const PopDiscoveryResult& pops,
+    const CalibrationResult& calibration) const {
+  CampaignResult result;
+  result.active_by_domain.resize(domains_.size());
+  const double duration = options_.duration_hours * net::kHour;
+
+  // Scope discovery once per domain; assignment reuses the lists.
+  std::vector<std::vector<ProbeCandidate>> candidates_by_domain;
+  candidates_by_domain.reserve(domains_.size());
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    candidates_by_domain.push_back(discover_scopes(static_cast<int>(d)));
+  }
+
+  std::uint64_t total_assigned = 0;
+  for (const auto& [pop, vp_id] : pops.probed_pops) {
+    const net::LatLon pop_location = google_dns_->pops().site(pop).location;
+    const double radius =
+        !options_.use_max_radius_everywhere &&
+                calibration.service_radius_km.contains(pop)
+            ? calibration.service_radius_km.at(pop)
+            : options_.default_service_radius_km;
+    for (std::size_t d = 0; d < domains_.size(); ++d) {
+      // Assign this PoP the candidates MaxMind places possibly within its
+      // service radius (location + reported error radius).
+      std::vector<net::Prefix> assigned;
+      for (const ProbeCandidate& candidate : candidates_by_domain[d]) {
+        const auto rec =
+            geodb_->lookup(candidate.scope.first_slash24_index());
+        if (!rec) continue;  // not geolocatable: not assigned anywhere
+        if (net::haversine_km(rec->location, pop_location) <=
+            radius + rec->error_radius_km) {
+          assigned.push_back(candidate.scope);
+        }
+      }
+      total_assigned += assigned.size();
+      if (assigned.empty()) continue;
+
+      const double cycle_seconds =
+          static_cast<double>(assigned.size()) /
+          options_.prefixes_per_second_per_domain;
+      const int loops = std::clamp(
+          static_cast<int>(duration / cycle_seconds), 1, options_.max_loops);
+      std::vector<bool> already_hit(assigned.size(), false);
+      for (int loop = 0; loop < loops; ++loop) {
+        for (std::size_t j = 0; j < assigned.size(); ++j) {
+          if (already_hit[j]) continue;
+          const double t =
+              loop * cycle_seconds +
+              static_cast<double>(j) /
+                  options_.prefixes_per_second_per_domain;
+          for (int attempt = 0; attempt < options_.redundant_queries;
+               ++attempt) {
+            ++result.probes_sent;
+            // Redundant queries go out back-to-back (2 ms apart), keeping
+            // the flow's timestamps monotone within the 20 ms per-prefix
+            // budget of the 50 pps loop.
+            auto probe = google_dns_->probe(
+                pop, domains_[d].name, assigned[j], t + attempt * 0.002,
+                options_.transport, vp_id, loop * 131 + attempt);
+            if (probe.rate_limited) {
+              ++result.rate_limited;
+              continue;
+            }
+            if (probe.cache_hit && probe.return_scope > 0) {
+              CacheHit hit;
+              hit.domain_index = static_cast<int>(d);
+              hit.query_scope = assigned[j];
+              hit.return_scope = probe.return_scope;
+              hit.pop = pop;
+              hit.when = t;
+              result.hits.push_back(hit);
+              const net::Prefix active_prefix(
+                  assigned[j].base(),
+                  std::min<std::uint8_t>(probe.return_scope, 24));
+              result.active.insert(active_prefix);
+              result.active_by_domain[d].insert(active_prefix);
+              already_hit[j] = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  if (!pops.probed_pops.empty()) {
+    result.average_assigned_per_pop =
+        total_assigned / (pops.probed_pops.size() * domains_.size());
+  }
+  return result;
+}
+
+CampaignResult CacheProbeCampaign::run_full() {
+  const PopDiscoveryResult pops = discover_pops();
+  const CalibrationResult calibration = calibrate(pops);
+  return run(pops, calibration);
+}
+
+}  // namespace netclients::core

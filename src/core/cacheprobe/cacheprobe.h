@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "anycast/pop.h"
+#include "anycast/vantage.h"
+#include "core/datasets/datasets.h"
+#include "dnssrv/authoritative.h"
+#include "geo/geodb.h"
+#include "googledns/google_dns.h"
+#include "net/prefix.h"
+#include "net/prefix_set.h"
+#include "sim/domains.h"
+
+namespace netclients::core {
+
+/// Tuning of the cache-probing campaign; defaults are the paper's (§3.1.1).
+struct CacheProbeOptions {
+  double duration_hours = 120;
+  double prefixes_per_second_per_domain = 50;
+  int redundant_queries = 5;  // cover multiple independent cache pools
+  /// Cap on how many times the campaign loops over a PoP's assigned list
+  /// (the paper loops continuously for 120h; the cap bounds simulation
+  /// cost for small candidate lists).
+  int max_loops = 6;
+  googledns::Transport transport = googledns::Transport::kTcp;
+
+  // Calibration (service-radius estimation).
+  std::uint32_t calibration_sample_target = 78637;
+  double calibration_max_error_radius_km = 200;
+  double service_radius_percentile = 0.90;
+  /// Fallback radius when a PoP sees too few calibration hits.
+  double default_service_radius_km = 5524;  // the paper's maximum (Zurich)
+  /// Ablation switch: ignore calibration and assign every PoP the maximum
+  /// radius (the paper's 4.4M-vs-2.4M candidates-per-PoP comparison).
+  bool use_max_radius_everywhere = false;
+
+  std::uint64_t seed = 0xCAFE;
+};
+
+/// A candidate probe target discovered by the scope pre-pass: one query per
+/// authoritative-returned scope rather than per /24.
+struct ProbeCandidate {
+  net::Prefix scope;  // query scope (== discovered response scope)
+};
+
+/// One cache hit observed by the campaign.
+struct CacheHit {
+  int domain_index = 0;
+  net::Prefix query_scope;
+  std::uint8_t return_scope = 0;
+  anycast::PopId pop = anycast::kNoPop;
+  net::SimTime when = 0;
+};
+
+struct PopDiscoveryResult {
+  /// vantage index → PoP it reaches.
+  std::vector<anycast::PopId> vp_pop;
+  /// Deduplicated reachable PoPs, each with one representative VP.
+  std::vector<std::pair<anycast::PopId, int>> probed_pops;
+};
+
+struct CalibrationResult {
+  /// PoP → estimated service radius (km).
+  std::unordered_map<anycast::PopId, double> service_radius_km;
+  /// PoP → distances (km) of calibration prefixes that returned hits — the
+  /// raw series behind Figure 2.
+  std::unordered_map<anycast::PopId, std::vector<double>> hit_distances_km;
+  std::size_t sampled_prefixes = 0;
+};
+
+struct CampaignResult {
+  std::vector<CacheHit> hits;
+  /// Disjoint union of hit scopes with return scope > 0, across domains.
+  net::DisjointPrefixSet active;
+  /// Same, per domain (indexes align with the campaign's domain list).
+  std::vector<net::DisjointPrefixSet> active_by_domain;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t average_assigned_per_pop = 0;
+
+  /// Lower bound on active /24s: one per disjoint hit prefix (§4).
+  std::uint64_t slash24_lower_bound() const { return active.size(); }
+  /// Upper bound: every /24 inside every hit prefix.
+  std::uint64_t slash24_upper_bound() const {
+    return active.slash24_upper_bound();
+  }
+
+  /// Expands the upper bound into a /24 dataset (presence-only).
+  PrefixDataset to_prefix_dataset(std::string name) const;
+};
+
+/// The paper's first technique: ECS cache probing of Google Public DNS.
+///
+/// The pipeline deliberately consumes only what a real measurer has:
+/// the public /24 space bounds, a MaxMind-style geolocation database, query
+/// access to the domains' authoritatives (scope pre-pass), a vantage-point
+/// fleet, and query access to Google Public DNS. It never touches the
+/// simulator's ground truth.
+class CacheProbeCampaign {
+ public:
+  CacheProbeCampaign(const dnssrv::AuthoritativeServer* authoritative,
+                     googledns::GooglePublicDns* google_dns,
+                     const geo::GeoDatabase* geodb,
+                     std::vector<anycast::VantagePoint> vantage_points,
+                     std::vector<sim::DomainInfo> domains,
+                     std::uint32_t slash24_begin, std::uint32_t slash24_end,
+                     CacheProbeOptions options = {});
+
+  /// Stage 1 — scope discovery (§3.1.1, validated in Appendix A.2):
+  /// queries the authoritative for every /24 and collapses runs sharing a
+  /// response scope into one candidate.
+  std::vector<ProbeCandidate> discover_scopes(int domain_index) const;
+
+  /// Stage 2 — PoP discovery: `dig @8.8.8.8 o-o.myaddr...` from every VP.
+  PopDiscoveryResult discover_pops() const;
+
+  /// Stage 3 — service-radius calibration: probes a geolocated random
+  /// sample from each reached PoP and takes the 90th-percentile hit
+  /// distance (Figure 2).
+  CalibrationResult calibrate(const PopDiscoveryResult& pops) const;
+
+  /// Stage 4 — the 120-hour campaign: each PoP probes the candidates whose
+  /// geolocation (+ error radius) falls within its service radius, with
+  /// redundant queries over TCP.
+  CampaignResult run(const PopDiscoveryResult& pops,
+                     const CalibrationResult& calibration) const;
+
+  /// Convenience: all four stages.
+  CampaignResult run_full();
+
+  const std::vector<sim::DomainInfo>& domains() const { return domains_; }
+  const CacheProbeOptions& options() const { return options_; }
+
+ private:
+  const dnssrv::AuthoritativeServer* authoritative_;
+  googledns::GooglePublicDns* google_dns_;
+  const geo::GeoDatabase* geodb_;
+  std::vector<anycast::VantagePoint> vantage_points_;
+  std::vector<sim::DomainInfo> domains_;
+  std::uint32_t slash24_begin_;
+  std::uint32_t slash24_end_;
+  CacheProbeOptions options_;
+};
+
+}  // namespace netclients::core

@@ -1,0 +1,122 @@
+#include "core/chromium/chromium.h"
+
+#include <cmath>
+
+#include "core/chromium/sketch.h"
+#include "net/rng.h"
+#include "net/sim_time.h"
+
+namespace netclients::core {
+
+bool matches_chromium_signature(const dns::DnsName& name) {
+  if (!name.is_single_label()) return false;
+  const std::string& label = name.labels().front();
+  if (label.size() < 7 || label.size() > 15) return false;
+  for (char c : label) {
+    if (c < 'a' || c > 'z') return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::uint64_t name_day_key(const roots::TraceRecord& rec) {
+  const auto day = static_cast<std::uint64_t>(rec.timestamp / net::kDay);
+  return net::hash_combine(net::stable_hash(rec.qname.labels().front()), day);
+}
+
+}  // namespace
+
+ChromiumResult ChromiumCounter::process(const ReplayFn& replay) const {
+  ChromiumResult result;
+  // The effective threshold in the sampled domain: a name with the
+  // full-trace threshold count is expected to appear threshold×rate times
+  // after sampling. Keep at least 2 so single occurrences (the Chromium
+  // common case) always survive.
+  const std::uint32_t threshold = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(std::lround(
+             options_.daily_collision_threshold * options_.sample_rate)));
+
+  // Pass 1: per-(name, day) frequency sketch over signature matches only.
+  CountMinSketch sketch(options_.sketch_width, options_.sketch_depth,
+                        options_.seed);
+  replay([&](const roots::TraceRecord& rec) {
+    if (matches_chromium_signature(rec.qname)) {
+      sketch.add(name_day_key(rec));
+    }
+  });
+
+  // Pass 2: attribute surviving matches to their resolver source address.
+  replay([&](const roots::TraceRecord& rec) {
+    ++result.records_scanned;
+    if (!matches_chromium_signature(rec.qname)) return;
+    ++result.signature_matches;
+    if (sketch.estimate(name_day_key(rec)) >= threshold) {
+      ++result.rejected_collisions;
+      return;
+    }
+    result.probes_by_resolver[rec.source.value()] +=
+        1.0 / options_.sample_rate;
+  });
+  return result;
+}
+
+ChromiumResult ChromiumCounter::process(
+    const std::vector<roots::TraceRecord>& trace) const {
+  return process([&](const std::function<void(const roots::TraceRecord&)>&
+                         emit) {
+    for (const auto& rec : trace) emit(rec);
+  });
+}
+
+PrefixDataset ChromiumResult::to_prefix_dataset(std::string name) const {
+  PrefixDataset out(std::move(name));
+  for (const auto& [addr, count] : probes_by_resolver) {
+    out.add(addr >> 8, count);
+  }
+  return out;
+}
+
+CollisionStudy study_collisions(double daily_queries, std::uint32_t threshold,
+                                std::uint64_t monte_carlo_names,
+                                std::uint64_t seed) {
+  CollisionStudy study;
+  // Chromium picks a length uniformly in [7, 15], then letters uniformly:
+  // a specific name of length L collides with Poisson(rate) other probes
+  // where rate = (daily_queries / 9) / 26^L.
+  double expected = 0;
+  double p_below = 0;
+  for (int len = 7; len <= 15; ++len) {
+    const double space = std::pow(26.0, len);
+    const double rate = daily_queries / 9.0 / space;
+    expected += rate / 9.0;
+    // This probe's own occurrence plus Poisson(rate) others; below the
+    // threshold means total < threshold.
+    double p = 0;
+    double term = std::exp(-rate);
+    for (std::uint32_t k = 0; k + 1 < threshold; ++k) {
+      p += term;
+      term *= rate / (k + 1);
+    }
+    p_below += p / 9.0;
+  }
+  study.expected_per_name = expected;
+  study.p_name_below_threshold = p_below;
+
+  net::Rng rng(seed);
+  std::uint64_t below = 0;
+  for (std::uint64_t i = 0; i < monte_carlo_names; ++i) {
+    const int len = 7 + static_cast<int>(rng.below(9));
+    const double rate = daily_queries / 9.0 / std::pow(26.0, len);
+    const std::uint64_t occurrences = 1 + rng.poisson(rate);
+    if (occurrences < threshold) ++below;
+  }
+  study.observed_p_below =
+      monte_carlo_names == 0
+          ? 0
+          : static_cast<double>(below) /
+                static_cast<double>(monte_carlo_names);
+  return study;
+}
+
+}  // namespace netclients::core

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "core/datasets/datasets.h"
+#include "dns/name.h"
+#include "roots/trace.h"
+
+namespace netclients::core {
+
+/// The Chromium DNS-interception-probe signature (§3.2.1): a single label
+/// of 7–15 lowercase ASCII letters, no TLD.
+bool matches_chromium_signature(const dns::DnsName& name);
+
+struct ChromiumOptions {
+  /// Per-day occurrence threshold: names queried at least this often
+  /// across all usable roots are considered colliding/manufactured, not
+  /// Chromium (the paper's empirical simulation found random Chromium
+  /// names collide fewer than 7 times per day w.p. 99%).
+  std::uint32_t daily_collision_threshold = 7;
+  /// Downsampling applied when the trace was generated; counts are scaled
+  /// back by 1/sample_rate, and the collision threshold scales with it
+  /// (a name sampled k times at rate s was queried ~k/s times in full).
+  double sample_rate = 1.0;
+  double trace_days = 2.0;
+  std::size_t sketch_width = 1 << 22;
+  int sketch_depth = 4;
+  std::uint64_t seed = 0xC520;
+};
+
+struct ChromiumResult {
+  /// resolver source address → Chromium probe count, scaled to the full
+  /// (unsampled) trace.
+  std::unordered_map<std::uint32_t, double> probes_by_resolver;
+
+  std::uint64_t records_scanned = 0;
+  std::uint64_t signature_matches = 0;
+  std::uint64_t rejected_collisions = 0;
+
+  /// Aggregates resolvers by /24 into a dataset (volume = probe count).
+  PrefixDataset to_prefix_dataset(std::string name) const;
+};
+
+/// The paper's second technique: counting Chromium interception probes in
+/// root DITL traces, per recursive resolver.
+///
+/// Streaming, two-pass design: DITL-scale traces cannot be materialized, so
+/// the pipeline takes a *replayable* record source. Pass 1 builds a
+/// per-(name, day) frequency sketch plus an exact table of heavy hitters;
+/// pass 2 attributes each surviving signature match to its source address.
+class ChromiumCounter {
+ public:
+  /// Invokes `emit` once per trace record; must produce the identical
+  /// stream each time it is called.
+  using ReplayFn = std::function<void(
+      const std::function<void(const roots::TraceRecord&)>& emit)>;
+
+  explicit ChromiumCounter(ChromiumOptions options = {})
+      : options_(options) {}
+
+  ChromiumResult process(const ReplayFn& replay) const;
+
+  /// Single-shot convenience over an in-memory trace.
+  ChromiumResult process(const std::vector<roots::TraceRecord>& trace) const;
+
+  const ChromiumOptions& options() const { return options_; }
+
+ private:
+  ChromiumOptions options_;
+};
+
+/// Monte-Carlo + analytic collision study backing the threshold choice
+/// (§3.2.1): with `daily_queries` random signature names per day, the
+/// probability that any given name is seen >= `threshold` times.
+struct CollisionStudy {
+  double expected_per_name = 0;      // mean occurrences of a specific name
+  double p_name_below_threshold = 0; // P(one name's count < threshold)
+  double observed_p_below = 0;       // Monte-Carlo check
+};
+CollisionStudy study_collisions(double daily_queries,
+                                std::uint32_t threshold,
+                                std::uint64_t monte_carlo_names,
+                                std::uint64_t seed);
+
+}  // namespace netclients::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/rng.h"
+
+namespace netclients::core {
+
+/// Count-min sketch over 64-bit keys: a fixed-memory frequency estimator
+/// with one-sided (over-estimating) error.
+///
+/// The Chromium pipeline must know, for every signature-shaped name, how
+/// often it was queried that day across all roots — on real DITL volumes
+/// (tens of billions of queries, nearly all with unique names) an exact
+/// name→count map does not fit in memory. The sketch bounds memory at
+/// width × depth counters while keeping the collision filter conservative:
+/// over-estimates can only cause a name to be *rejected* as a collision,
+/// never accepted.
+class CountMinSketch {
+ public:
+  CountMinSketch(std::size_t width, int depth, std::uint64_t seed)
+      : width_(width), rows_(static_cast<std::size_t>(depth)) {
+    counters_.assign(width_ * rows_, 0);
+    seeds_.reserve(rows_);
+    net::Rng rng(seed);
+    for (std::size_t r = 0; r < rows_; ++r) seeds_.push_back(rng());
+  }
+
+  void add(std::uint64_t key, std::uint32_t count = 1) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      counters_[slot(r, key)] += count;
+    }
+  }
+
+  /// Upper bound on the true count of `key`.
+  std::uint32_t estimate(std::uint64_t key) const {
+    std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+    for (std::size_t r = 0; r < rows_; ++r) {
+      best = std::min(best, counters_[slot(r, key)]);
+    }
+    return best;
+  }
+
+  void clear() { std::fill(counters_.begin(), counters_.end(), 0u); }
+
+  std::size_t memory_bytes() const {
+    return counters_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t slot(std::size_t row, std::uint64_t key) const {
+    return row * width_ +
+           static_cast<std::size_t>(net::hash_combine(seeds_[row], key) %
+                                    width_);
+  }
+
+  std::size_t width_;
+  std::size_t rows_;
+  std::vector<std::uint32_t> counters_;
+  std::vector<std::uint64_t> seeds_;
+};
+
+}  // namespace netclients::core

@@ -1,0 +1,196 @@
+#include "core/compare/compare.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netclients::core {
+namespace {
+
+template <typename Dataset>
+OverlapMatrix overlap_impl(const std::vector<const Dataset*>& sets) {
+  OverlapMatrix matrix;
+  const std::size_t n = sets.size();
+  matrix.names.reserve(n);
+  for (const Dataset* ds : sets) matrix.names.push_back(ds->name());
+  matrix.cells.assign(n, std::vector<std::uint64_t>(n, 0));
+  for (std::size_t row = 0; row < n; ++row) {
+    matrix.cells[row][row] = sets[row]->size();
+    for (std::size_t col = 0; col < n; ++col) {
+      if (row == col) continue;
+      // Iterate the smaller set for the intersection count.
+      const Dataset* small = sets[row];
+      const Dataset* large = sets[col];
+      if (small->size() > large->size()) std::swap(small, large);
+      std::uint64_t common = 0;
+      for (const auto& [key, volume] : small->entries()) {
+        if (large->contains(key)) ++common;
+      }
+      matrix.cells[row][col] = common;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace
+
+OverlapMatrix prefix_overlap(const std::vector<const PrefixDataset*>& sets) {
+  return overlap_impl(sets);
+}
+
+OverlapMatrix as_overlap(const std::vector<const AsDataset*>& sets) {
+  return overlap_impl(sets);
+}
+
+std::vector<std::vector<double>> as_volume_overlap(
+    const std::vector<const AsDataset*>& rows,
+    const std::vector<const AsDataset*>& cols) {
+  std::vector<std::vector<double>> out(
+      rows.size(), std::vector<double>(cols.size(), 0));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const double total = rows[r]->total_volume();
+    if (total <= 0) continue;
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      double covered = 0;
+      for (const auto& [asn, volume] : rows[r]->entries()) {
+        if (cols[c]->contains(asn)) covered += volume;
+      }
+      out[r][c] = 100.0 * covered / total;
+    }
+  }
+  return out;
+}
+
+double prefix_volume_share(const PrefixDataset& volumes,
+                           const PrefixDataset& presence) {
+  const double total = volumes.total_volume();
+  if (total <= 0) return 0;
+  double covered = 0;
+  for (const auto& [slash24, volume] : volumes.entries()) {
+    if (presence.contains(slash24)) covered += volume;
+  }
+  return 100.0 * covered / total;
+}
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double Cdf::quantile(double p) const {
+  if (samples_.empty()) return 0;
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      clamped * static_cast<double>(samples_.size() - 1));
+  return samples_[rank];
+}
+
+std::vector<std::pair<double, double>> Cdf::points(std::size_t n) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || n == 0) return out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(n - 1);
+    out.emplace_back(quantile(p), p);
+  }
+  return out;
+}
+
+std::vector<CountryCoverageRow> country_coverage(
+    const sim::World& world,
+    const std::unordered_map<std::uint32_t, double>& apnic_users_by_as,
+    const AsDataset& detected) {
+  std::unordered_map<std::uint32_t, std::uint16_t> as_country;
+  as_country.reserve(world.ases().size());
+  for (const sim::AsEntry& as : world.ases()) {
+    as_country.emplace(as.asn, as.country);
+  }
+  std::vector<double> total(world.countries().size(), 0);
+  std::vector<double> covered(world.countries().size(), 0);
+  for (const auto& [asn, users] : apnic_users_by_as) {
+    auto it = as_country.find(asn);
+    if (it == as_country.end()) continue;
+    total[it->second] += users;
+    if (detected.contains(asn)) covered[it->second] += users;
+  }
+  std::vector<CountryCoverageRow> rows;
+  for (std::size_t c = 0; c < world.countries().size(); ++c) {
+    if (total[c] <= 0) continue;
+    CountryCoverageRow row;
+    row.code = world.countries()[c].code;
+    row.name = world.countries()[c].name;
+    row.apnic_users = total[c];
+    row.covered_fraction = covered[c] / total[c];
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) {
+              return a.apnic_users > b.apnic_users;
+            });
+  return rows;
+}
+
+std::vector<ActiveFractionBounds> per_as_active_fraction(
+    const sim::World& world, const net::DisjointPrefixSet& active) {
+  std::vector<ActiveFractionBounds> out(world.ases().size());
+  for (std::size_t i = 0; i < world.ases().size(); ++i) {
+    out[i].asn = world.ases()[i].asn;
+    for (const net::Prefix& p : world.ases()[i].announced) {
+      out[i].announced_slash24 += p.slash24_count();
+    }
+  }
+  const auto& trie = world.prefix2as();
+  active.for_each([&](net::Prefix hit) {
+    // Lower bound: one active /24, attributed to the announcer of the hit
+    // prefix's base.
+    if (auto match = trie.longest_match(hit.base())) {
+      out[*match->second].lower += 1;
+    }
+    // Upper bound: every /24 in the hit prefix, attributed per announcer.
+    const std::uint32_t first = hit.first_slash24_index();
+    const std::uint64_t count = hit.slash24_count();
+    for (std::uint64_t k = 0; k < count; ++k) {
+      if (auto match = trie.longest_match(
+              net::Ipv4Addr((first + static_cast<std::uint32_t>(k)) << 8))) {
+        out[*match->second].upper += 1;
+      }
+    }
+  });
+  // Clamp to announced counts (a hit prefix wider than the announcement
+  // must not imply more active space than the AS announces).
+  std::vector<ActiveFractionBounds> filtered;
+  for (auto& row : out) {
+    if (row.announced_slash24 == 0) continue;
+    row.upper = std::min(row.upper, row.announced_slash24);
+    row.lower = std::min(row.lower, row.upper);
+    filtered.push_back(row);
+  }
+  return filtered;
+}
+
+std::unordered_map<std::uint32_t, double> relative_volumes(
+    const AsDataset& dataset) {
+  std::unordered_map<std::uint32_t, double> out;
+  const double total = dataset.total_volume();
+  if (total <= 0) return out;
+  out.reserve(dataset.entries().size());
+  for (const auto& [asn, volume] : dataset.entries()) {
+    out.emplace(asn, volume / total);
+  }
+  return out;
+}
+
+std::vector<double> volume_differences(
+    const std::unordered_map<std::uint32_t, double>& a,
+    const std::unordered_map<std::uint32_t, double>& b) {
+  std::vector<double> out;
+  out.reserve(a.size() + b.size());
+  for (const auto& [asn, share] : a) {
+    auto it = b.find(asn);
+    out.push_back(share - (it == b.end() ? 0.0 : it->second));
+  }
+  for (const auto& [asn, share] : b) {
+    if (!a.contains(asn)) out.push_back(-share);
+  }
+  return out;
+}
+
+}  // namespace netclients::core

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/datasets/datasets.h"
+#include "net/prefix_set.h"
+#include "sim/world.h"
+
+namespace netclients::core {
+
+/// Pairwise intersection sizes between datasets; the diagonal holds the
+/// dataset sizes. Rendered as Tables 1 and 3.
+struct OverlapMatrix {
+  std::vector<std::string> names;
+  std::vector<std::vector<std::uint64_t>> cells;
+
+  double row_pct(std::size_t row, std::size_t col) const {
+    return cells[row][row] == 0
+               ? 0
+               : 100.0 * static_cast<double>(cells[row][col]) /
+                     static_cast<double>(cells[row][row]);
+  }
+};
+
+OverlapMatrix prefix_overlap(const std::vector<const PrefixDataset*>& sets);
+OverlapMatrix as_overlap(const std::vector<const AsDataset*>& sets);
+
+/// Table 4: percent of each row dataset's activity volume contained in the
+/// ASes of each column dataset.
+std::vector<std::vector<double>> as_volume_overlap(
+    const std::vector<const AsDataset*>& rows,
+    const std::vector<const AsDataset*>& cols);
+
+/// Percent of `volumes`'s total volume whose /24s appear in `presence`.
+double prefix_volume_share(const PrefixDataset& volumes,
+                           const PrefixDataset& presence);
+
+/// Empirical CDF helper for the figure benches.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+  double quantile(double p) const;  // p in [0, 1]
+  std::size_t size() const { return samples_.size(); }
+  /// `n` evenly spaced (value, cumulative fraction) points.
+  std::vector<std::pair<double, double>> points(std::size_t n) const;
+
+ private:
+  std::vector<double> samples_;  // sorted
+};
+
+/// Figure 3: per-country fraction of APNIC-estimated users that sit in
+/// ASes detected by a technique.
+struct CountryCoverageRow {
+  std::string code;
+  std::string name;
+  double apnic_users = 0;
+  double covered_fraction = 0;
+};
+std::vector<CountryCoverageRow> country_coverage(
+    const sim::World& world,
+    const std::unordered_map<std::uint32_t, double>& apnic_users_by_as,
+    const AsDataset& detected);
+
+/// Figure 4: per-AS active-/24 bounds implied by scope-level cache hits.
+/// `lower` counts disjoint hit prefixes whose base /24 the AS announces;
+/// `upper` counts every announced /24 inside any hit prefix.
+struct ActiveFractionBounds {
+  std::uint32_t asn = 0;
+  std::uint64_t announced_slash24 = 0;
+  std::uint64_t lower = 0;
+  std::uint64_t upper = 0;
+};
+std::vector<ActiveFractionBounds> per_as_active_fraction(
+    const sim::World& world, const net::DisjointPrefixSet& active);
+
+/// Figures 6/7: per-AS share of a dataset's total volume.
+std::unordered_map<std::uint32_t, double> relative_volumes(
+    const AsDataset& dataset);
+
+/// Per-AS difference a−b over the union of keys (Figure 7's samples).
+std::vector<double> volume_differences(
+    const std::unordered_map<std::uint32_t, double>& a,
+    const std::unordered_map<std::uint32_t, double>& b);
+
+}  // namespace netclients::core

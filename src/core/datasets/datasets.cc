@@ -1,0 +1,17 @@
+#include "core/datasets/datasets.h"
+
+namespace netclients::core {
+
+AsDataset to_as_dataset(std::string name, const PrefixDataset& prefixes,
+                        const sim::World& world) {
+  AsDataset out(std::move(name));
+  for (const auto& [slash24, volume] : prefixes.entries()) {
+    auto match = world.prefix2as().longest_match(
+        net::Ipv4Addr(slash24 << 8));
+    if (!match) continue;  // unrouted space maps to no AS
+    out.add(world.ases()[*match->second].asn, volume);
+  }
+  return out;
+}
+
+}  // namespace netclients::core

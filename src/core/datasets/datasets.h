@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "net/prefix_trie.h"
+#include "sim/world.h"
+
+namespace netclients::core {
+
+/// A named activity dataset keyed by /24 index, with an optional volume per
+/// entry (0-volume entries are presence-only). This is the common currency
+/// of §4's cross-comparisons: every source — cache probing, DNS logs, CDN
+/// logs, Traffic Manager ECS — reduces to one of these.
+class PrefixDataset {
+ public:
+  explicit PrefixDataset(std::string name) : name_(std::move(name)) {}
+
+  void add(std::uint32_t slash24_index, double volume = 0) {
+    auto [it, inserted] = entries_.try_emplace(slash24_index, volume);
+    if (!inserted) it->second += volume;
+    total_volume_ += volume;
+  }
+
+  bool contains(std::uint32_t slash24_index) const {
+    return entries_.contains(slash24_index);
+  }
+  double volume_of(std::uint32_t slash24_index) const {
+    auto it = entries_.find(slash24_index);
+    return it == entries_.end() ? 0 : it->second;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  double total_volume() const { return total_volume_; }
+  const std::string& name() const { return name_; }
+  const std::unordered_map<std::uint32_t, double>& entries() const {
+    return entries_;
+  }
+
+  static PrefixDataset union_of(std::string name, const PrefixDataset& a,
+                                const PrefixDataset& b) {
+    PrefixDataset out(std::move(name));
+    for (const auto& [k, v] : a.entries()) out.add(k, v);
+    for (const auto& [k, v] : b.entries()) {
+      if (!a.contains(k)) out.add(k, v);
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::unordered_map<std::uint32_t, double> entries_;
+  double total_volume_ = 0;
+};
+
+/// A named activity dataset keyed by ASN.
+class AsDataset {
+ public:
+  explicit AsDataset(std::string name) : name_(std::move(name)) {}
+
+  void add(std::uint32_t asn, double volume = 0) {
+    auto [it, inserted] = entries_.try_emplace(asn, volume);
+    if (!inserted) it->second += volume;
+    total_volume_ += volume;
+  }
+
+  bool contains(std::uint32_t asn) const { return entries_.contains(asn); }
+  double volume_of(std::uint32_t asn) const {
+    auto it = entries_.find(asn);
+    return it == entries_.end() ? 0 : it->second;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  double total_volume() const { return total_volume_; }
+  const std::string& name() const { return name_; }
+  const std::unordered_map<std::uint32_t, double>& entries() const {
+    return entries_;
+  }
+
+  static AsDataset union_of(std::string name, const AsDataset& a,
+                            const AsDataset& b) {
+    AsDataset out(std::move(name));
+    for (const auto& [k, v] : a.entries()) out.add(k, v);
+    for (const auto& [k, v] : b.entries()) {
+      if (!a.contains(k)) out.add(k, v);
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::unordered_map<std::uint32_t, double> entries_;
+  double total_volume_ = 0;
+};
+
+/// Aggregates a /24 dataset to ASes using the world's Routeviews-style
+/// prefix→AS table (volume sums per AS).
+AsDataset to_as_dataset(std::string name, const PrefixDataset& prefixes,
+                        const sim::World& world);
+
+}  // namespace netclients::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compare/compare.h"
+
+namespace netclients::core {
+
+/// Fixed-width text table renderer for the bench binaries' paper-style
+/// output.
+class TextTable {
+ public:
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "9712.2K"-style compact counts, as the paper prints Table 1.
+std::string human_count(double value);
+
+/// Fixed-precision percentage, e.g. "68.1%".
+std::string pct(double percent, int digits = 1);
+
+std::string fixed(double value, int digits);
+
+/// Renders an overlap matrix the way Tables 1 and 3 are printed: each cell
+/// "count (row-%)", diagonal "count (100.0%)".
+std::string render_overlap(const OverlapMatrix& matrix, bool human = true);
+
+/// Writes a CSV file (used by the figure benches to dump plottable
+/// series). Returns false on I/O failure.
+bool write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace netclients::core

@@ -1,0 +1,31 @@
+#include "dns/message.h"
+
+namespace netclients::dns {
+
+DnsMessage make_query(std::uint16_t id, const DnsName& name, RecordType type,
+                      bool recursion_desired, std::optional<EcsOption> ecs) {
+  DnsMessage msg;
+  msg.header.id = id;
+  msg.header.rd = recursion_desired;
+  msg.questions.push_back(Question{name, type, kClassIn});
+  if (ecs) {
+    msg.edns = EdnsInfo{};
+    msg.edns->ecs = *ecs;
+  }
+  return msg;
+}
+
+DnsMessage make_response(const DnsMessage& query, RCode rcode) {
+  DnsMessage msg;
+  msg.header = query.header;
+  msg.header.qr = true;
+  msg.header.rcode = rcode;
+  msg.questions = query.questions;
+  if (query.edns) {
+    msg.edns = EdnsInfo{};
+    msg.edns->ecs = query.edns->ecs;
+  }
+  return msg;
+}
+
+}  // namespace netclients::dns

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/ecs.h"
+#include "dns/name.h"
+#include "dns/types.h"
+#include "net/ipv4.h"
+
+namespace netclients::dns {
+
+struct Question {
+  DnsName name;
+  RecordType type = RecordType::kA;
+  std::uint16_t qclass = kClassIn;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+/// RDATA payloads. Anything the codec doesn't model natively round-trips
+/// through RawData untouched.
+struct AData {
+  net::Ipv4Addr address;
+  friend bool operator==(const AData&, const AData&) = default;
+};
+struct TxtData {
+  std::string text;  // single character-string; split at 255 bytes on wire
+  friend bool operator==(const TxtData&, const TxtData&) = default;
+};
+struct RawData {
+  std::vector<std::uint8_t> bytes;
+  friend bool operator==(const RawData&, const RawData&) = default;
+};
+using RData = std::variant<AData, TxtData, RawData>;
+
+struct ResourceRecord {
+  DnsName name;
+  RecordType type = RecordType::kA;
+  std::uint16_t rclass = kClassIn;
+  std::uint32_t ttl = 0;
+  RData rdata;
+
+  friend bool operator==(const ResourceRecord&,
+                         const ResourceRecord&) = default;
+};
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired — cache snooping sets this to FALSE
+  bool ra = false;  // recursion available
+  std::uint8_t opcode = 0;
+  RCode rcode = RCode::kNoError;
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+/// EDNS0 (OPT pseudo-record) state, carrying at most one ECS option.
+struct EdnsInfo {
+  std::uint16_t udp_payload_size = 4096;
+  std::optional<EcsOption> ecs;
+
+  friend bool operator==(const EdnsInfo&, const EdnsInfo&) = default;
+};
+
+/// A DNS message. The OPT record is lifted out of the additional section
+/// into `edns` on decode and re-synthesized on encode.
+struct DnsMessage {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;  // excluding OPT
+  std::optional<EdnsInfo> edns;
+
+  friend bool operator==(const DnsMessage&, const DnsMessage&) = default;
+};
+
+/// Builds a query. `recursion_desired = false` is the cache-snooping mode:
+/// a resolver must answer only from cache (verified for Google Public DNS by
+/// the paper and by Trufflehunter [31]).
+DnsMessage make_query(std::uint16_t id, const DnsName& name, RecordType type,
+                      bool recursion_desired,
+                      std::optional<EcsOption> ecs = std::nullopt);
+
+/// Builds a response skeleton echoing the query's id/question/ECS.
+DnsMessage make_response(const DnsMessage& query, RCode rcode);
+
+}  // namespace netclients::dns

@@ -1,0 +1,83 @@
+#include "dns/name.h"
+
+#include <cctype>
+
+#include "net/rng.h"
+
+namespace netclients::dns {
+namespace {
+
+bool valid_label_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+char to_lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+std::optional<DnsName> DnsName::parse(std::string_view text) {
+  if (text == "." || text.empty()) return DnsName{};
+  if (text.back() == '.') text.remove_suffix(1);
+  std::vector<std::string> labels;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t dot = text.find('.', start);
+    std::string_view label = dot == std::string_view::npos
+                                 ? text.substr(start)
+                                 : text.substr(start, dot - start);
+    if (label.empty() || label.size() > 63) return std::nullopt;
+    std::string canonical;
+    canonical.reserve(label.size());
+    for (char c : label) {
+      if (!valid_label_char(c)) return std::nullopt;
+      canonical.push_back(to_lower(c));
+    }
+    labels.push_back(std::move(canonical));
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return from_labels(std::move(labels));
+}
+
+std::optional<DnsName> DnsName::from_labels(std::vector<std::string> labels) {
+  std::size_t wire = 1;  // root terminator
+  for (auto& label : labels) {
+    if (label.empty() || label.size() > 63) return std::nullopt;
+    for (auto& c : label) c = to_lower(c);
+    wire += 1 + label.size();
+  }
+  if (wire > 255) return std::nullopt;
+  DnsName name;
+  name.labels_ = std::move(labels);
+  std::uint64_t h = 0x5851f42d4c957f2dULL;
+  for (const auto& label : name.labels_) {
+    h = net::hash_combine(h, net::stable_hash(label));
+  }
+  name.hash_ = h;
+  return name;
+}
+
+std::size_t DnsName::wire_length() const {
+  std::size_t wire = 1;
+  for (const auto& label : labels_) wire += 1 + label.size();
+  return wire;
+}
+
+std::string DnsName::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += labels_[i];
+  }
+  return out;
+}
+
+}  // namespace netclients::dns
+
+std::size_t std::hash<netclients::dns::DnsName>::operator()(
+    const netclients::dns::DnsName& name) const noexcept {
+  return static_cast<std::size_t>(name.hash());
+}

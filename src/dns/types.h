@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace netclients::dns {
+
+/// Resource record types used by the pipeline. Values are IANA assignments.
+enum class RecordType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kTxt = 16,
+  kAaaa = 28,
+  kOpt = 41,  // EDNS0 pseudo-RR carrying the ECS option
+};
+
+/// Response codes (RFC 1035 §4.1.1 + EDNS extensions we need).
+enum class RCode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+inline constexpr std::uint16_t kClassIn = 1;
+
+constexpr std::string_view to_string(RecordType type) {
+  switch (type) {
+    case RecordType::kA: return "A";
+    case RecordType::kNs: return "NS";
+    case RecordType::kCname: return "CNAME";
+    case RecordType::kSoa: return "SOA";
+    case RecordType::kTxt: return "TXT";
+    case RecordType::kAaaa: return "AAAA";
+    case RecordType::kOpt: return "OPT";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(RCode rcode) {
+  switch (rcode) {
+    case RCode::kNoError: return "NOERROR";
+    case RCode::kFormErr: return "FORMERR";
+    case RCode::kServFail: return "SERVFAIL";
+    case RCode::kNxDomain: return "NXDOMAIN";
+    case RCode::kNotImp: return "NOTIMP";
+    case RCode::kRefused: return "REFUSED";
+  }
+  return "?";
+}
+
+}  // namespace netclients::dns

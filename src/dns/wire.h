@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+
+namespace netclients::dns {
+
+/// Result of decoding: either a message or a diagnostic.
+struct DecodeResult {
+  bool ok = false;
+  DnsMessage message;
+  std::string error;
+
+  static DecodeResult success(DnsMessage msg) {
+    return {true, std::move(msg), {}};
+  }
+  static DecodeResult failure(std::string why) {
+    return {false, {}, std::move(why)};
+  }
+};
+
+/// Encodes a message to RFC 1035 wire format. Owner names in all sections
+/// are compressed against previously written names; the OPT pseudo-record
+/// (EDNS + ECS, RFC 6891/7871) is emitted in the additional section when
+/// `edns` is set.
+std::vector<std::uint8_t> encode(const DnsMessage& message);
+
+/// Decodes wire format. Rejects truncated input, compression-pointer loops,
+/// forward pointers, malformed ECS options, and oversize names. Unknown
+/// RDATA is preserved as RawData.
+DecodeResult decode(std::span<const std::uint8_t> wire);
+
+}  // namespace netclients::dns

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+#include "net/rng.h"
+
+namespace netclients::dnssrv {
+
+/// Configuration of one ECS-aware zone served by an authoritative server.
+///
+/// Scope behaviour models what the paper measured on real authoritatives
+/// (§3.1.1, Appendix A.2): responses carry a scope that is often *less
+/// specific* than the /24 query scope (Wikipedia answers /16–/18, Google/
+/// YouTube/Facebook /20–/24), scopes are consistent across queries within
+/// the same scope block, and they are *mostly* stable over time — an epoch
+/// re-roll with probability `scope_drift_probability` reproduces the ~10%
+/// of hits whose response scope differs from the discovered query scope
+/// (Table 2).
+struct ZoneConfig {
+  dns::DnsName name;
+  std::uint32_t ttl_seconds = 300;
+  bool supports_ecs = true;
+  std::uint8_t min_scope = 16;  // least specific scope the zone ever returns
+  std::uint8_t max_scope = 24;  // most specific
+  double stop_probability = 0.45;  // per-level chance the scope stops early
+  double scope_drift_probability = 0.0;
+  std::uint64_t seed = 0;
+};
+
+/// The answer an authoritative gives for an ECS query, in direct-API form.
+struct EcsAnswer {
+  net::Ipv4Addr address;      // the A record (synthetic, scope-dependent)
+  std::uint8_t scope_length;  // RFC 7871 scope the answer is valid for
+  std::uint32_t ttl;
+};
+
+/// An ECS-enabled authoritative DNS server for a set of zones.
+///
+/// Deterministic: the scope returned for a given (zone, prefix, epoch) is a
+/// pure function of the zone seed, so the scope-discovery pass of the
+/// cache-probing pipeline sees exactly what Google Public DNS caches later
+/// (minus deliberate drift).
+class AuthoritativeServer {
+ public:
+  void add_zone(ZoneConfig config);
+  bool serves(const dns::DnsName& name) const;
+  const ZoneConfig* zone(const dns::DnsName& name) const;
+
+  /// Optional BGP topology (announced prefix → opaque value). Real CDN
+  /// mapping systems derive ECS scopes from routing aggregates, so a scope
+  /// never spans multiple announcements: when set, response scopes are
+  /// clamped to be at least as specific as the announced prefix containing
+  /// the client. The pointee must outlive the server.
+  void set_topology(const net::PrefixTrie<std::uint32_t>* topology) {
+    topology_ = topology;
+  }
+
+  /// Direct-API resolution used by the resolver front ends and at bench
+  /// scale. `epoch` distinguishes the scope-discovery pass from the probing
+  /// campaign (Table 2 measures the drift between them). Returns nullopt
+  /// for unknown zones.
+  std::optional<EcsAnswer> resolve(const dns::DnsName& name,
+                                   net::Prefix client_prefix,
+                                   std::uint32_t epoch = 0) const;
+
+  /// The scope length the zone would assign to `client_prefix` (without the
+  /// synthetic answer). Exposed separately because scope discovery is a
+  /// first-class pipeline stage.
+  std::optional<std::uint8_t> scope_for(const dns::DnsName& name,
+                                        net::Prefix client_prefix,
+                                        std::uint32_t epoch = 0) const;
+
+  /// Wire-level entry point: parses nothing itself (callers decode), takes
+  /// a query message and produces the authoritative response, including the
+  /// echoed ECS option with the assigned scope.
+  dns::DnsMessage handle(const dns::DnsMessage& query,
+                         std::uint32_t epoch = 0) const;
+
+ private:
+  std::uint8_t base_scope(const ZoneConfig& zone,
+                          net::Prefix client_prefix) const;
+  std::uint8_t scoped(const ZoneConfig& zone, net::Prefix client_prefix,
+                      std::uint32_t epoch) const;
+
+  std::unordered_map<dns::DnsName, ZoneConfig> zones_;
+  const net::PrefixTrie<std::uint32_t>* topology_ = nullptr;
+};
+
+}  // namespace netclients::dnssrv

@@ -1,0 +1,43 @@
+#include "dnssrv/cache.h"
+
+namespace netclients::dnssrv {
+
+const CacheEntry* DnsCache::lookup(const CacheKey& key, net::SimTime now) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second.entry.expires_at <= now) {
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return &it->second.entry;
+}
+
+void DnsCache::insert(const CacheKey& key, CacheEntry entry) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  if (map_.size() >= capacity_ && !lru_.empty()) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Slot{std::move(entry), lru_.begin()});
+}
+
+void DnsCache::clear() {
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace netclients::dnssrv

@@ -1,0 +1,41 @@
+#include "geo/geodb.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace netclients::geo {
+
+void GeoDatabase::add(std::uint32_t slash24_index, GeoRecord record) {
+  assert(index_.empty() || index_.back() < slash24_index);
+  index_.push_back(slash24_index);
+  records_.push_back(record);
+}
+
+std::optional<GeoRecord> GeoDatabase::lookup(
+    std::uint32_t slash24_index) const {
+  auto it = std::lower_bound(index_.begin(), index_.end(), slash24_index);
+  if (it == index_.end() || *it != slash24_index) return std::nullopt;
+  return records_[static_cast<std::size_t>(it - index_.begin())];
+}
+
+GeoRecord GeoDatabase::observe(net::LatLon truth, std::uint16_t country,
+                               double quality, net::Rng& rng) {
+  // Displacement: lognormal distance scaled by (1 - quality), random
+  // bearing. High quality -> tens of km; low quality -> hundreds+.
+  const double displacement_km =
+      rng.lognormal(0.0, 1.0) * 15.0 * (1.05 - quality) * 10.0;
+  const double bearing = rng.uniform(0.0, 360.0);
+  GeoRecord record;
+  record.location = net::destination_point(truth, bearing, displacement_km);
+  record.country = country;
+  // Reported radius: correlated with the actual error but noisy; low
+  // quality records often *understate* their error, which is exactly why
+  // the pipeline filters on reported radius < 200 km and still needs the
+  // per-PoP service-radius slack.
+  const double honesty = rng.uniform(0.6, 1.6) * (0.5 + quality);
+  record.error_radius_km =
+      std::max(1.0, displacement_km * honesty + rng.uniform(0.0, 25.0));
+  return record;
+}
+
+}  // namespace netclients::geo

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/geo.h"
+#include "net/rng.h"
+
+namespace netclients::geo {
+
+/// One /24's geolocation as a commercial database would report it: a point
+/// plus an accuracy (error) radius. MaxMind is "more accurate for end-user
+/// networks" [16]; the error model below reflects that by taking a quality
+/// parameter from the caller.
+struct GeoRecord {
+  net::LatLon location;
+  double error_radius_km = 0;
+  std::uint16_t country = 0;  // index into the world's country table
+};
+
+/// A MaxMind-style IP geolocation database keyed by /24 index.
+///
+/// Built once (sorted by index) and then immutable; lookups are binary
+/// search. The cache-probing pipeline uses it to (a) select calibration
+/// prefixes with error radius < 200 km and (b) assign candidate prefixes to
+/// PoPs whose service radius could contain them (§3.1.1).
+class GeoDatabase {
+ public:
+  /// Entries must be added in strictly increasing /24-index order.
+  void add(std::uint32_t slash24_index, GeoRecord record);
+
+  std::optional<GeoRecord> lookup(std::uint32_t slash24_index) const;
+
+  std::size_t size() const { return index_.size(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < index_.size(); ++i) fn(index_[i], records_[i]);
+  }
+
+  /// The observation model: displaces the true location and reports an
+  /// error radius. `quality` in (0, 1]: eyeball networks ~0.9 (small error,
+  /// honest radius), infrastructure ~0.3 (large error, often optimistic
+  /// radius) — capturing why geolocation of user networks is trustworthy
+  /// and that of routers is not [16].
+  static GeoRecord observe(net::LatLon truth, std::uint16_t country,
+                           double quality, net::Rng& rng);
+
+ private:
+  std::vector<std::uint32_t> index_;  // sorted /24 indices
+  std::vector<GeoRecord> records_;
+};
+
+}  // namespace netclients::geo

@@ -1,0 +1,279 @@
+#include "googledns/google_dns.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netclients::googledns {
+
+using anycast::PopId;
+
+GooglePublicDns::GooglePublicDns(const anycast::PopTable* pops,
+                                 const anycast::CatchmentModel* catchment,
+                                 const dnssrv::AuthoritativeServer* upstream,
+                                 GoogleDnsConfig config,
+                                 const ClientActivityModel* activity)
+    : pops_(pops),
+      catchment_(catchment),
+      upstream_(upstream),
+      config_(config),
+      activity_(activity) {}
+
+const dns::DnsName& GooglePublicDns::myaddr_name() {
+  static const dns::DnsName name =
+      *dns::DnsName::parse("o-o.myaddr.l.google.com");
+  return name;
+}
+
+PopId GooglePublicDns::pop_for(net::LatLon location, std::uint64_t route_key,
+                               const anycast::RouteBias& bias) const {
+  return catchment_->pop_for(location, route_key, bias);
+}
+
+dnssrv::DnsCache& GooglePublicDns::pool(PopId pop, int index) {
+  PoolSet& set = pop_pools_[pop];
+  if (set.pools.empty()) {
+    set.pools.reserve(static_cast<std::size_t>(config_.pools_per_pop));
+    for (int i = 0; i < config_.pools_per_pop; ++i) {
+      set.pools.push_back(
+          std::make_unique<dnssrv::DnsCache>(config_.pool_capacity));
+    }
+  }
+  return *set.pools[static_cast<std::size_t>(index)];
+}
+
+dnssrv::TokenBucket& GooglePublicDns::limiter(int vp_id, Transport transport,
+                                              const dns::DnsName& domain) {
+  const std::uint64_t key = net::hash_combine(
+      domain.hash(), (static_cast<std::uint64_t>(vp_id) << 1) |
+                         (transport == Transport::kTcp ? 1u : 0u));
+  auto it = limiters_.find(key);
+  if (it == limiters_.end()) {
+    const double qps = transport == Transport::kTcp
+                           ? config_.tcp_qps_limit
+                           : config_.udp_repeated_qps_limit;
+    it = limiters_.emplace(key, dnssrv::TokenBucket(qps, qps)).first;
+  }
+  return it->second;
+}
+
+void GooglePublicDns::client_query(PopId pop, const dns::DnsName& domain,
+                                   net::Ipv4Addr client, net::SimTime now) {
+  // Google forwards the client's /24 as the ECS source (rarely more
+  // specific, per [34]) and caches under the scope the authoritative
+  // returns.
+  const net::Prefix source = net::Prefix::slash24_of(client);
+  auto answer = upstream_->resolve(domain, source, config_.epoch);
+  if (!answer) return;
+  const net::Prefix scope_block = source.widen_to(answer->scope_length);
+  const int pool_index = static_cast<int>(net::stable_seed(
+                             config_.seed ^ 0xC11E27u, client.value(),
+                             static_cast<std::uint64_t>(now * 1000)) %
+                         static_cast<std::uint64_t>(config_.pools_per_pop));
+  dnssrv::CacheKey key{domain, dns::RecordType::kA, scope_block};
+  dnssrv::CacheEntry entry;
+  entry.rdata = dns::AData{answer->address};
+  entry.scope_length = answer->scope_length;
+  entry.original_ttl = answer->ttl;
+  entry.expires_at = now + answer->ttl;
+  pool(pop, pool_index).insert(key, entry);
+}
+
+bool GooglePublicDns::analytic_present(PopId pop, int pool_index,
+                                       const dns::DnsName& domain,
+                                       net::Prefix scope_block,
+                                       std::uint32_t ttl, double pool_rate,
+                                       net::SimTime now,
+                                       double* age_out) const {
+  if (pool_rate <= 0 || ttl == 0) return false;
+  const double window = ttl;
+  const auto entry_seed = [&](std::int64_t window_index) {
+    return net::stable_seed(
+        config_.seed ^ 0x9E1Fu, static_cast<std::uint64_t>(pop),
+        static_cast<std::uint64_t>(pool_index),
+        std::hash<dns::DnsName>{}(domain),
+        std::uint64_t{scope_block.base().value()},
+        std::uint64_t{scope_block.length()},
+        static_cast<std::uint64_t>(window_index));
+  };
+  const std::int64_t w = static_cast<std::int64_t>(std::floor(now / window));
+
+  // Latest client arrival at or before `now`, looking back one TTL. Window
+  // arrivals are Poisson(rate × window), uniform within the window; we
+  // materialize the few points we need deterministically per window, so
+  // repeated probes observe a consistent cache timeline.
+  double latest = -1.0;
+  for (std::int64_t x = w; x >= w - 1; --x) {
+    net::Rng rng(entry_seed(x));
+    const std::uint64_t n = rng.poisson(pool_rate * window);
+    if (n == 0) continue;
+    const double start = static_cast<double>(x) * window;
+    if (n <= 16) {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const double at = start + window * rng.uniform();
+        if (at <= now && at > latest) latest = at;
+      }
+    } else {
+      // Dense window: the maximum of n uniforms, thinned to those <= now.
+      const double cut = std::clamp((now - start) / window, 0.0, 1.0);
+      if (cut > 0) {
+        const double frac =
+            cut * std::pow(rng.uniform(), 1.0 / (static_cast<double>(n) * cut));
+        const double at = start + window * frac;
+        if (at > latest) latest = at;
+      }
+    }
+    if (latest >= 0) break;  // later window already gave the latest arrival
+  }
+  if (latest < 0 || now - latest >= ttl) return false;
+  if (age_out) *age_out = now - latest;
+  return true;
+}
+
+ProbeResult GooglePublicDns::probe(PopId pop, const dns::DnsName& domain,
+                                   net::Prefix query_scope, net::SimTime now,
+                                   Transport transport, int vp_id,
+                                   int attempt) {
+  ProbeResult result;
+  result.pop = pop;
+  if (!limiter(vp_id, transport, domain).allow(now)) {
+    result.rate_limited = true;
+    return result;
+  }
+  // The prober cannot choose the pool its query lands in; redundant
+  // attempts hash to (possibly repeated) pools.
+  const int pool_index = static_cast<int>(
+      net::stable_seed(config_.seed ^ 0x9001u, static_cast<std::uint64_t>(pop),
+                       static_cast<std::uint64_t>(vp_id),
+                       static_cast<std::uint64_t>(attempt),
+                       std::hash<dns::DnsName>{}(domain),
+                       std::uint64_t{query_scope.base().value()}) %
+      static_cast<std::uint64_t>(config_.pools_per_pop));
+
+  const dnssrv::ZoneConfig* zone = upstream_->zone(domain);
+  if (!zone) return result;  // unknown zone: nothing could be cached
+
+  // The scope the authoritative *currently* assigns to this block. Client
+  // queries landing here were cached under that scope's block. RFC 7871:
+  // a cached entry answers a query only when the entry's scope block
+  // contains the query's source prefix — so if the scope drifted to be
+  // more specific than our (previously discovered) query scope, we miss.
+  std::uint8_t entry_scope = 0;
+  {
+    const std::uint64_t memo_key = net::stable_seed(
+        domain.hash(), std::uint64_t{query_scope.base().value()},
+        std::uint64_t{query_scope.length()});
+    auto it = scope_memo_.find(memo_key);
+    if (it != scope_memo_.end()) {
+      entry_scope = it->second;
+    } else {
+      auto scope_now =
+          upstream_->scope_for(domain, query_scope, config_.epoch);
+      entry_scope = scope_now ? *scope_now : 255;
+      scope_memo_.emplace(memo_key, entry_scope);
+    }
+  }
+  if (entry_scope > query_scope.length()) return result;
+  const net::Prefix entry_block = query_scope.widen_to(entry_scope);
+
+  // Explicit (event-driven) pool contents take precedence: exact state.
+  dnssrv::CacheKey key{domain, dns::RecordType::kA, entry_block};
+  if (const dnssrv::CacheEntry* entry = pool(pop, pool_index).lookup(key, now)) {
+    result.cache_hit = true;
+    result.return_scope = entry->scope_length;
+    result.remaining_ttl = entry->remaining_ttl(now);
+    return result;
+  }
+
+  // Analytic occupancy from the world's client activity. The rate is
+  // sampled at probe time, so diurnal worlds expose time-of-day structure
+  // to the prober (the §6 temporal signal).
+  if (activity_) {
+    const double rate =
+        activity_->arrival_rate_at(pop, domain, entry_block, now) /
+        static_cast<double>(config_.pools_per_pop);
+    double age = 0;
+    if (analytic_present(pop, pool_index, domain, entry_block,
+                         zone->ttl_seconds, rate, now, &age)) {
+      result.cache_hit = true;
+      result.return_scope = entry_scope;
+      result.remaining_ttl = static_cast<std::uint32_t>(
+          std::max(0.0, zone->ttl_seconds - age));
+    }
+  }
+  return result;
+}
+
+std::size_t GooglePublicDns::explicit_entries() const {
+  std::size_t total = 0;
+  for (const auto& [pop, set] : pop_pools_) {
+    for (const auto& p : set.pools) total += p->size();
+  }
+  return total;
+}
+
+dns::DnsMessage GooglePublicDns::handle(const dns::DnsMessage& query,
+                                        net::LatLon source,
+                                        std::uint64_t route_key,
+                                        net::SimTime now, Transport transport,
+                                        int vp_id,
+                                        const anycast::RouteBias& bias) {
+  if (query.questions.empty()) {
+    return dns::make_response(query, dns::RCode::kFormErr);
+  }
+  const dns::Question& q = query.questions.front();
+  const PopId pop = pop_for(source, route_key, bias);
+
+  // PoP identification service: TXT o-o.myaddr.l.google.com.
+  if (q.name == myaddr_name() && q.type == dns::RecordType::kTxt) {
+    dns::DnsMessage response = dns::make_response(query, dns::RCode::kNoError);
+    response.header.ra = true;
+    response.answers.push_back(dns::ResourceRecord{
+        q.name, dns::RecordType::kTxt, dns::kClassIn, 60,
+        dns::TxtData{pops_->site(pop).city}});
+    return response;
+  }
+
+  if (query.header.rd) {
+    // Full recursion: resolve and cache (explicit mode).
+    net::Ipv4Addr client(static_cast<std::uint32_t>(route_key));
+    if (query.edns && query.edns->ecs) {
+      client = query.edns->ecs->address;
+    }
+    client_query(pop, q.name, client, now);
+    auto answer = upstream_->resolve(q.name, net::Prefix::slash24_of(client),
+                                     config_.epoch);
+    if (!answer) return dns::make_response(query, dns::RCode::kNxDomain);
+    dns::DnsMessage response = dns::make_response(query, dns::RCode::kNoError);
+    response.header.ra = true;
+    response.answers.push_back(dns::ResourceRecord{
+        q.name, dns::RecordType::kA, dns::kClassIn, answer->ttl,
+        dns::AData{answer->address}});
+    if (response.edns && response.edns->ecs) {
+      response.edns->ecs->scope_prefix_length = answer->scope_length;
+    }
+    return response;
+  }
+
+  // RD=0: cache snooping.
+  net::Prefix query_scope;  // defaults to 0.0.0.0/0
+  if (query.edns && query.edns->ecs) {
+    query_scope = query.edns->ecs->source_prefix();
+  }
+  ProbeResult pr = probe(pop, q.name, query_scope, now, transport, vp_id,
+                         query.header.id);
+  if (pr.rate_limited) return dns::make_response(query, dns::RCode::kRefused);
+  dns::DnsMessage response = dns::make_response(query, dns::RCode::kNoError);
+  response.header.ra = true;
+  if (pr.cache_hit) {
+    auto answer = upstream_->resolve(q.name, query_scope, config_.epoch);
+    response.answers.push_back(dns::ResourceRecord{
+        q.name, dns::RecordType::kA, dns::kClassIn, pr.remaining_ttl,
+        dns::AData{answer ? answer->address : net::Ipv4Addr(0)}});
+    if (response.edns && response.edns->ecs) {
+      response.edns->ecs->scope_prefix_length = pr.return_scope;
+    }
+  }
+  return response;
+}
+
+}  // namespace netclients::googledns

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "anycast/catchment.h"
+#include "anycast/pop.h"
+#include "anycast/vantage.h"
+#include "dns/message.h"
+#include "dnssrv/authoritative.h"
+#include "dnssrv/cache.h"
+#include "dnssrv/rate_limiter.h"
+#include "googledns/activity_model.h"
+#include "net/sim_time.h"
+
+namespace netclients::googledns {
+
+enum class Transport { kUdp, kTcp };
+
+struct GoogleDnsConfig {
+  int pools_per_pop = 4;
+  std::size_t pool_capacity = 1 << 18;
+  // The paper found repeated UDP probing of the same domains trips a limit
+  // far below the documented 1,500 QPS, forcing the campaign onto TCP.
+  double udp_repeated_qps_limit = 20.0;
+  double tcp_qps_limit = 1500.0;
+  std::uint64_t seed = 0x600613;
+  // Epoch used when fetching scope/answers from authoritatives for client-
+  // driven entries; the probing campaign runs in a later epoch than scope
+  // discovery, producing Table 2's drift.
+  std::uint32_t epoch = 1;
+};
+
+/// Outcome of one cache-snooping probe (RD=0, ECS-tagged).
+struct ProbeResult {
+  bool rate_limited = false;
+  bool cache_hit = false;
+  std::uint8_t return_scope = 0;    // valid when cache_hit
+  std::uint32_t remaining_ttl = 0;  // valid when cache_hit
+  anycast::PopId pop = anycast::kNoPop;
+};
+
+/// Model of Google Public DNS: an anycast fleet of PoPs, each with several
+/// independent cache pools, honoring client-supplied ECS prefixes and
+/// answering non-recursive (RD=0) queries strictly from cache.
+///
+/// Two occupancy sources compose:
+///  * an explicit per-pool DnsCache populated by `client_query` — exact,
+///    used by tests/examples at small scale;
+///  * a lazy analytic model driven by a ClientActivityModel — used at
+///    Internet scale, sampling whether a Poisson client-arrival process
+///    would have refreshed the entry within its TTL.
+class GooglePublicDns {
+ public:
+  GooglePublicDns(const anycast::PopTable* pops,
+                  const anycast::CatchmentModel* catchment,
+                  const dnssrv::AuthoritativeServer* upstream,
+                  GoogleDnsConfig config = {},
+                  const ClientActivityModel* activity = nullptr);
+
+  /// Which PoP serves queries from this location/network — the simulated
+  /// `dig @8.8.8.8 o-o.myaddr.l.google.com -t TXT`.
+  anycast::PopId pop_for(net::LatLon location, std::uint64_t route_key,
+                         const anycast::RouteBias& bias = {}) const;
+
+  /// A recursive (RD=1) query from a real client: resolves upstream with
+  /// the client's /24 as ECS source and caches under the returned scope in
+  /// one explicit pool of the serving PoP.
+  void client_query(anycast::PopId pop, const dns::DnsName& domain,
+                    net::Ipv4Addr client, net::SimTime now);
+
+  /// A cache-snooping probe: RD=0, ECS = `query_scope`, sent over
+  /// `transport` by vantage `vp_id` to PoP `pop`. `attempt` selects which
+  /// cache pool the query lands in (the paper sends 5 redundant queries to
+  /// cover multiple pools).
+  ProbeResult probe(anycast::PopId pop, const dns::DnsName& domain,
+                    net::Prefix query_scope, net::SimTime now,
+                    Transport transport, int vp_id, int attempt);
+
+  /// Full wire-format front end for packet-level tests and examples:
+  /// decodes nothing (caller passes the message), applies anycast routing,
+  /// myaddr TXT service, RD=0 snooping and RD=1 recursion.
+  dns::DnsMessage handle(const dns::DnsMessage& query, net::LatLon source,
+                         std::uint64_t route_key, net::SimTime now,
+                         Transport transport, int vp_id = 0,
+                         const anycast::RouteBias& bias = {});
+
+  /// Total explicit cache entries across all pools (diagnostics).
+  std::size_t explicit_entries() const;
+
+  const anycast::PopTable& pops() const { return *pops_; }
+
+  const GoogleDnsConfig& config() const { return config_; }
+
+  /// The myaddr service name.
+  static const dns::DnsName& myaddr_name();
+
+ private:
+  struct PoolSet {
+    std::vector<std::unique_ptr<dnssrv::DnsCache>> pools;
+  };
+
+  dnssrv::DnsCache& pool(anycast::PopId pop, int index);
+  /// One limiter per (vantage, transport, domain loop): the prober runs a
+  /// separate query loop per domain, each its own flow; Google's limits
+  /// apply per flow. Each loop's timestamps are monotone.
+  dnssrv::TokenBucket& limiter(int vp_id, Transport transport,
+                               const dns::DnsName& domain);
+
+  /// Lazy occupancy: would a Poisson arrival process at `rate` (per pool)
+  /// have an arrival within the TTL window ending at `now`?
+  bool analytic_present(anycast::PopId pop, int pool_index,
+                        const dns::DnsName& domain, net::Prefix scope_block,
+                        std::uint32_t ttl, double pool_rate,
+                        net::SimTime now, double* age_out) const;
+
+  const anycast::PopTable* pops_;
+  const anycast::CatchmentModel* catchment_;
+  const dnssrv::AuthoritativeServer* upstream_;
+  GoogleDnsConfig config_;
+  const ClientActivityModel* activity_;
+  std::unordered_map<anycast::PopId, PoolSet> pop_pools_;
+  std::unordered_map<std::uint64_t, dnssrv::TokenBucket> limiters_;
+  // Scope assignments are pure functions of (domain, block) at a fixed
+  // epoch; the campaign probes each combination dozens of times.
+  std::unordered_map<std::uint64_t, std::uint8_t> scope_memo_;
+};
+
+}  // namespace netclients::googledns

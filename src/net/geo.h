@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace netclients::net {
+
+/// A geographic coordinate in degrees. Latitude in [-90, 90], longitude in
+/// [-180, 180).
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+inline double deg2rad(double deg) {
+  return deg * std::numbers::pi / 180.0;
+}
+inline double rad2deg(double rad) {
+  return rad * 180.0 / std::numbers::pi;
+}
+
+/// Great-circle distance between two points (haversine formula), in km.
+/// Used for anycast catchment modelling and PoP service-radius calibration.
+inline double haversine_km(LatLon a, LatLon b) {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+/// The point reached by travelling `distance_km` from `origin` along the
+/// initial `bearing_deg` (great-circle). Used to jitter synthetic prefix
+/// locations around country centroids and to model geolocation error.
+inline LatLon destination_point(LatLon origin, double bearing_deg,
+                                double distance_km) {
+  const double delta = distance_km / kEarthRadiusKm;
+  const double theta = deg2rad(bearing_deg);
+  const double lat1 = deg2rad(origin.lat_deg);
+  const double lon1 = deg2rad(origin.lon_deg);
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(delta) +
+                                std::cos(lat1) * std::sin(delta) *
+                                    std::cos(theta));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(lat1),
+                        std::cos(delta) - std::sin(lat1) * std::sin(lat2));
+  double lon_deg = rad2deg(lon2);
+  // Normalize longitude into [-180, 180).
+  while (lon_deg >= 180.0) lon_deg -= 360.0;
+  while (lon_deg < -180.0) lon_deg += 360.0;
+  return {rad2deg(lat2), lon_deg};
+}
+
+}  // namespace netclients::net

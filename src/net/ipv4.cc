@@ -1,0 +1,38 @@
+#include "net/ipv4.h"
+
+#include <array>
+#include <charconv>
+
+namespace netclients::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> octets{};
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+    auto [next, ec] = std::from_chars(p, end, octets[i]);
+    if (ec != std::errc{} || next == p || octets[i] > 255) return std::nullopt;
+    p = next;
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr::from_octets(static_cast<std::uint8_t>(octets[0]),
+                               static_cast<std::uint8_t>(octets[1]),
+                               static_cast<std::uint8_t>(octets[2]),
+                               static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xFF);
+  }
+  return out;
+}
+
+}  // namespace netclients::net

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netclients::net {
+
+/// An IPv4 address stored in host byte order.
+///
+/// A thin value type: cheap to copy, totally ordered, hashable. All
+/// arithmetic in the library (prefix containment, /24 indexing) is done on
+/// the host-order 32-bit value.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+
+  /// Builds an address from four dotted-quad octets.
+  static constexpr Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b,
+                                        std::uint8_t c, std::uint8_t d) {
+    return Ipv4Addr((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad notation ("192.0.2.1"). Returns nullopt on any
+  /// syntax error (missing octets, values > 255, trailing junk).
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  /// Index of the /24 block containing this address (value >> 8).
+  constexpr std::uint32_t slash24_index() const { return value_ >> 8; }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace netclients::net
+
+template <>
+struct std::hash<netclients::net::Ipv4Addr> {
+  std::size_t operator()(netclients::net::Ipv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,28 @@
+#include "net/prefix.h"
+
+#include <charconv>
+
+namespace netclients::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(),
+                      length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      length > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*addr, static_cast<std::uint8_t>(length));
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace netclients::net

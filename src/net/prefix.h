@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.h"
+
+namespace netclients::net {
+
+/// An IPv4 CIDR prefix in canonical form (host bits zeroed).
+///
+/// The default-constructed prefix is 0.0.0.0/0 (the whole address space).
+/// Ordering is lexicographic on (base address, length), which places a
+/// covering prefix immediately before its first covered sub-prefix — the
+/// property the disjoint-set and trie code relies on.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Canonicalizes: any host bits set below `length` are masked away.
+  constexpr Prefix(Ipv4Addr base, std::uint8_t length)
+      : base_(Ipv4Addr(base.value() & mask(length))), length_(length) {
+    assert(length <= 32);
+  }
+
+  /// The /24 containing `addr`.
+  static constexpr Prefix slash24_of(Ipv4Addr addr) {
+    return Prefix(addr, 24);
+  }
+
+  /// The /24 with the given slash24 index (addr >> 8).
+  static constexpr Prefix from_slash24_index(std::uint32_t index) {
+    return Prefix(Ipv4Addr(index << 8), 24);
+  }
+
+  /// Parses "a.b.c.d/len". Returns nullopt on syntax errors or len > 32.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  constexpr Ipv4Addr base() const { return base_; }
+  constexpr std::uint8_t length() const { return length_; }
+
+  /// Network mask for a prefix length (mask(0) == 0, mask(32) == ~0).
+  static constexpr std::uint32_t mask(std::uint8_t length) {
+    return length == 0 ? 0u : ~0u << (32 - length);
+  }
+
+  constexpr bool contains(Ipv4Addr addr) const {
+    return (addr.value() & mask(length_)) == base_.value();
+  }
+
+  /// True when `other` is equal to or nested inside this prefix.
+  constexpr bool contains(Prefix other) const {
+    return other.length_ >= length_ && contains(other.base_);
+  }
+
+  /// True when either prefix contains the other.
+  constexpr bool overlaps(Prefix other) const {
+    return contains(other) || other.contains(*this);
+  }
+
+  constexpr Ipv4Addr last_address() const {
+    return Ipv4Addr(base_.value() | ~mask(length_));
+  }
+
+  /// Number of /24 blocks covered. Prefixes longer than /24 count as the
+  /// fraction-free 1 (their enclosing /24), matching the paper's convention
+  /// of widening rare scopes longer than /24 to the /24.
+  constexpr std::uint64_t slash24_count() const {
+    return length_ >= 24 ? 1 : (std::uint64_t{1} << (24 - length_));
+  }
+
+  /// Index of the first /24 covered (for >= /24 prefixes: the enclosing /24).
+  constexpr std::uint32_t first_slash24_index() const {
+    return base_.slash24_index();
+  }
+
+  /// The enclosing prefix of the given (shorter or equal) length.
+  constexpr Prefix widen_to(std::uint8_t length) const {
+    assert(length <= length_);
+    return Prefix(base_, length);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix& a, const Prefix& b) {
+    if (auto c = a.base_ <=> b.base_; c != 0) return c;
+    return a.length_ <=> b.length_;
+  }
+  friend constexpr bool operator==(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Addr base_;
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace netclients::net
+
+template <>
+struct std::hash<netclients::net::Prefix> {
+  std::size_t operator()(const netclients::net::Prefix& p) const noexcept {
+    std::uint64_t key =
+        (std::uint64_t{p.base().value()} << 8) | p.length();
+    // SplitMix64 finalizer: strong avalanche for the low bits used by
+    // unordered containers.
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ULL;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebULL;
+    key ^= key >> 31;
+    return static_cast<std::size_t>(key);
+  }
+};

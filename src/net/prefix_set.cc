@@ -1,0 +1,41 @@
+#include "net/prefix_set.h"
+
+namespace netclients::net {
+
+bool DisjointPrefixSet::insert(Prefix prefix) {
+  if (covers(prefix)) return false;
+  // Remove all stored prefixes nested inside the new one. They start at or
+  // after prefix.base() and end at or before prefix.last_address().
+  auto it = entries_.lower_bound(prefix.base().value());
+  while (it != entries_.end() &&
+         it->first <= prefix.last_address().value()) {
+    slash24_total_ -= it->second.slash24_count();
+    it = entries_.erase(it);
+  }
+  entries_.emplace(prefix.base().value(), prefix);
+  slash24_total_ += prefix.slash24_count();
+  return true;
+}
+
+bool DisjointPrefixSet::covers(Prefix prefix) const {
+  auto it = entries_.upper_bound(prefix.base().value());
+  if (it == entries_.begin()) return false;
+  --it;
+  return it->second.contains(prefix);
+}
+
+bool DisjointPrefixSet::intersects(Prefix prefix) const {
+  if (covers(prefix)) return true;
+  auto it = entries_.lower_bound(prefix.base().value());
+  return it != entries_.end() &&
+         it->first <= prefix.last_address().value();
+}
+
+std::vector<Prefix> DisjointPrefixSet::prefixes() const {
+  std::vector<Prefix> out;
+  out.reserve(entries_.size());
+  for (const auto& [base, p] : entries_) out.push_back(p);
+  return out;
+}
+
+}  // namespace netclients::net

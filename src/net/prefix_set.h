@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace netclients::net {
+
+/// A set of CIDR prefixes maintained in *disjoint* canonical form: no stored
+/// prefix contains another. Inserting a prefix that is already covered is a
+/// no-op; inserting a covering prefix absorbs the covered entries.
+///
+/// This is the representation used for cache-probing hit sets, where a hit
+/// with return scope /16 subsumes hits for any /24 inside it, and for the
+/// lower/upper /24 bound computations of Figure 4 and Table 1.
+class DisjointPrefixSet {
+ public:
+  /// Inserts `prefix`, maintaining disjointness. Returns true if the set
+  /// changed (i.e. the prefix was not already covered).
+  bool insert(Prefix prefix);
+
+  /// True when `prefix` is fully covered by some stored prefix.
+  bool covers(Prefix prefix) const;
+  bool covers(Ipv4Addr addr) const { return covers(Prefix(addr, 32)); }
+
+  /// True when `prefix` overlaps any stored prefix (covers it, or contains
+  /// one or more stored prefixes). Used for the containment-aware matching
+  /// of Table 5, where hits for different domains have different scopes.
+  bool intersects(Prefix prefix) const;
+
+  /// Number of disjoint stored prefixes — the paper's *lower bound* on
+  /// active /24s (one active /24 per non-overlapping hit prefix).
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Total /24 blocks covered — the paper's *upper bound* on active /24s
+  /// (all /24s inside every hit prefix assumed active).
+  std::uint64_t slash24_upper_bound() const { return slash24_total_; }
+
+  /// The stored disjoint prefixes in address order.
+  std::vector<Prefix> prefixes() const;
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [base, p] : entries_) fn(p);
+  }
+
+  void clear() {
+    entries_.clear();
+    slash24_total_ = 0;
+  }
+
+ private:
+  // Keyed by base address; disjointness guarantees at most one entry can
+  // cover any address, so predecessor lookup suffices for containment.
+  std::map<std::uint32_t, Prefix> entries_;
+  std::uint64_t slash24_total_ = 0;
+};
+
+}  // namespace netclients::net

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace netclients::net {
+
+/// A binary radix trie mapping CIDR prefixes to values, supporting
+/// longest-prefix match — the core lookup structure behind the
+/// Routeviews-style prefix-to-AS table and the scope-dedup logic of the
+/// cache-probing pipeline.
+///
+/// Nodes are path-uncompressed (one bit per level, max depth 32), which is
+/// simple and plenty fast for our workloads; the microbenchmarks in
+/// bench_micro quantify lookup cost.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or overwrites the value at `prefix`. Returns true if a new
+  /// entry was created, false if an existing one was replaced.
+  bool insert(Prefix prefix, T value) {
+    Node* node = walk_to(prefix, /*create=*/true);
+    bool created = !node->value.has_value();
+    node->value = std::move(value);
+    if (created) ++size_;
+    return created;
+  }
+
+  /// Exact-match lookup.
+  const T* find(Prefix prefix) const {
+    const Node* node = walk_to_const(prefix);
+    return node && node->value ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match for an address: the most specific inserted prefix
+  /// containing `addr`, or nullopt.
+  std::optional<std::pair<Prefix, const T*>> longest_match(
+      Ipv4Addr addr) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Prefix, const T*>> best;
+    std::uint32_t bits = addr.value();
+    for (std::uint8_t depth = 0;; ++depth) {
+      if (node->value) {
+        best = {Prefix(addr, depth), &*node->value};
+      }
+      if (depth == 32) break;
+      unsigned bit = (bits >> (31 - depth)) & 1u;
+      if (!node->children[bit]) break;
+      node = node->children[bit].get();
+    }
+    return best;
+  }
+
+  /// Shortest-prefix (least specific) match containing `addr`, or nullopt.
+  std::optional<std::pair<Prefix, const T*>> shortest_match(
+      Ipv4Addr addr) const {
+    const Node* node = root_.get();
+    std::uint32_t bits = addr.value();
+    for (std::uint8_t depth = 0;; ++depth) {
+      if (node->value) return {{Prefix(addr, depth), &*node->value}};
+      if (depth == 32) break;
+      unsigned bit = (bits >> (31 - depth)) & 1u;
+      if (!node->children[bit]) break;
+      node = node->children[bit].get();
+    }
+    return std::nullopt;
+  }
+
+  /// True when any inserted prefix contains `addr`.
+  bool covers(Ipv4Addr addr) const { return longest_match(addr).has_value(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visits every (prefix, value) pair in address order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit(root_.get(), 0, 0, fn);
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  Node* walk_to(Prefix prefix, bool create) {
+    Node* node = root_.get();
+    std::uint32_t bits = prefix.base().value();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      unsigned bit = (bits >> (31 - depth)) & 1u;
+      if (!node->children[bit]) {
+        if (!create) return nullptr;
+        node->children[bit] = std::make_unique<Node>();
+      }
+      node = node->children[bit].get();
+    }
+    return node;
+  }
+
+  const Node* walk_to_const(Prefix prefix) const {
+    const Node* node = root_.get();
+    std::uint32_t bits = prefix.base().value();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      unsigned bit = (bits >> (31 - depth)) & 1u;
+      if (!node->children[bit]) return nullptr;
+      node = node->children[bit].get();
+    }
+    return node;
+  }
+
+  template <typename Fn>
+  static void visit(const Node* node, std::uint32_t base, std::uint8_t depth,
+                    Fn& fn) {
+    if (node->value) fn(Prefix(Ipv4Addr(base), depth), *node->value);
+    if (depth == 32) return;
+    if (node->children[0]) visit(node->children[0].get(), base, depth + 1, fn);
+    if (node->children[1]) {
+      visit(node->children[1].get(), base | (1u << (31 - depth)), depth + 1,
+            fn);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace netclients::net

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+
+namespace netclients::net {
+
+/// Simulated time in seconds since the start of the measurement campaign.
+/// The library never reads a wall clock: every component that needs time
+/// takes a SimTime argument, which is what makes runs reproducible.
+using SimTime = double;
+
+inline constexpr SimTime kSecond = 1.0;
+inline constexpr SimTime kMinute = 60.0;
+inline constexpr SimTime kHour = 3600.0;
+inline constexpr SimTime kDay = 86400.0;
+
+}  // namespace netclients::net

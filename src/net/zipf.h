@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "net/rng.h"
+
+namespace netclients::net {
+
+/// Zipf(s) sampler over ranks 0..n-1 using a precomputed CDF. Models domain
+/// popularity (rank-1 google.com vs rank-13 wikipedia.org) and per-prefix
+/// activity skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent) : cdf_(n) {
+    double total = 0;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      total += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+      cdf_[rank] = total;
+    }
+    for (auto& v : cdf_) v /= total;
+  }
+
+  std::size_t sample(Rng& rng) const {
+    double u = rng.uniform();
+    // Binary search for the first CDF entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const {
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace netclients::net

@@ -1,0 +1,57 @@
+#include "netsim/bus.h"
+
+#include <algorithm>
+
+namespace netclients::netsim {
+
+void MessageBus::attach(net::Ipv4Addr address, Handler handler) {
+  handlers_.insert_or_assign(address, std::move(handler));
+}
+
+void MessageBus::detach(net::Ipv4Addr address) { handlers_.erase(address); }
+
+void MessageBus::send(net::Ipv4Addr src, net::Ipv4Addr dst, Proto proto,
+                      std::vector<std::uint8_t> payload, net::SimTime now,
+                      double latency) {
+  Event event;
+  event.datagram.src = src;
+  event.datagram.dst = dst;
+  event.datagram.proto = proto;
+  event.datagram.payload = std::move(payload);
+  event.datagram.deliver_at = std::max(now, now_) + std::max(0.0, latency);
+  event.sequence = sequence_++;
+  queue_.push(std::move(event));
+}
+
+std::size_t MessageBus::run_until(net::SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() &&
+         queue_.top().datagram.deliver_at <= deadline) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.datagram.deliver_at;
+    auto it = handlers_.find(event.datagram.dst);
+    if (it == handlers_.end()) {
+      ++dropped_;
+      continue;
+    }
+    // DNS-over-UDP truncation: keep the 12-byte header, set TC (bit 9 of
+    // the flags word), drop the rest. The receiver sees a valid but
+    // truncated message and retries over TCP.
+    if (event.datagram.proto == Proto::kUdp &&
+        event.datagram.payload.size() > udp_mtu_) {
+      event.datagram.payload.resize(12);
+      event.datagram.payload[2] |= 0x02;  // TC
+      // Zero the section counts: the records were dropped.
+      for (std::size_t i = 4; i < 12; ++i) event.datagram.payload[i] = 0;
+      ++truncated_;
+    }
+    ++delivered_;
+    ++count;
+    it->second(event.datagram, now_);
+  }
+  now_ = std::max(now_, deadline);
+  return count;
+}
+
+}  // namespace netclients::netsim

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <queue>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/sim_time.h"
+
+namespace netclients::netsim {
+
+/// Transport of a datagram on the bus.
+enum class Proto : std::uint8_t { kUdp, kTcp };
+
+/// A datagram in flight: raw bytes between two IPv4 endpoints. The bus is
+/// deliberately minimal — enough to exercise the DNS wire codec end to end
+/// (prober ↔ resolver ↔ authoritative) with realistic latency ordering and
+/// the classic UDP 512-byte truncation rule.
+struct Datagram {
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  Proto proto = Proto::kUdp;
+  std::vector<std::uint8_t> payload;
+  net::SimTime deliver_at = 0;
+};
+
+/// A discrete-event message bus connecting endpoints by IPv4 address.
+///
+/// Endpoints register a handler; `send` enqueues a datagram with a caller-
+/// chosen latency; `run_until` delivers events in timestamp order (FIFO on
+/// ties). Handlers may send further datagrams (replies). Classic DNS UDP
+/// semantics are applied on delivery: payloads over `udp_mtu` bytes are
+/// truncated to the 12-byte header with the TC bit set, signalling the
+/// sender to retry over TCP — exactly the dance a real stub performs.
+class MessageBus {
+ public:
+  using Handler = std::function<void(const Datagram&, net::SimTime now)>;
+
+  explicit MessageBus(std::size_t udp_mtu = 512) : udp_mtu_(udp_mtu) {}
+
+  /// Registers (or replaces) the handler for an address.
+  void attach(net::Ipv4Addr address, Handler handler);
+  void detach(net::Ipv4Addr address);
+
+  /// Enqueues a datagram for delivery `latency` seconds from `now`.
+  void send(net::Ipv4Addr src, net::Ipv4Addr dst, Proto proto,
+            std::vector<std::uint8_t> payload, net::SimTime now,
+            double latency);
+
+  /// Delivers all events with timestamp <= deadline; returns the number
+  /// delivered. Datagrams to unattached addresses are counted as dropped.
+  std::size_t run_until(net::SimTime deadline);
+
+  /// True when no events remain queued.
+  bool idle() const { return queue_.empty(); }
+  net::SimTime now() const { return now_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t truncated() const { return truncated_; }
+
+ private:
+  struct Event {
+    Datagram datagram;
+    std::uint64_t sequence;  // FIFO tie-break
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.datagram.deliver_at != b.datagram.deliver_at) {
+        return a.datagram.deliver_at > b.datagram.deliver_at;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::size_t udp_mtu_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_map<net::Ipv4Addr, Handler> handlers_;
+  net::SimTime now_ = 0;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t truncated_ = 0;
+};
+
+}  // namespace netclients::netsim

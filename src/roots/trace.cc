@@ -1,0 +1,84 @@
+#include "roots/trace.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace netclients::roots {
+namespace {
+
+constexpr char kMagic[4] = {'N', 'C', 'D', '1'};
+
+template <typename T>
+void put(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool get(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool TraceFile::write(const std::string& path,
+                      const std::vector<TraceRecord>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic));
+  put(out, static_cast<std::uint64_t>(records.size()));
+  for (const auto& rec : records) {
+    put(out, rec.source.value());
+    put(out, rec.root_letter);
+    put(out, static_cast<std::uint16_t>(rec.qtype));
+    put(out, rec.timestamp);
+    put(out, static_cast<std::uint8_t>(rec.qname.labels().size()));
+    for (const auto& label : rec.qname.labels()) {
+      put(out, static_cast<std::uint8_t>(label.size()));
+      out.write(label.data(), static_cast<std::streamsize>(label.size()));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool TraceFile::read(const std::string& path,
+                     std::vector<TraceRecord>* out_records) {
+  out_records->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint64_t count = 0;
+  if (!get(in, &count)) return false;
+  out_records->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord rec;
+    std::uint32_t source = 0;
+    std::uint16_t qtype = 0;
+    std::uint8_t label_count = 0;
+    if (!get(in, &source) || !get(in, &rec.root_letter) || !get(in, &qtype) ||
+        !get(in, &rec.timestamp) || !get(in, &label_count)) {
+      return false;
+    }
+    rec.source = net::Ipv4Addr(source);
+    rec.qtype = static_cast<dns::RecordType>(qtype);
+    std::vector<std::string> labels;
+    labels.reserve(label_count);
+    for (std::uint8_t l = 0; l < label_count; ++l) {
+      std::uint8_t len = 0;
+      if (!get(in, &len)) return false;
+      std::string label(len, '\0');
+      in.read(label.data(), len);
+      if (!in) return false;
+      labels.push_back(std::move(label));
+    }
+    auto name = dns::DnsName::from_labels(std::move(labels));
+    if (!name) return false;
+    rec.qname = std::move(*name);
+    out_records->push_back(std::move(rec));
+  }
+  return true;
+}
+
+}  // namespace netclients::roots

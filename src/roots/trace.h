@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/types.h"
+#include "net/ipv4.h"
+#include "net/sim_time.h"
+
+namespace netclients::roots {
+
+/// One captured root-server query, the unit of a DITL trace. Source is the
+/// address of whoever sent the query to the root — almost always a
+/// recursive resolver, which is why the DNS-logs technique attributes
+/// activity to resolvers rather than clients (§3.2.2).
+struct TraceRecord {
+  net::Ipv4Addr source;
+  dns::DnsName qname;
+  dns::RecordType qtype = dns::RecordType::kA;
+  net::SimTime timestamp = 0;
+  char root_letter = 'a';
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Writes/reads the library's compact binary DITL format. The format is a
+/// faithful stand-in for DNS-OARC pcap-derived traces: per-record source,
+/// qname, qtype, timestamp, capturing root.
+///
+/// Layout: magic "NCD1", u64 record count, then per record:
+///   u32 source, u8 letter, u16 qtype, f64 timestamp, u8 label count,
+///   (u8 len, bytes) per label.
+class TraceFile {
+ public:
+  static bool write(const std::string& path,
+                    const std::vector<TraceRecord>& records);
+  /// Returns empty + ok=false on any structural error.
+  static bool read(const std::string& path, std::vector<TraceRecord>* out);
+};
+
+}  // namespace netclients::roots

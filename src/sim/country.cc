@@ -1,0 +1,132 @@
+#include "sim/country.h"
+
+namespace netclients::sim {
+namespace {
+
+CountryInfo make(std::string code, std::string name, std::string region,
+                 double users_millions, double lat, double lon,
+                 double spread_km, double gshare) {
+  CountryInfo c;
+  c.code = std::move(code);
+  c.name = std::move(name);
+  c.region = std::move(region);
+  c.internet_users = users_millions * 1e6;
+  c.centroid = {lat, lon};
+  c.spread_km = spread_km;
+  c.google_dns_share = gshare;
+  return c;
+}
+
+std::vector<CountryInfo> build() {
+  std::vector<CountryInfo> t;
+  // ---- North America
+  t.push_back(make("US", "United States", "NA", 300, 39.8, -98.6, 1800, 0.34));
+  t.push_back(make("CA", "Canada", "NA", 35, 50.0, -97.0, 1500, 0.33));
+  t.push_back(make("MX", "Mexico", "NA", 95, 23.6, -102.5, 800, 0.30));
+  t.push_back(make("GT", "Guatemala", "NA", 9, 15.8, -90.2, 250, 0.28));
+  t.push_back(make("CU", "Cuba", "NA", 7, 21.5, -77.8, 300, 0.15));
+  // ---- South America (coverage-gap region: high misroute to the unprobed
+  // Buenos Aires PoP, per Figure 3).
+  auto sa = [&](CountryInfo c, double misroute) {
+    c.misroute_probability = misroute;
+    c.misroute_cities = {"Buenos Aires"};
+    t.push_back(std::move(c));
+  };
+  sa(make("BR", "Brazil", "SA", 160, -10.8, -52.9, 1500, 0.31), 0.25);
+  sa(make("AR", "Argentina", "SA", 35, -34.6, -64.0, 900, 0.32), 0.35);
+  sa(make("CO", "Colombia", "SA", 32, 4.1, -73.1, 600, 0.30), 0.20);
+  sa(make("PE", "Peru", "SA", 25, -9.2, -75.0, 600, 0.28), 0.45);
+  sa(make("VE", "Venezuela", "SA", 18, 7.1, -66.2, 500, 0.27), 0.38);
+  sa(make("CL", "Chile", "SA", 15, -33.5, -70.7, 800, 0.33), 0.15);
+  sa(make("EC", "Ecuador", "SA", 12, -1.4, -78.4, 300, 0.28), 0.45);
+  sa(make("BO", "Bolivia", "SA", 6, -16.7, -64.7, 400, 0.25), 0.60);
+  sa(make("PY", "Paraguay", "SA", 4, -23.4, -58.4, 300, 0.27), 0.42);
+  sa(make("UY", "Uruguay", "SA", 3, -32.8, -55.8, 200, 0.32), 0.28);
+  sa(make("SR", "Suriname", "SA", 0.4, 4.1, -55.9, 120, 0.25), 0.50);
+  // ---- Europe
+  t.push_back(make("DE", "Germany", "EU", 78, 51.1, 10.4, 400, 0.26));
+  t.push_back(make("GB", "United Kingdom", "EU", 65, 54.0, -2.5, 400, 0.28));
+  t.push_back(make("FR", "France", "EU", 60, 46.6, 2.4, 450, 0.27));
+  t.push_back(make("IT", "Italy", "EU", 50, 42.8, 12.7, 450, 0.29));
+  t.push_back(make("ES", "Spain", "EU", 44, 40.2, -3.6, 450, 0.28));
+  t.push_back(make("PL", "Poland", "EU", 34, 52.1, 19.4, 350, 0.27));
+  t.push_back(make("RO", "Romania", "EU", 14, 45.9, 24.9, 280, 0.28));
+  t.push_back(make("NL", "Netherlands", "EU", 16, 52.2, 5.3, 150, 0.27));
+  t.push_back(make("BE", "Belgium", "EU", 10, 50.6, 4.6, 120, 0.26));
+  t.push_back(make("CZ", "Czechia", "EU", 9, 49.8, 15.5, 200, 0.26));
+  t.push_back(make("SE", "Sweden", "EU", 9.5, 62.0, 15.0, 600, 0.25));
+  t.push_back(make("CH", "Switzerland", "EU", 8, 46.8, 8.2, 120, 0.26));
+  t.push_back(make("AT", "Austria", "EU", 8, 47.6, 14.1, 180, 0.26));
+  t.push_back(make("PT", "Portugal", "EU", 8, 39.6, -8.0, 250, 0.28));
+  t.push_back(make("GR", "Greece", "EU", 8, 39.1, 22.9, 250, 0.28));
+  t.push_back(make("HU", "Hungary", "EU", 8, 47.2, 19.4, 180, 0.27));
+  t.push_back(make("UA", "Ukraine", "EU", 30, 49.0, 31.4, 450, 0.30));
+  t.push_back(make("RU", "Russia", "EU", 120, 56.0, 60.0, 2500, 0.24));
+  t.push_back(make("FI", "Finland", "EU", 5, 64.0, 26.0, 500, 0.25));
+  t.push_back(make("DK", "Denmark", "EU", 5.5, 56.0, 9.5, 150, 0.25));
+  t.push_back(make("NO", "Norway", "EU", 5, 61.0, 9.0, 500, 0.25));
+  t.push_back(make("IE", "Ireland", "EU", 4.5, 53.2, -8.2, 150, 0.28));
+  // ---- Asia
+  {
+    // China: Google services essentially unreachable; Google Public DNS
+    // adoption tiny. Its prefixes light up far less in cache probing, as
+    // the paper observes in Figure 1.
+    CountryInfo cn = make("CN", "China", "AS", 1000, 35.0, 104.0, 2200, 0.04);
+    cn.domain_multiplier[0] = 0.05;  // google
+    cn.domain_multiplier[1] = 0.04;  // youtube
+    cn.domain_multiplier[2] = 0.04;  // facebook
+    cn.domain_multiplier[3] = 0.25;  // wikipedia
+    // The global Microsoft CDN sees little mainland traffic (Azure China
+    // is operated separately), so China contributes far less validation
+    // volume than its user count suggests.
+    cn.domain_multiplier[4] = 0.12;  // ms cdn
+    t.push_back(std::move(cn));
+  }
+  t.push_back(make("IN", "India", "AS", 800, 21.0, 78.0, 1500, 0.34));
+  t.push_back(make("ID", "Indonesia", "AS", 200, -2.5, 118.0, 1700, 0.31));
+  t.push_back(make("PK", "Pakistan", "AS", 120, 30.4, 69.4, 700, 0.30));
+  t.push_back(make("BD", "Bangladesh", "AS", 120, 23.7, 90.4, 300, 0.30));
+  t.push_back(make("JP", "Japan", "AS", 115, 36.2, 138.3, 800, 0.25));
+  t.push_back(make("PH", "Philippines", "AS", 85, 12.9, 121.8, 800, 0.32));
+  t.push_back(make("VN", "Vietnam", "AS", 70, 14.1, 108.3, 700, 0.31));
+  t.push_back(make("TR", "Turkey", "AS", 70, 39.0, 35.2, 700, 0.31));
+  {
+    CountryInfo ir = make("IR", "Iran", "AS", 70, 32.4, 53.7, 700, 0.22);
+    ir.domain_multiplier[2] = 0.15;  // facebook blocked
+    ir.domain_multiplier[1] = 0.30;
+    t.push_back(std::move(ir));
+  }
+  t.push_back(make("TH", "Thailand", "AS", 55, 15.9, 100.9, 500, 0.30));
+  t.push_back(make("KR", "South Korea", "AS", 50, 36.5, 127.9, 300, 0.24));
+  t.push_back(make("MY", "Malaysia", "AS", 27, 4.2, 102.0, 500, 0.31));
+  t.push_back(make("TW", "Taiwan", "AS", 22, 23.7, 121.0, 200, 0.28));
+  t.push_back(make("SA", "Saudi Arabia", "AS", 30, 24.2, 45.1, 700, 0.29));
+  t.push_back(make("IQ", "Iraq", "AS", 25, 33.2, 43.7, 400, 0.28));
+  t.push_back(make("UZ", "Uzbekistan", "AS", 17, 41.4, 64.6, 500, 0.27));
+  t.push_back(make("IL", "Israel", "AS", 7, 31.5, 34.9, 120, 0.27));
+  t.push_back(make("AE", "UAE", "AS", 9, 24.0, 54.0, 200, 0.28));
+  t.push_back(make("SG", "Singapore", "AS", 5, 1.35, 103.8, 40, 0.29));
+  t.push_back(make("HK", "Hong Kong", "AS", 6.5, 22.3, 114.2, 40, 0.28));
+  // ---- Africa
+  t.push_back(make("NG", "Nigeria", "AF", 110, 9.1, 8.7, 700, 0.33));
+  t.push_back(make("EG", "Egypt", "AF", 55, 26.8, 30.8, 500, 0.30));
+  t.push_back(make("ZA", "South Africa", "AF", 35, -29.0, 24.7, 700, 0.31));
+  t.push_back(make("KE", "Kenya", "AF", 20, 0.0, 37.9, 400, 0.32));
+  t.push_back(make("MA", "Morocco", "AF", 25, 31.8, -7.1, 400, 0.30));
+  t.push_back(make("DZ", "Algeria", "AF", 25, 28.0, 1.7, 700, 0.29));
+  t.push_back(make("GH", "Ghana", "AF", 12, 7.9, -1.0, 300, 0.32));
+  t.push_back(make("ET", "Ethiopia", "AF", 12, 9.1, 40.5, 500, 0.28));
+  // ---- Oceania
+  t.push_back(make("AU", "Australia", "OC", 23, -25.3, 133.8, 1800, 0.30));
+  t.push_back(make("NZ", "New Zealand", "OC", 4.3, -41.0, 174.0, 500, 0.29));
+  return t;
+}
+
+}  // namespace
+
+const std::vector<CountryInfo>& builtin_countries() {
+  static const std::vector<CountryInfo> table = build();
+  return table;
+}
+
+}  // namespace netclients::sim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/geo.h"
+
+namespace netclients::sim {
+
+/// Static facts about a country in the synthetic world. Names, locations
+/// and user counts approximate the real 2021 Internet so that per-country
+/// output (Figure 3) is readable; everything else is a modelling knob.
+struct CountryInfo {
+  std::string code;  // ISO 3166-1 alpha-2
+  std::string name;
+  std::string region;  // NA, SA, EU, AS, AF, OC
+  /// Internet users at full scale (approximate real 2021 values).
+  double internet_users = 0;
+  net::LatLon centroid;
+  double spread_km = 500;  // geographic dispersion of its networks
+
+  /// Share of clients configured to use Google Public DNS. Coverage of the
+  /// cache-probing technique in a country is bounded by this.
+  double google_dns_share = 0.30;
+
+  /// Per-domain popularity multipliers, aligned with
+  /// sim::default_domains() order (google, youtube, facebook, wikipedia,
+  /// ms cdn). Models e.g. the near-absence of Google/Facebook traffic from
+  /// China.
+  double domain_multiplier[5] = {1, 1, 1, 1, 1};
+
+  /// Anycast pathology: probability that an AS registered here has its
+  /// Google DNS queries routed to a misroute target instead of a sensible
+  /// nearby PoP. South American countries get high values + the unprobed
+  /// Buenos Aires site, reproducing the paper's Figure 3 coverage gaps.
+  double misroute_probability = 0.0;
+  std::vector<std::string> misroute_cities;  // PoP cities (PopTable names)
+};
+
+/// The built-in table (~60 countries covering ~95% of real Internet users).
+const std::vector<CountryInfo>& builtin_countries();
+
+}  // namespace netclients::sim

@@ -1,0 +1,68 @@
+#include "sim/domains.h"
+
+namespace netclients::sim {
+
+std::vector<DomainInfo> default_domains() {
+  std::vector<DomainInfo> domains;
+  DomainInfo google;
+  google.name = *dns::DnsName::parse("www.google.com");
+  google.alexa_rank = 1;
+  google.ttl_seconds = 300;
+  google.min_scope = 20;
+  google.max_scope = 24;
+  google.scope_stop_probability = 0.40;
+  google.scope_drift_probability = 0.11;
+  google.queries_per_user_per_day = 7.5;
+  domains.push_back(google);
+
+  DomainInfo youtube;
+  youtube.name = *dns::DnsName::parse("www.youtube.com");
+  youtube.alexa_rank = 2;
+  youtube.ttl_seconds = 300;
+  youtube.min_scope = 20;
+  youtube.max_scope = 24;
+  youtube.scope_stop_probability = 0.40;
+  youtube.scope_drift_probability = 0.12;
+  youtube.queries_per_user_per_day = 4.8;
+  domains.push_back(youtube);
+
+  // Facebook supports ECS only without "www" (B.4), and the www variant is
+  // what browsers mostly resolve — so the ECS-visible query stream is a
+  // fraction of Facebook's true popularity.
+  DomainInfo facebook;
+  facebook.name = *dns::DnsName::parse("facebook.com");
+  facebook.alexa_rank = 7;
+  facebook.ttl_seconds = 300;
+  facebook.min_scope = 20;
+  facebook.max_scope = 24;
+  facebook.scope_stop_probability = 0.45;
+  facebook.scope_drift_probability = 0.06;
+  facebook.queries_per_user_per_day = 1.4;
+  domains.push_back(facebook);
+
+  DomainInfo wikipedia;
+  wikipedia.name = *dns::DnsName::parse("www.wikipedia.org");
+  wikipedia.alexa_rank = 13;
+  wikipedia.ttl_seconds = 600;
+  wikipedia.min_scope = 16;
+  wikipedia.max_scope = 18;
+  wikipedia.scope_stop_probability = 0.55;
+  wikipedia.scope_drift_probability = 0.03;
+  wikipedia.queries_per_user_per_day = 0.55;
+  domains.push_back(wikipedia);
+
+  DomainInfo mscdn;
+  mscdn.name = *dns::DnsName::parse("azcdn.trafficmanager.net");
+  mscdn.alexa_rank = 28;
+  mscdn.ttl_seconds = 300;  // Traffic Manager default is 5 minutes
+  mscdn.min_scope = 20;
+  mscdn.max_scope = 24;
+  mscdn.scope_stop_probability = 0.45;
+  mscdn.scope_drift_probability = 0.05;
+  mscdn.queries_per_user_per_day = 1.6;
+  mscdn.is_microsoft_cdn = true;
+  domains.push_back(mscdn);
+  return domains;
+}
+
+}  // namespace netclients::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/name.h"
+
+namespace netclients::sim {
+
+/// A domain the cache-probing campaign can query, with the authoritative
+/// behaviour and client popularity that drive cache occupancy.
+struct DomainInfo {
+  dns::DnsName name;
+  int alexa_rank = 0;
+  std::uint32_t ttl_seconds = 300;
+  bool supports_ecs = true;
+  std::uint8_t min_scope = 20;
+  std::uint8_t max_scope = 24;
+  double scope_stop_probability = 0.45;
+  double scope_drift_probability = 0.10;
+  /// Global average DNS queries per user per day reaching the recursive
+  /// (i.e. after browser/OS caching).
+  double queries_per_user_per_day = 1.0;
+  bool is_microsoft_cdn = false;  // the Traffic Manager validation domain
+};
+
+/// The paper's probe set (§3.1.1 / B.4): the four top-ranked Alexa domains
+/// that support ECS with TTL > 60s, plus the Microsoft CDN domain used for
+/// validation. Wikipedia's authoritative returns much less specific scopes
+/// (16–18) than the others (20–24) — the cause of its small prefix counts
+/// but large AS coverage in Table 5.
+std::vector<DomainInfo> default_domains();
+
+/// Index helpers for the default list.
+inline constexpr int kDomainGoogle = 0;
+inline constexpr int kDomainYoutube = 1;
+inline constexpr int kDomainFacebook = 2;
+inline constexpr int kDomainWikipedia = 3;
+inline constexpr int kDomainMsCdn = 4;
+
+}  // namespace netclients::sim

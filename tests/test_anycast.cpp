@@ -1,0 +1,149 @@
+// Tests for the anycast substrate: PoP table shape, catchment behaviour,
+// and the vantage fleet's PoP coverage (the paper's 22-of-45).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "anycast/catchment.h"
+#include "anycast/pop.h"
+#include "anycast/vantage.h"
+#include "net/rng.h"
+
+namespace netclients::anycast {
+namespace {
+
+TEST(PopTable, DefaultShapeMatchesPaper) {
+  const PopTable pops = PopTable::google_default();
+  EXPECT_EQ(pops.size(), 45u);
+  EXPECT_EQ(pops.active_pops().size(), 27u);  // 22 probed + 5 unprobed
+  int inactive = 0;
+  for (const auto& site : pops.sites()) inactive += !site.active;
+  EXPECT_EQ(inactive, 18);
+}
+
+TEST(PopTable, IdsAreDense) {
+  const PopTable pops = PopTable::google_default();
+  for (std::size_t i = 0; i < pops.size(); ++i) {
+    EXPECT_EQ(pops.site(static_cast<PopId>(i)).id, static_cast<PopId>(i));
+  }
+}
+
+TEST(PopTable, FindByCity) {
+  const PopTable pops = PopTable::google_default();
+  ASSERT_TRUE(pops.find_by_city("Groningen").has_value());
+  EXPECT_FALSE(pops.find_by_city("Atlantis").has_value());
+}
+
+TEST(PopTable, NearestActiveIsGeographicallySane) {
+  const PopTable pops = PopTable::google_default();
+  const PopId berlin_best = pops.nearest_active({52.52, 13.405});
+  const auto& site = pops.site(berlin_best);
+  // Berlin's nearest active PoP must be in Europe.
+  EXPECT_TRUE(site.country_code == "DE" || site.country_code == "NL" ||
+              site.country_code == "CH" || site.country_code == "GB" ||
+              site.country_code == "FI")
+      << site.city;
+}
+
+TEST(PopTable, NearestActiveNeverReturnsInactive) {
+  const PopTable pops = PopTable::google_default();
+  net::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const PopId pop = pops.nearest_active(
+        {rng.uniform(-60, 70), rng.uniform(-180, 180)});
+    ASSERT_NE(pop, kNoPop);
+    EXPECT_TRUE(pops.site(pop).active);
+  }
+}
+
+TEST(Catchment, DeterministicForSameNetwork) {
+  const PopTable pops = PopTable::google_default();
+  const CatchmentModel model(&pops, 42);
+  const net::LatLon loc{48.85, 2.35};
+  EXPECT_EQ(model.pop_for(loc, 1234), model.pop_for(loc, 1234));
+}
+
+TEST(Catchment, OnlyActivePops) {
+  const PopTable pops = PopTable::google_default();
+  const CatchmentModel model(&pops, 42);
+  net::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const PopId pop = model.pop_for(
+        {rng.uniform(-60, 70), rng.uniform(-180, 180)}, rng());
+    ASSERT_NE(pop, kNoPop);
+    EXPECT_TRUE(pops.site(pop).active);
+  }
+}
+
+TEST(Catchment, MostClientsLandOnNearbyPop) {
+  const PopTable pops = PopTable::google_default();
+  const CatchmentModel model(&pops, 42);
+  net::Rng rng(6);
+  int nearby = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const net::LatLon loc{rng.uniform(30, 55), rng.uniform(-120, 20)};
+    const PopId pop = model.pop_for(loc, rng());
+    const double km = net::haversine_km(loc, pops.site(pop).location);
+    nearby += km < 3000;
+  }
+  // Anycast mostly routes near, but not always [8,21,24].
+  EXPECT_GT(nearby, n * 3 / 4);
+}
+
+TEST(Catchment, RouteBiasForcesAlternate) {
+  const PopTable pops = PopTable::google_default();
+  const CatchmentModel model(&pops, 42);
+  const PopId buenos_aires = *pops.find_by_city("Buenos Aires");
+  RouteBias bias;
+  bias.misroute_probability = 1.0;
+  bias.alternates = {buenos_aires};
+  net::Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(model.pop_for({40.0, -100.0}, rng(), bias), buenos_aires);
+  }
+}
+
+TEST(Catchment, ZeroBiasNeverMisroutes) {
+  const PopTable pops = PopTable::google_default();
+  const CatchmentModel model(&pops, 42);
+  RouteBias bias;  // empty
+  const net::LatLon paris{48.85, 2.35};
+  EXPECT_EQ(model.pop_for(paris, 9, bias), model.pop_for(paris, 9));
+}
+
+TEST(Vantage, FleetHasAwsAndVultr) {
+  const auto fleet = default_vantage_fleet();
+  EXPECT_GE(fleet.size(), 20u);
+  bool aws = false, vultr = false;
+  std::set<std::uint32_t> addresses;
+  for (const auto& vp : fleet) {
+    aws |= vp.provider == "aws";
+    vultr |= vp.provider == "vultr";
+    addresses.insert(vp.address.value());
+  }
+  EXPECT_TRUE(aws);
+  EXPECT_TRUE(vultr);
+  EXPECT_EQ(addresses.size(), fleet.size());  // unique probe sources
+}
+
+TEST(Vantage, FleetReachesExactly22Pops) {
+  // The paper's coverage: the AWS+Vultr fleet reaches 22 of the 27 active
+  // PoPs; Hong Kong, Osaka, Hamina, Buenos Aires, Lagos stay unprobed.
+  const PopTable pops = PopTable::google_default();
+  const CatchmentModel model(&pops, net::stable_seed(42, 0xCA7C), 0.22);
+  std::set<PopId> reached;
+  for (const auto& vp : default_vantage_fleet()) {
+    reached.insert(model.pop_for(vp.location, vp.address.value()));
+  }
+  EXPECT_EQ(reached.size(), 22u);
+  for (const char* unprobed :
+       {"Hong Kong", "Osaka", "Hamina", "Buenos Aires", "Lagos"}) {
+    EXPECT_FALSE(reached.contains(*pops.find_by_city(unprobed)))
+        << unprobed << " should stay unprobed";
+  }
+}
+
+}  // namespace
+}  // namespace netclients::anycast

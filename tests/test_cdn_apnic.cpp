@@ -1,0 +1,211 @@
+// Tests for the validation-dataset substrates: the Microsoft-style CDN
+// observation (clients / resolvers / Traffic Manager ECS) and the
+// APNIC-style ad-based population estimates.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "apnic/apnic.h"
+#include "cdn/cdn.h"
+#include "sim/world.h"
+
+namespace netclients {
+namespace {
+
+const sim::World& world() {
+  static const sim::World w = [] {
+    sim::WorldConfig config;
+    config.scale = 1.0 / 512;
+    return sim::World::generate(config);
+  }();
+  return w;
+}
+
+const cdn::CdnObservation& observation() {
+  static const cdn::CdnObservation obs = cdn::observe_cdn(world(), {});
+  return obs;
+}
+
+TEST(Cdn, ClientVolumeOnlyFromClientBlocks) {
+  for (const auto& [idx, volume] : observation().client_volume) {
+    const sim::Slash24Block* block = world().block_at(idx);
+    ASSERT_NE(block, nullptr);
+    EXPECT_GT(block->clients(), 0) << "volume from clientless /24 " << idx;
+    EXPECT_GE(volume, 1);
+  }
+}
+
+TEST(Cdn, ObservesNearlyAllBusyBlocks) {
+  std::size_t busy = 0, observed = 0;
+  for (const sim::Slash24Block& block : world().blocks()) {
+    if (block.users > 50) {
+      ++busy;
+      observed += observation().client_volume.contains(block.index);
+    }
+  }
+  ASSERT_GT(busy, 100u);
+  EXPECT_GT(static_cast<double>(observed) / static_cast<double>(busy), 0.95);
+}
+
+TEST(Cdn, EcsPrefixesAreClientBlocks) {
+  for (std::uint32_t idx : observation().ecs_prefixes) {
+    const sim::Slash24Block* block = world().block_at(idx);
+    ASSERT_NE(block, nullptr);
+    EXPECT_GT(block->clients(), 0);
+  }
+}
+
+TEST(Cdn, EcsPrefixesMostlyOverlapHttpClients) {
+  // The §4 "DNS is a good proxy for HTTP" premise.
+  std::size_t overlap = 0;
+  for (std::uint32_t idx : observation().ecs_prefixes) {
+    overlap += observation().client_volume.contains(idx);
+  }
+  ASSERT_FALSE(observation().ecs_prefixes.empty());
+  EXPECT_GT(static_cast<double>(overlap) / observation().ecs_prefixes.size(),
+            0.85);
+}
+
+TEST(Cdn, ResolverDatasetIncludesCentralEndpoints) {
+  std::size_t found = 0, expected = 0;
+  for (const sim::ResolverEndpoint& ep : world().resolver_endpoints()) {
+    if (ep.served_users > 100) {
+      ++expected;
+      found += observation().resolver_addr_clients.contains(
+          ep.address.value());
+    }
+  }
+  ASSERT_GT(expected, 10u);
+  EXPECT_EQ(found, expected) << "busy resolvers must be observed";
+}
+
+TEST(Cdn, GooglePopClientCountsCoverActivePopsOnly) {
+  for (const auto& [pop, clients] : observation().google_pop_clients) {
+    EXPECT_TRUE(world().pops().site(pop).active);
+    EXPECT_GT(clients, 0);
+  }
+}
+
+TEST(Cdn, UnprobedPopsCarrySmallShare) {
+  // Appendix A.1: the five unprobed-but-active sites carry ~5% of Google
+  // DNS load.
+  double total = 0, minor = 0;
+  const std::unordered_set<std::string> unprobed = {
+      "Hong Kong", "Osaka", "Hamina", "Buenos Aires", "Lagos"};
+  for (const auto& [pop, clients] : observation().google_pop_clients) {
+    total += clients;
+    if (unprobed.contains(world().pops().site(pop).city)) minor += clients;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_LT(minor / total, 0.15);
+  EXPECT_GT(minor / total, 0.005);
+}
+
+TEST(Cdn, DeterministicForSeed) {
+  const cdn::CdnObservation again = cdn::observe_cdn(world(), {});
+  EXPECT_EQ(again.client_volume.size(), observation().client_volume.size());
+  EXPECT_EQ(again.ecs_prefixes, observation().ecs_prefixes);
+}
+
+TEST(Cdn, DifferentSeedDiffers) {
+  cdn::CdnOptions options;
+  options.seed = 999;
+  const cdn::CdnObservation other = cdn::observe_cdn(world(), options);
+  EXPECT_NE(other.ecs_prefixes, observation().ecs_prefixes);
+}
+
+// ------------------------------------------------------------------- APNIC
+
+TEST(Apnic, PublishesSubsetOfAses) {
+  const auto est = apnic::estimate_population(world(), {});
+  ASSERT_GT(est.users_by_as.size(), 10u);
+  EXPECT_LT(est.users_by_as.size(), world().ases().size());
+  std::unordered_set<std::uint32_t> known;
+  for (const sim::AsEntry& as : world().ases()) known.insert(as.asn);
+  for (const auto& [asn, users] : est.users_by_as) {
+    EXPECT_TRUE(known.contains(asn));
+    EXPECT_GT(users, 0);
+  }
+}
+
+TEST(Apnic, MissesTinyAsesKeepsGiants) {
+  const auto est = apnic::estimate_population(world(), {});
+  double biggest_users = 0;
+  std::uint32_t biggest_asn = 0;
+  for (const sim::AsEntry& as : world().ases()) {
+    if (as.users > biggest_users) {
+      biggest_users = as.users;
+      biggest_asn = as.asn;
+    }
+  }
+  EXPECT_TRUE(est.users_by_as.contains(biggest_asn));
+  // Tiny eyeball ASes (a handful of users) should mostly be invisible.
+  int tiny = 0, tiny_published = 0;
+  for (const sim::AsEntry& as : world().ases()) {
+    if (as.users > 0 && as.users < 20) {
+      ++tiny;
+      tiny_published += est.users_by_as.contains(as.asn);
+    }
+  }
+  ASSERT_GT(tiny, 10);
+  EXPECT_LT(static_cast<double>(tiny_published) / tiny, 0.2);
+}
+
+TEST(Apnic, EstimatesCorrelateWithTruth) {
+  const auto est = apnic::estimate_population(world(), {});
+  // Concordance check: for published ASes, bigger truth => usually bigger
+  // estimate.
+  std::vector<std::pair<double, double>> pairs;  // (truth, estimate)
+  for (const sim::AsEntry& as : world().ases()) {
+    auto it = est.users_by_as.find(as.asn);
+    if (it != est.users_by_as.end()) {
+      pairs.emplace_back(as.users, it->second);
+    }
+  }
+  ASSERT_GT(pairs.size(), 20u);
+  int concordant = 0, total = 0;
+  for (std::size_t i = 0; i < pairs.size(); i += 3) {
+    for (std::size_t j = i + 1; j < pairs.size(); j += 7) {
+      if (pairs[i].first == pairs[j].first) continue;
+      ++total;
+      concordant += (pairs[i].first < pairs[j].first) ==
+                    (pairs[i].second < pairs[j].second);
+    }
+  }
+  ASSERT_GT(total, 50);
+  EXPECT_GT(static_cast<double>(concordant) / total, 0.8);
+}
+
+TEST(Apnic, BotsAreMostlyInvisible) {
+  const auto est = apnic::estimate_population(world(), {});
+  // Hosting ASes have bot populations but essentially no ad impressions.
+  int hosting_published = 0, hosting_total = 0;
+  for (const sim::AsEntry& as : world().ases()) {
+    if (as.type == sim::AsType::kHostingCloud && as.bot_users > 0) {
+      ++hosting_total;
+      hosting_published += est.users_by_as.contains(as.asn);
+    }
+  }
+  ASSERT_GT(hosting_total, 5);
+  EXPECT_LT(static_cast<double>(hosting_published) / hosting_total, 0.5);
+}
+
+TEST(Apnic, WorldPopulationNearTruth) {
+  const auto est = apnic::estimate_population(world(), {});
+  EXPECT_NEAR(est.world_population, world().total_users(),
+              world().total_users() * 0.1);
+}
+
+TEST(Apnic, HigherBudgetFindsMoreAses) {
+  apnic::ApnicOptions cheap;
+  cheap.impressions_per_user = 0.001;
+  apnic::ApnicOptions rich;
+  rich.impressions_per_user = 0.05;
+  const auto cheap_est = apnic::estimate_population(world(), cheap);
+  const auto rich_est = apnic::estimate_population(world(), rich);
+  EXPECT_GT(rich_est.users_by_as.size(), cheap_est.users_by_as.size());
+}
+
+}  // namespace
+}  // namespace netclients

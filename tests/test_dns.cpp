@@ -1,0 +1,298 @@
+// Tests for the DNS substrate: names, ECS, message building, and the RFC
+// 1035 wire codec (encode/decode round trips, compression, malformed
+// input rejection).
+
+#include <gtest/gtest.h>
+
+#include "dns/message.h"
+#include "dns/name.h"
+#include "dns/wire.h"
+#include "net/rng.h"
+
+namespace netclients::dns {
+namespace {
+
+// ----------------------------------------------------------------- DnsName
+
+TEST(DnsName, ParsesAndCanonicalizesCase) {
+  auto name = DnsName::parse("WWW.Google.COM");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->to_string(), "www.google.com");
+  EXPECT_EQ(name->label_count(), 3u);
+}
+
+TEST(DnsName, TrailingDotOptional) {
+  EXPECT_EQ(*DnsName::parse("example.com."), *DnsName::parse("example.com"));
+}
+
+TEST(DnsName, RootName) {
+  auto root = DnsName::parse(".");
+  ASSERT_TRUE(root.has_value());
+  EXPECT_TRUE(root->is_root());
+  EXPECT_EQ(root->to_string(), ".");
+  EXPECT_EQ(root->wire_length(), 1u);
+}
+
+TEST(DnsName, SingleLabelDetection) {
+  EXPECT_TRUE(DnsName::parse("sdhfjssf")->is_single_label());
+  EXPECT_FALSE(DnsName::parse("a.b")->is_single_label());
+}
+
+TEST(DnsName, WireLength) {
+  // 3www6google3com0 = 1+3 + 1+6 + 1+3 + 1 = 16
+  EXPECT_EQ(DnsName::parse("www.google.com")->wire_length(), 16u);
+}
+
+TEST(DnsName, EqualNamesHashEqual) {
+  const auto a = *DnsName::parse("Example.COM");
+  const auto b = *DnsName::parse("example.com");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+class DnsNameRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DnsNameRejects, Rejects) {
+  EXPECT_FALSE(DnsName::parse(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, DnsNameRejects,
+    ::testing::Values("a..b", ".leading", "bad label",
+                      "<script>", "a!b.com",
+                      // 64-char label (limit is 63)
+                      "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+                      "aaaaaaaaaaaa.com"));
+
+TEST(DnsName, RejectsNamesOver255Octets) {
+  // 5 labels of 63 'a' = 5*64+1 = 321 > 255.
+  std::string big;
+  for (int i = 0; i < 5; ++i) {
+    if (i) big.push_back('.');
+    big.append(63, 'a');
+  }
+  EXPECT_FALSE(DnsName::parse(big).has_value());
+}
+
+// --------------------------------------------------------------------- ECS
+
+TEST(Ecs, ForQuerySetsScopeZero) {
+  const auto ecs = EcsOption::for_query(*net::Prefix::parse("1.2.3.0/24"));
+  EXPECT_EQ(ecs.source_prefix_length, 24);
+  EXPECT_EQ(ecs.scope_prefix_length, 0);
+  EXPECT_EQ(ecs.source_prefix().to_string(), "1.2.3.0/24");
+}
+
+// --------------------------------------------------------------- wire codec
+
+DnsMessage sample_query() {
+  return make_query(0x1234, *DnsName::parse("www.google.com"),
+                    RecordType::kA, false,
+                    EcsOption::for_query(*net::Prefix::parse(
+                        "203.0.113.0/24")));
+}
+
+TEST(Wire, QueryRoundTrip) {
+  const DnsMessage query = sample_query();
+  const auto wire = encode(query);
+  const DecodeResult decoded = decode(wire);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.message, query);
+}
+
+TEST(Wire, HeaderFlagsRoundTrip) {
+  DnsMessage msg = sample_query();
+  msg.header.qr = true;
+  msg.header.aa = true;
+  msg.header.ra = true;
+  msg.header.rd = true;
+  msg.header.rcode = RCode::kNxDomain;
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.message.header, msg.header);
+}
+
+TEST(Wire, ResponseWithAnswersRoundTrip) {
+  DnsMessage response = make_response(sample_query(), RCode::kNoError);
+  response.answers.push_back(ResourceRecord{
+      *DnsName::parse("www.google.com"), RecordType::kA, kClassIn, 300,
+      AData{*net::Ipv4Addr::parse("142.250.1.1")}});
+  response.edns->ecs->scope_prefix_length = 20;
+  const auto decoded = decode(encode(response));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.message, response);
+  EXPECT_EQ(decoded.message.edns->ecs->scope_prefix_length, 20);
+}
+
+TEST(Wire, TxtRecordRoundTrip) {
+  DnsMessage msg = make_response(sample_query(), RCode::kNoError);
+  msg.answers.push_back(ResourceRecord{*DnsName::parse("o-o.myaddr"),
+                                       RecordType::kTxt, kClassIn, 60,
+                                       TxtData{"Groningen"}});
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.message, msg);
+}
+
+TEST(Wire, LongTxtSplitsIntoCharacterStrings) {
+  DnsMessage msg = make_response(sample_query(), RCode::kNoError);
+  std::string long_text(700, 'x');
+  msg.answers.push_back(ResourceRecord{*DnsName::parse("t.example"),
+                                       RecordType::kTxt, kClassIn, 60,
+                                       TxtData{long_text}});
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(std::get<TxtData>(decoded.message.answers[0].rdata).text,
+            long_text);
+}
+
+TEST(Wire, CompressionShrinksRepeatedNames) {
+  DnsMessage msg = make_response(sample_query(), RCode::kNoError);
+  for (int i = 0; i < 4; ++i) {
+    msg.answers.push_back(ResourceRecord{
+        *DnsName::parse("www.google.com"), RecordType::kA, kClassIn, 300,
+        AData{net::Ipv4Addr(0x01020304u + static_cast<std::uint32_t>(i))}});
+  }
+  const auto wire = encode(msg);
+  // Without compression each answer owner name costs 16 bytes; compressed
+  // repeats cost 2. Verify the aggregate is clearly compressed.
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.message, msg);
+  const std::size_t uncompressed_estimate =
+      12 + (16 + 4) + 4 * (16 + 10 + 4) + 23;
+  EXPECT_LT(wire.size(), uncompressed_estimate - 3 * 10);
+}
+
+TEST(Wire, EcsScopeLongerSourceRoundTrip) {
+  // A /12 source needs only 2 address bytes on the wire.
+  auto query = make_query(7, *DnsName::parse("a.example"), RecordType::kA,
+                          true,
+                          EcsOption::for_query(*net::Prefix::parse(
+                              "10.16.0.0/12")));
+  const auto decoded = decode(encode(query));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.message.edns->ecs->source_prefix().to_string(),
+            "10.16.0.0/12");
+}
+
+TEST(Wire, DecodeRejectsTruncationAtEveryLength) {
+  const auto wire = encode(sample_query());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const DecodeResult decoded =
+        decode(std::span<const std::uint8_t>(wire.data(), len));
+    EXPECT_FALSE(decoded.ok) << "accepted truncation at " << len;
+  }
+}
+
+TEST(Wire, DecodeRejectsTrailingGarbage) {
+  auto wire = encode(sample_query());
+  wire.push_back(0xAB);
+  EXPECT_FALSE(decode(wire).ok);
+}
+
+TEST(Wire, DecodeRejectsCompressionLoop) {
+  // Header with one question whose name is a pointer to itself.
+  std::vector<std::uint8_t> wire = {
+      0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00,
+      0xC0, 0x0C,  // pointer to offset 12 (itself)
+      0x00, 0x01, 0x00, 0x01};
+  EXPECT_FALSE(decode(wire).ok);
+}
+
+TEST(Wire, DecodeRejectsForwardPointer) {
+  std::vector<std::uint8_t> wire = {
+      0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00,
+      0xC0, 0x20,  // pointer beyond current position
+      0x00, 0x01, 0x00, 0x01};
+  EXPECT_FALSE(decode(wire).ok);
+}
+
+TEST(Wire, DecodeRejectsBadEcs) {
+  auto query = sample_query();
+  auto wire = encode(query);
+  // Corrupt the ECS family (last option bytes): find option code 8 and
+  // set family to 2 (IPv6) which we reject.
+  for (std::size_t i = 0; i + 8 < wire.size(); ++i) {
+    if (wire[i] == 0 && wire[i + 1] == 8 && wire[i + 4] == 0 &&
+        wire[i + 5] == 1) {
+      wire[i + 5] = 2;
+      break;
+    }
+  }
+  EXPECT_FALSE(decode(wire).ok);
+}
+
+TEST(Wire, UnknownRecordTypePreservedAsRaw) {
+  DnsMessage msg = make_response(sample_query(), RCode::kNoError);
+  msg.answers.push_back(ResourceRecord{*DnsName::parse("x.example"),
+                                       static_cast<RecordType>(99), kClassIn,
+                                       5, RawData{{1, 2, 3, 4, 5}}});
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.message, msg);
+}
+
+// Property: arbitrary generated messages round-trip bit-exactly.
+class WireRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireRoundTrip, GeneratedMessagesRoundTrip) {
+  net::Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    DnsMessage msg;
+    msg.header.id = static_cast<std::uint16_t>(rng());
+    msg.header.qr = rng.bernoulli(0.5);
+    msg.header.rd = rng.bernoulli(0.5);
+    msg.header.rcode = static_cast<RCode>(rng.below(6));
+    const char* names[] = {"www.google.com", "a.b.c.d.example",
+                           "singlelabel", "x.y"};
+    msg.questions.push_back(Question{
+        *DnsName::parse(names[rng.below(4)]),
+        rng.bernoulli(0.5) ? RecordType::kA : RecordType::kTxt, kClassIn});
+    const auto answers = rng.below(4);
+    for (std::uint64_t i = 0; i < answers; ++i) {
+      ResourceRecord rr;
+      rr.name = *DnsName::parse(names[rng.below(4)]);
+      rr.ttl = static_cast<std::uint32_t>(rng.below(86400));
+      if (rng.bernoulli(0.5)) {
+        rr.type = RecordType::kA;
+        rr.rdata = AData{net::Ipv4Addr(static_cast<std::uint32_t>(rng()))};
+      } else {
+        rr.type = RecordType::kTxt;
+        rr.rdata = TxtData{std::string(rng.below(80), 't')};
+      }
+      msg.answers.push_back(std::move(rr));
+    }
+    if (rng.bernoulli(0.7)) {
+      msg.edns = EdnsInfo{};
+      if (rng.bernoulli(0.8)) {
+        msg.edns->ecs = EcsOption::for_query(
+            net::Prefix(net::Ipv4Addr(static_cast<std::uint32_t>(rng())),
+                        static_cast<std::uint8_t>(rng.below(25))));
+        msg.edns->ecs->scope_prefix_length =
+            static_cast<std::uint8_t>(rng.below(25));
+      }
+    }
+    const auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.ok) << decoded.error;
+    EXPECT_EQ(decoded.message, msg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTrip,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+TEST(Message, MakeResponseEchoesQuestionAndEcs) {
+  const auto query = sample_query();
+  const auto response = make_response(query, RCode::kNoError);
+  EXPECT_TRUE(response.header.qr);
+  EXPECT_EQ(response.header.id, query.header.id);
+  EXPECT_EQ(response.questions, query.questions);
+  ASSERT_TRUE(response.edns.has_value());
+  EXPECT_EQ(response.edns->ecs, query.edns->ecs);
+}
+
+}  // namespace
+}  // namespace netclients::dns

@@ -1,0 +1,297 @@
+// Tests for the resolver-side substrate: ECS-aware authoritative server
+// (scope consistency, drift, wire handling), the TTL+LRU cache, and the
+// token-bucket rate limiter.
+
+#include <gtest/gtest.h>
+
+#include "dns/wire.h"
+#include "dnssrv/authoritative.h"
+#include "dnssrv/cache.h"
+#include "dnssrv/rate_limiter.h"
+#include "net/rng.h"
+
+namespace netclients::dnssrv {
+namespace {
+
+ZoneConfig test_zone(std::uint8_t min_scope = 16, std::uint8_t max_scope = 24,
+                     double drift = 0.0, std::uint64_t seed = 7) {
+  ZoneConfig zone;
+  zone.name = *dns::DnsName::parse("www.example.com");
+  zone.ttl_seconds = 300;
+  zone.min_scope = min_scope;
+  zone.max_scope = max_scope;
+  zone.scope_drift_probability = drift;
+  zone.seed = seed;
+  return zone;
+}
+
+// ------------------------------------------------------------ authoritative
+
+TEST(Authoritative, ServesOnlyConfiguredZones) {
+  AuthoritativeServer server;
+  server.add_zone(test_zone());
+  EXPECT_TRUE(server.serves(*dns::DnsName::parse("www.example.com")));
+  EXPECT_FALSE(server.serves(*dns::DnsName::parse("other.example.com")));
+  EXPECT_FALSE(server
+                   .resolve(*dns::DnsName::parse("other.example.com"),
+                            *net::Prefix::parse("1.2.3.0/24"))
+                   .has_value());
+}
+
+TEST(Authoritative, ScopeWithinConfiguredBounds) {
+  AuthoritativeServer server;
+  server.add_zone(test_zone(18, 22));
+  net::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const net::Prefix p(net::Ipv4Addr(static_cast<std::uint32_t>(rng())), 24);
+    const auto scope =
+        server.scope_for(*dns::DnsName::parse("www.example.com"), p);
+    ASSERT_TRUE(scope.has_value());
+    EXPECT_GE(*scope, 18);
+    EXPECT_LE(*scope, 22);
+  }
+}
+
+TEST(Authoritative, NonEcsZoneReturnsScopeZero) {
+  AuthoritativeServer server;
+  ZoneConfig zone = test_zone();
+  zone.supports_ecs = false;
+  server.add_zone(zone);
+  EXPECT_EQ(*server.scope_for(zone.name, *net::Prefix::parse("1.2.3.0/24")),
+            0);
+}
+
+// The property the probe-reduction preprocessing relies on (§3.1.1): every
+// /24 inside a returned scope block is assigned exactly that scope.
+class ScopeConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScopeConsistency, AllSlash24sInBlockShareScope) {
+  AuthoritativeServer server;
+  server.add_zone(test_zone(16, 24, 0.0, GetParam()));
+  const auto name = *dns::DnsName::parse("www.example.com");
+  net::Rng rng(GetParam() ^ 0x55);
+  for (int i = 0; i < 50; ++i) {
+    const net::Prefix probe(net::Ipv4Addr(static_cast<std::uint32_t>(rng())),
+                            24);
+    const std::uint8_t scope = *server.scope_for(name, probe);
+    const net::Prefix block = probe.widen_to(scope);
+    // Sample /24s within the block; all must agree.
+    for (int j = 0; j < 16; ++j) {
+      const std::uint32_t offset = static_cast<std::uint32_t>(
+          rng.below(block.slash24_count()));
+      const net::Prefix inner = net::Prefix::from_slash24_index(
+          block.first_slash24_index() + offset);
+      EXPECT_EQ(*server.scope_for(name, inner), scope)
+          << block.to_string() << " inner " << inner.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScopeConsistency,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Authoritative, ScopeStableWithoutDrift) {
+  AuthoritativeServer server;
+  server.add_zone(test_zone(16, 24, 0.0));
+  const auto name = *dns::DnsName::parse("www.example.com");
+  const net::Prefix p = *net::Prefix::parse("100.64.5.0/24");
+  EXPECT_EQ(*server.scope_for(name, p, 0), *server.scope_for(name, p, 1));
+  EXPECT_EQ(*server.scope_for(name, p, 1), *server.scope_for(name, p, 7));
+}
+
+TEST(Authoritative, DriftChangesSomeScopesBetweenEpochs) {
+  AuthoritativeServer server;
+  server.add_zone(test_zone(16, 24, 0.15));
+  const auto name = *dns::DnsName::parse("www.example.com");
+  net::Rng rng(3);
+  int changed = 0;
+  const int total = 2000;
+  for (int i = 0; i < total; ++i) {
+    const net::Prefix p(net::Ipv4Addr(static_cast<std::uint32_t>(rng())), 24);
+    if (*server.scope_for(name, p, 0) != *server.scope_for(name, p, 1)) {
+      ++changed;
+    }
+  }
+  // Drift is applied per scope-block, so the per-/24 rate is in the same
+  // ballpark as the configured probability.
+  EXPECT_GT(changed, total * 0.05);
+  EXPECT_LT(changed, total * 0.35);
+}
+
+TEST(Authoritative, ResolveReturnsConsistentAnswerPerScopeBlock) {
+  AuthoritativeServer server;
+  server.add_zone(test_zone());
+  const auto name = *dns::DnsName::parse("www.example.com");
+  const net::Prefix p = *net::Prefix::parse("100.64.5.0/24");
+  const auto a = server.resolve(name, p);
+  ASSERT_TRUE(a.has_value());
+  const net::Prefix block = p.widen_to(a->scope_length);
+  const net::Prefix sibling = net::Prefix::from_slash24_index(
+      block.first_slash24_index() +
+      static_cast<std::uint32_t>(block.slash24_count()) - 1);
+  const auto b = server.resolve(name, sibling);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->address, b->address);
+  EXPECT_EQ(a->scope_length, b->scope_length);
+}
+
+TEST(Authoritative, WireHandleAnswersWithEcsScope) {
+  AuthoritativeServer server;
+  server.add_zone(test_zone());
+  const auto query = dns::make_query(
+      99, *dns::DnsName::parse("www.example.com"), dns::RecordType::kA, true,
+      dns::EcsOption::for_query(*net::Prefix::parse("100.64.5.0/24")));
+  const auto response = server.handle(query);
+  EXPECT_EQ(response.header.rcode, dns::RCode::kNoError);
+  EXPECT_TRUE(response.header.aa);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(response.answers[0].ttl, 300u);
+  ASSERT_TRUE(response.edns && response.edns->ecs);
+  EXPECT_GE(response.edns->ecs->scope_prefix_length, 16);
+  EXPECT_LE(response.edns->ecs->scope_prefix_length, 24);
+}
+
+TEST(Authoritative, WireHandleNxdomainForUnknownZone) {
+  AuthoritativeServer server;
+  server.add_zone(test_zone());
+  const auto query = dns::make_query(
+      1, *dns::DnsName::parse("nope.example.net"), dns::RecordType::kA, true);
+  EXPECT_EQ(server.handle(query).header.rcode, dns::RCode::kNxDomain);
+}
+
+TEST(Authoritative, WireHandleFormErrForEmptyQuestion) {
+  AuthoritativeServer server;
+  dns::DnsMessage query;
+  EXPECT_EQ(server.handle(query).header.rcode, dns::RCode::kFormErr);
+}
+
+TEST(Authoritative, TopologyClampNeverWidensPastAnnouncement) {
+  // With a routing table attached, response scopes must be at least as
+  // specific as the announcement containing the client — a CDN never
+  // aggregates across BGP boundaries.
+  AuthoritativeServer server;
+  server.add_zone(test_zone(16, 24));
+  net::PrefixTrie<std::uint32_t> topology;
+  topology.insert(*net::Prefix::parse("100.64.0.0/22"), 1);
+  topology.insert(*net::Prefix::parse("100.64.4.0/24"), 2);
+  server.set_topology(&topology);
+  const auto name = *dns::DnsName::parse("www.example.com");
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto scope = server.scope_for(
+        name, net::Prefix::from_slash24_index((0x6440u << 8 | 0) / 256 + i));
+    (void)scope;
+  }
+  EXPECT_GE(*server.scope_for(name, *net::Prefix::parse("100.64.1.0/24")),
+            22);
+  EXPECT_GE(*server.scope_for(name, *net::Prefix::parse("100.64.4.0/24")),
+            24);
+  // Unannounced space stays unclamped (walk bounds only).
+  const auto unrouted =
+      *server.scope_for(name, *net::Prefix::parse("100.65.0.0/24"));
+  EXPECT_GE(unrouted, 16);
+  EXPECT_LE(unrouted, 24);
+}
+
+// ------------------------------------------------------------------- cache
+
+CacheKey key_for(const char* name, const char* prefix) {
+  return CacheKey{*dns::DnsName::parse(name), dns::RecordType::kA,
+                  *net::Prefix::parse(prefix)};
+}
+
+CacheEntry entry_expiring(net::SimTime at) {
+  CacheEntry entry;
+  entry.rdata = dns::AData{net::Ipv4Addr(1)};
+  entry.original_ttl = 300;
+  entry.expires_at = at;
+  return entry;
+}
+
+TEST(DnsCache, HitWithinTtlMissAfter) {
+  DnsCache cache(16);
+  cache.insert(key_for("a.example", "1.2.3.0/24"), entry_expiring(100));
+  EXPECT_NE(cache.lookup(key_for("a.example", "1.2.3.0/24"), 50), nullptr);
+  EXPECT_EQ(cache.lookup(key_for("a.example", "1.2.3.0/24"), 100), nullptr);
+  EXPECT_EQ(cache.size(), 0u);  // expired entry dropped
+}
+
+TEST(DnsCache, ScopeIsPartOfKey) {
+  DnsCache cache(16);
+  cache.insert(key_for("a.example", "1.2.0.0/16"), entry_expiring(100));
+  EXPECT_EQ(cache.lookup(key_for("a.example", "1.2.3.0/24"), 1), nullptr);
+  EXPECT_NE(cache.lookup(key_for("a.example", "1.2.0.0/16"), 1), nullptr);
+}
+
+TEST(DnsCache, LruEvictsOldest) {
+  DnsCache cache(2);
+  cache.insert(key_for("a.example", "1.0.0.0/24"), entry_expiring(1e9));
+  cache.insert(key_for("b.example", "2.0.0.0/24"), entry_expiring(1e9));
+  // Touch a, making b the LRU victim.
+  EXPECT_NE(cache.lookup(key_for("a.example", "1.0.0.0/24"), 1), nullptr);
+  cache.insert(key_for("c.example", "3.0.0.0/24"), entry_expiring(1e9));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.lookup(key_for("a.example", "1.0.0.0/24"), 1), nullptr);
+  EXPECT_EQ(cache.lookup(key_for("b.example", "2.0.0.0/24"), 1), nullptr);
+}
+
+TEST(DnsCache, ReinsertRefreshesEntry) {
+  DnsCache cache(4);
+  cache.insert(key_for("a.example", "1.0.0.0/24"), entry_expiring(10));
+  cache.insert(key_for("a.example", "1.0.0.0/24"), entry_expiring(100));
+  EXPECT_EQ(cache.size(), 1u);
+  const CacheEntry* entry = cache.lookup(key_for("a.example", "1.0.0.0/24"),
+                                         50);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->remaining_ttl(50), 50u);
+}
+
+TEST(DnsCache, CountsHitsAndMisses) {
+  DnsCache cache(4);
+  cache.insert(key_for("a.example", "1.0.0.0/24"), entry_expiring(1e9));
+  cache.lookup(key_for("a.example", "1.0.0.0/24"), 1);
+  cache.lookup(key_for("z.example", "9.0.0.0/24"), 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+// ------------------------------------------------------------ token bucket
+
+TEST(TokenBucket, AllowsBurstThenLimits) {
+  TokenBucket bucket(10, 5);  // 10/s, burst 5
+  int allowed = 0;
+  for (int i = 0; i < 20; ++i) allowed += bucket.allow(0.0);
+  EXPECT_EQ(allowed, 5);
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket bucket(10, 5);
+  for (int i = 0; i < 5; ++i) bucket.allow(0.0);
+  EXPECT_FALSE(bucket.allow(0.0));
+  EXPECT_TRUE(bucket.allow(0.1));   // one token refilled
+  EXPECT_FALSE(bucket.allow(0.1));
+  EXPECT_TRUE(bucket.allow(1.0));
+}
+
+TEST(TokenBucket, SustainedRateMatchesConfig) {
+  TokenBucket bucket(50, 50);
+  int allowed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    allowed += bucket.allow(i * 0.01);  // 100 attempts/s for 10s
+  }
+  // ~50/s sustained plus the initial burst.
+  EXPECT_NEAR(allowed, 550, 30);
+}
+
+TEST(TokenBucket, ClockResetStartsNewEpoch) {
+  TokenBucket bucket(1000, 1000);
+  for (int i = 0; i < 600; ++i) EXPECT_TRUE(bucket.allow(i * 0.001));
+  // A new measurement stage restarts its schedule at t=0; the limiter must
+  // keep refilling rather than starving the stage.
+  int allowed = 0;
+  for (int i = 0; i < 2000; ++i) allowed += bucket.allow(i * 0.001);
+  EXPECT_GT(allowed, 1900);
+}
+
+}  // namespace
+}  // namespace netclients::dnssrv

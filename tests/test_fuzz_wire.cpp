@@ -1,0 +1,125 @@
+// Robustness fuzzing for the DNS wire decoder: random mutations of valid
+// messages and fully random buffers must never crash, never loop, and —
+// when a mutant still decodes — must re-encode to something that decodes
+// to the same message (decode∘encode idempotence).
+
+#include <gtest/gtest.h>
+
+#include "dns/wire.h"
+#include "net/rng.h"
+
+namespace netclients::dns {
+namespace {
+
+DnsMessage base_message(net::Rng& rng) {
+  DnsMessage msg = make_query(
+      static_cast<std::uint16_t>(rng()), *DnsName::parse("www.example.com"),
+      RecordType::kA, rng.bernoulli(0.5),
+      EcsOption::for_query(
+          net::Prefix(net::Ipv4Addr(static_cast<std::uint32_t>(rng())),
+                      static_cast<std::uint8_t>(rng.below(25)))));
+  if (rng.bernoulli(0.5)) {
+    msg.header.qr = true;
+    msg.answers.push_back(ResourceRecord{
+        *DnsName::parse("www.example.com"), RecordType::kA, kClassIn,
+        static_cast<std::uint32_t>(rng.below(3600)),
+        AData{net::Ipv4Addr(static_cast<std::uint32_t>(rng()))}});
+    msg.answers.push_back(ResourceRecord{
+        *DnsName::parse("alias.example.com"), RecordType::kTxt, kClassIn,
+        60, TxtData{"some text payload"}});
+  }
+  return msg;
+}
+
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzz, MutatedMessagesNeverCrashAndStayIdempotent) {
+  net::Rng rng(GetParam());
+  for (int iter = 0; iter < 400; ++iter) {
+    auto wire = encode(base_message(rng));
+    // Apply 1-4 random byte mutations / truncations / extensions.
+    const int mutations = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < mutations && !wire.empty(); ++m) {
+      switch (rng.below(4)) {
+        case 0:  // flip a byte
+          wire[rng.below(wire.size())] ^=
+              static_cast<std::uint8_t>(1 + rng.below(255));
+          break;
+        case 1:  // truncate
+          wire.resize(rng.below(wire.size() + 1));
+          break;
+        case 2:  // append garbage
+          wire.push_back(static_cast<std::uint8_t>(rng()));
+          break;
+        default:  // overwrite a length-ish field with extremes
+          wire[rng.below(wire.size())] = rng.bernoulli(0.5) ? 0xFF : 0xC0;
+          break;
+      }
+    }
+    const DecodeResult first = decode(wire);
+    if (!first.ok) continue;  // rejected: fine
+    // Accepted mutants must survive a re-encode/decode cycle unchanged.
+    const auto rewire = encode(first.message);
+    const DecodeResult second = decode(rewire);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_EQ(second.message, first.message);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,
+                         ::testing::Values(0xF1, 0xF2, 0xF3, 0xF4, 0xF5,
+                                           0xF6, 0xF7, 0xF8));
+
+TEST(WireFuzz, PureGarbageNeverCrashes) {
+  net::Rng rng(0xDEAD);
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::vector<std::uint8_t> wire(rng.below(160));
+    for (auto& b : wire) b = static_cast<std::uint8_t>(rng());
+    (void)decode(wire);  // must neither crash nor hang
+  }
+  SUCCEED();
+}
+
+TEST(WireFuzz, AllZeroAndAllOnesBuffers) {
+  for (std::size_t len : {0u, 1u, 11u, 12u, 13u, 64u, 512u}) {
+    std::vector<std::uint8_t> zeros(len, 0x00);
+    std::vector<std::uint8_t> ones(len, 0xFF);
+    (void)decode(zeros);
+    (void)decode(ones);
+  }
+  SUCCEED();
+}
+
+TEST(WireFuzz, DeepPointerChainRejected) {
+  // A ladder of compression pointers, each pointing one step back; the
+  // hop guard must reject far before unbounded recursion.
+  std::vector<std::uint8_t> wire = {0x00, 0x01, 0x00, 0x00, 0x00, 0x01,
+                                    0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  const std::size_t ladder_start = wire.size();
+  // First rung: a real (empty) name would terminate; build pointer rungs
+  // that each point to the previous rung.
+  wire.push_back(0x01);
+  wire.push_back('a');
+  wire.push_back(0x00);  // name "a" at ladder_start
+  std::size_t prev = ladder_start;
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t here = wire.size();
+    wire.push_back(static_cast<std::uint8_t>(0xC0 | (prev >> 8)));
+    wire.push_back(static_cast<std::uint8_t>(prev & 0xFF));
+    prev = here;
+  }
+  // Question name = final pointer; then qtype/qclass.
+  wire.push_back(static_cast<std::uint8_t>(0xC0 | (prev >> 8)));
+  wire.push_back(static_cast<std::uint8_t>(prev & 0xFF));
+  wire.push_back(0x00);
+  wire.push_back(0x01);
+  wire.push_back(0x00);
+  wire.push_back(0x01);
+  // Whether accepted or rejected, it must terminate quickly; the question
+  // name itself is behind >64 hops, so the guard rejects it.
+  const DecodeResult result = decode(wire);
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace netclients::dns

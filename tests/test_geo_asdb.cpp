@@ -1,0 +1,153 @@
+// Tests for the geolocation database (MaxMind stand-in) and the ASdb
+// categorization database.
+
+#include <gtest/gtest.h>
+
+#include "asdb/asdb.h"
+#include "geo/geodb.h"
+#include "net/rng.h"
+#include "sim/world.h"
+
+namespace netclients {
+namespace {
+
+TEST(GeoDatabase, AddAndLookup) {
+  geo::GeoDatabase db;
+  db.add(100, {{10, 20}, 50, 3});
+  db.add(200, {{30, 40}, 25, 4});
+  const auto rec = db.lookup(100);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->location.lat_deg, 10);
+  EXPECT_EQ(rec->country, 3);
+  EXPECT_FALSE(db.lookup(150).has_value());
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(GeoDatabase, ForEachVisitsAllInOrder) {
+  geo::GeoDatabase db;
+  db.add(5, {});
+  db.add(9, {});
+  db.add(12, {});
+  std::vector<std::uint32_t> seen;
+  db.for_each([&](std::uint32_t idx, const geo::GeoRecord&) {
+    seen.push_back(idx);
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{5, 9, 12}));
+}
+
+TEST(GeoDatabase, HighQualityObservationsAreMoreAccurate) {
+  // The MaxMind error model [16]: eyeball networks geolocate well,
+  // infrastructure poorly. Compare mean displacement at two qualities.
+  net::Rng rng(11);
+  const net::LatLon truth{48.0, 11.0};
+  double err_high = 0, err_low = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    err_high += net::haversine_km(
+        truth, geo::GeoDatabase::observe(truth, 0, 0.9, rng).location);
+    err_low += net::haversine_km(
+        truth, geo::GeoDatabase::observe(truth, 0, 0.3, rng).location);
+  }
+  EXPECT_LT(err_high / n * 2.5, err_low / n);
+}
+
+TEST(GeoDatabase, ErrorRadiusCorrelatesWithTrueError) {
+  net::Rng rng(12);
+  const net::LatLon truth{48.0, 11.0};
+  // Records claiming a small radius should usually be close to the truth.
+  double small_radius_err = 0, large_radius_err = 0;
+  int small_count = 0, large_count = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto rec = geo::GeoDatabase::observe(truth, 0, 0.6, rng);
+    const double err = net::haversine_km(truth, rec.location);
+    if (rec.error_radius_km < 100) {
+      small_radius_err += err;
+      ++small_count;
+    } else if (rec.error_radius_km > 400) {
+      large_radius_err += err;
+      ++large_count;
+    }
+  }
+  ASSERT_GT(small_count, 50);
+  ASSERT_GT(large_count, 50);
+  EXPECT_LT(small_radius_err / small_count, large_radius_err / large_count);
+}
+
+TEST(Asdb, AddLookupAndMiss) {
+  asdb::AsdbDatabase db;
+  db.add(65001, asdb::AsCategory::kIsp);
+  EXPECT_EQ(db.lookup(65001), asdb::AsCategory::kIsp);
+  EXPECT_FALSE(db.lookup(65002).has_value());
+}
+
+TEST(Asdb, CategoryNames) {
+  EXPECT_EQ(asdb::to_string(asdb::AsCategory::kIsp), "ISP");
+  EXPECT_EQ(asdb::to_string(asdb::AsCategory::kHostingCloud),
+            "Hosting/cloud");
+  EXPECT_EQ(asdb::to_string(asdb::AsCategory::kEducation), "Education");
+}
+
+TEST(Asdb, WorldCoverageNearPaperRate) {
+  sim::WorldConfig config;
+  config.scale = 1.0 / 128;
+  const sim::World world = sim::World::generate(config);
+  std::size_t categorized = 0;
+  for (const sim::AsEntry& as : world.ases()) {
+    categorized += world.asdb().lookup(as.asn).has_value();
+  }
+  const double coverage =
+      static_cast<double>(categorized) / world.ases().size();
+  EXPECT_NEAR(coverage, 0.927, 0.03);  // ASdb categorizes 92.7% [38]
+}
+
+TEST(Asdb, WorldCategoriesMatchTypes) {
+  sim::WorldConfig config;
+  config.scale = 1.0 / 1024;
+  const sim::World world = sim::World::generate(config);
+  for (const sim::AsEntry& as : world.ases()) {
+    const auto category = world.asdb().lookup(as.asn);
+    if (!category) continue;
+    if (as.type == sim::AsType::kIspEyeball) {
+      EXPECT_EQ(*category, asdb::AsCategory::kIsp);
+    } else if (as.type == sim::AsType::kEducation) {
+      EXPECT_EQ(*category, asdb::AsCategory::kEducation);
+    }
+  }
+}
+
+TEST(GeoWorld, EveryAllocatedBlockHasGeoRecord) {
+  sim::WorldConfig config;
+  config.scale = 1.0 / 1024;
+  const sim::World world = sim::World::generate(config);
+  EXPECT_EQ(world.geodb().size(), world.blocks().size());
+  for (std::size_t i = 0; i < world.blocks().size(); i += 37) {
+    EXPECT_TRUE(world.geodb().lookup(world.blocks()[i].index).has_value());
+  }
+}
+
+TEST(GeoWorld, EyeballBlocksGeolocateBetterThanInfra) {
+  sim::WorldConfig config;
+  config.scale = 1.0 / 256;
+  const sim::World world = sim::World::generate(config);
+  double eyeball_err = 0, infra_err = 0;
+  int eyeball_n = 0, infra_n = 0;
+  for (const sim::Slash24Block& block : world.blocks()) {
+    const auto rec = world.geodb().lookup(block.index);
+    if (!rec || block.as_index == sim::Slash24Block::kNoAs) continue;
+    const double err = net::haversine_km(block.location, rec->location);
+    const sim::AsType type = world.ases()[block.as_index].type;
+    if (type == sim::AsType::kIspEyeball && block.users > 0) {
+      eyeball_err += err;
+      ++eyeball_n;
+    } else if (type == sim::AsType::kHostingCloud) {
+      infra_err += err;
+      ++infra_n;
+    }
+  }
+  ASSERT_GT(eyeball_n, 100);
+  ASSERT_GT(infra_n, 100);
+  EXPECT_LT(eyeball_err / eyeball_n, infra_err / infra_n);
+}
+
+}  // namespace
+}  // namespace netclients

@@ -1,0 +1,319 @@
+// Tests for the Google Public DNS model: RD=0 cache-snooping semantics,
+// ECS scope matching, pool redundancy, rate limiting, the o-o.myaddr
+// service, and consistency between the explicit (event-driven) cache and
+// the analytic occupancy model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dns/wire.h"
+#include "googledns/google_dns.h"
+#include "net/rng.h"
+
+namespace netclients::googledns {
+namespace {
+
+class FixedRateActivity final : public ClientActivityModel {
+ public:
+  explicit FixedRateActivity(double rate) : rate_(rate) {}
+  double arrival_rate(anycast::PopId, const dns::DnsName&,
+                      net::Prefix) const override {
+    return rate_;
+  }
+
+ private:
+  double rate_;
+};
+
+struct Fixture {
+  explicit Fixture(double analytic_rate = -1, std::uint8_t min_scope = 20,
+                   std::uint8_t max_scope = 24, double drift = 0.0)
+      : pops(anycast::PopTable::google_default()),
+        catchment(&pops, 42, 0.22) {
+    dnssrv::ZoneConfig zone;
+    zone.name = *dns::DnsName::parse("www.example.com");
+    zone.ttl_seconds = 300;
+    zone.min_scope = min_scope;
+    zone.max_scope = max_scope;
+    zone.scope_drift_probability = drift;
+    zone.seed = 99;
+    auth.add_zone(zone);
+    dnssrv::ZoneConfig no_ecs;
+    no_ecs.name = *dns::DnsName::parse("noecs.example.com");
+    no_ecs.supports_ecs = false;
+    no_ecs.ttl_seconds = 300;
+    auth.add_zone(no_ecs);
+    if (analytic_rate >= 0) {
+      activity = std::make_unique<FixedRateActivity>(analytic_rate);
+    }
+    gdns = std::make_unique<GooglePublicDns>(&pops, &catchment, &auth,
+                                             GoogleDnsConfig{},
+                                             activity.get());
+  }
+
+  anycast::PopTable pops;
+  anycast::CatchmentModel catchment;
+  dnssrv::AuthoritativeServer auth;
+  std::unique_ptr<FixedRateActivity> activity;
+  std::unique_ptr<GooglePublicDns> gdns;
+  const dns::DnsName domain = *dns::DnsName::parse("www.example.com");
+};
+
+net::Prefix scope_block_for(Fixture& f, net::Ipv4Addr client) {
+  const auto scope = f.auth.scope_for(f.domain,
+                                      net::Prefix::slash24_of(client),
+                                      f.gdns->config().epoch);
+  return net::Prefix::slash24_of(client).widen_to(*scope);
+}
+
+TEST(GoogleDns, SnoopMissesEmptyCache) {
+  Fixture f;
+  const auto probe = f.gdns->probe(0, f.domain,
+                                   *net::Prefix::parse("10.1.2.0/24"), 1.0,
+                                   Transport::kTcp, 0, 0);
+  EXPECT_FALSE(probe.cache_hit);
+  EXPECT_FALSE(probe.rate_limited);
+}
+
+TEST(GoogleDns, ClientQueryThenSnoopHits) {
+  Fixture f;
+  const net::Ipv4Addr client = *net::Ipv4Addr::parse("100.64.5.9");
+  // Redundant attempts (paper: 5) cover the independent cache pools.
+  f.gdns->client_query(0, f.domain, client, 10.0);
+  bool hit = false;
+  std::uint8_t return_scope = 0;
+  for (int attempt = 0; attempt < 16 && !hit; ++attempt) {
+    const auto probe = f.gdns->probe(0, f.domain, scope_block_for(f, client),
+                                     20.0, Transport::kTcp, 0, attempt);
+    hit = probe.cache_hit;
+    return_scope = probe.return_scope;
+  }
+  EXPECT_TRUE(hit);
+  EXPECT_GT(return_scope, 0);
+}
+
+TEST(GoogleDns, HitExpiresWithTtl) {
+  Fixture f;
+  const net::Ipv4Addr client = *net::Ipv4Addr::parse("100.64.5.9");
+  f.gdns->client_query(0, f.domain, client, 10.0);
+  bool hit = false;
+  for (int attempt = 0; attempt < 16 && !hit; ++attempt) {
+    hit = f.gdns->probe(0, f.domain, scope_block_for(f, client), 10.0 + 400,
+                        Transport::kTcp, 0, attempt)
+              .cache_hit;
+  }
+  EXPECT_FALSE(hit) << "entry outlived its 300s TTL";
+}
+
+TEST(GoogleDns, CacheIsPerPop) {
+  Fixture f;
+  const net::Ipv4Addr client = *net::Ipv4Addr::parse("100.64.5.9");
+  f.gdns->client_query(3, f.domain, client, 10.0);
+  bool hit_other_pop = false;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    hit_other_pop |= f.gdns->probe(7, f.domain, scope_block_for(f, client),
+                                   20.0, Transport::kTcp, 0, attempt)
+                         .cache_hit;
+  }
+  EXPECT_FALSE(hit_other_pop)
+      << "anycast PoPs have independent caches (§3.1.1)";
+}
+
+TEST(GoogleDns, QueryScopeNarrowerThanEntryStillHits) {
+  // RFC 7871: a cached /20-scoped entry answers queries with /24 sources
+  // inside it. Probing the /24 therefore works even when the entry is
+  // wider — the calibration stage relies on this.
+  Fixture f;
+  const net::Ipv4Addr client = *net::Ipv4Addr::parse("100.64.5.9");
+  f.gdns->client_query(0, f.domain, client, 10.0);
+  bool hit = false;
+  for (int attempt = 0; attempt < 16 && !hit; ++attempt) {
+    hit = f.gdns->probe(0, f.domain, net::Prefix::slash24_of(client), 20.0,
+                        Transport::kTcp, 0, attempt)
+              .cache_hit;
+  }
+  EXPECT_TRUE(hit);
+}
+
+TEST(GoogleDns, QueryScopeWiderThanEntryMisses) {
+  // The inverse direction must miss: an entry scoped /20+ cannot answer a
+  // query whose ECS source is the /16 containing it.
+  Fixture f;
+  const net::Ipv4Addr client = *net::Ipv4Addr::parse("100.64.5.9");
+  f.gdns->client_query(0, f.domain, client, 10.0);
+  bool hit = false;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    hit |= f.gdns->probe(0, f.domain, net::Prefix(client, 16), 20.0,
+                         Transport::kTcp, 0, attempt)
+               .cache_hit;
+  }
+  EXPECT_FALSE(hit);
+}
+
+TEST(GoogleDns, NonEcsDomainReturnsScopeZero) {
+  Fixture f(10.0);  // analytic activity everywhere
+  const auto name = *dns::DnsName::parse("noecs.example.com");
+  const auto probe = f.gdns->probe(0, name,
+                                   *net::Prefix::parse("10.1.2.0/24"), 50.0,
+                                   Transport::kTcp, 0, 0);
+  // Whatever the occupancy, a hit must carry scope 0 — which the pipeline
+  // discards as carrying no per-prefix signal.
+  if (probe.cache_hit) {
+    EXPECT_EQ(probe.return_scope, 0);
+  }
+}
+
+TEST(GoogleDns, UnknownDomainNeverHits) {
+  Fixture f(10.0);
+  const auto probe = f.gdns->probe(0, *dns::DnsName::parse("nope.example"),
+                                   *net::Prefix::parse("10.1.2.0/24"), 50.0,
+                                   Transport::kTcp, 0, 0);
+  EXPECT_FALSE(probe.cache_hit);
+}
+
+TEST(GoogleDns, AnalyticHighRateHits) {
+  Fixture f(10.0);  // 10 qps per (pop, block): cache effectively always warm
+  int hits = 0;
+  net::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const net::Prefix block(net::Ipv4Addr(static_cast<std::uint32_t>(rng())),
+                            24);
+    const net::Prefix query =
+        block.widen_to(*f.auth.scope_for(f.domain, block, 1));
+    hits += f.gdns
+                ->probe(0, f.domain, query, 1000.0 + i, Transport::kTcp, 0, 0)
+                .cache_hit;
+  }
+  EXPECT_GT(hits, 45);
+}
+
+TEST(GoogleDns, AnalyticZeroRateNeverHits) {
+  Fixture f(0.0);
+  net::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const net::Prefix block(net::Ipv4Addr(static_cast<std::uint32_t>(rng())),
+                            24);
+    EXPECT_FALSE(
+        f.gdns->probe(0, f.domain, block, 1000.0 + i, Transport::kTcp, 0, 0)
+            .cache_hit);
+  }
+}
+
+TEST(GoogleDns, AnalyticOccupancyConsistentAcrossRepeatedProbes) {
+  Fixture f(0.01);
+  const net::Prefix block = *net::Prefix::parse("10.4.0.0/24");
+  const net::Prefix query =
+      block.widen_to(*f.auth.scope_for(f.domain, block, 1));
+  const auto first = f.gdns->probe(0, f.domain, query, 500.0,
+                                   Transport::kTcp, 0, 3);
+  const auto second = f.gdns->probe(0, f.domain, query, 500.0,
+                                    Transport::kTcp, 0, 3);
+  EXPECT_EQ(first.cache_hit, second.cache_hit);
+  EXPECT_EQ(first.return_scope, second.return_scope);
+}
+
+TEST(GoogleDns, AnalyticHitFrequencyMatchesRenewalModel) {
+  // P(entry present) for Poisson arrivals at rate λ per pool with TTL T is
+  // 1 - exp(-λT). Probe many distinct blocks once each and compare.
+  const double rate = 0.002;  // per block; /4 pools => λ=0.0005, T=300
+  Fixture f(rate);
+  const double per_pool = rate / f.gdns->config().pools_per_pop;
+  const double expected = 1.0 - std::exp(-per_pool * 300.0);
+  net::Rng rng(3);
+  int hits = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const net::Prefix block(net::Ipv4Addr(static_cast<std::uint32_t>(rng())),
+                            24);
+    const net::Prefix query =
+        block.widen_to(*f.auth.scope_for(f.domain, block, 1));
+    hits += f.gdns
+                ->probe(0, f.domain, query, 1e4 + i * 7.0, Transport::kTcp,
+                        0, 0)
+                .cache_hit;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, expected, 0.02);
+}
+
+TEST(GoogleDns, UdpRateLimitTripsTcpDoesNot) {
+  Fixture f;
+  int udp_limited = 0, tcp_limited = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = i * 0.002;  // 500 qps
+    udp_limited += f.gdns
+                       ->probe(0, f.domain,
+                               *net::Prefix::parse("10.0.0.0/24"), t,
+                               Transport::kUdp, 1, i)
+                       .rate_limited;
+    tcp_limited += f.gdns
+                       ->probe(0, f.domain,
+                               *net::Prefix::parse("10.0.0.0/24"), t,
+                               Transport::kTcp, 1, i)
+                       .rate_limited;
+  }
+  EXPECT_GT(udp_limited, 1500) << "repeated-domain UDP limit should trip";
+  EXPECT_EQ(tcp_limited, 0) << "TCP stays under the 1500 qps limit";
+}
+
+TEST(GoogleDns, MyaddrWireServiceReportsPop) {
+  Fixture f;
+  const auto query = dns::make_query(1, GooglePublicDns::myaddr_name(),
+                                     dns::RecordType::kTxt, true);
+  const net::LatLon groningen{53.2, 6.6};
+  const auto response =
+      f.gdns->handle(query, groningen, 77, 0.0, Transport::kUdp);
+  ASSERT_EQ(response.answers.size(), 1u);
+  const auto& txt = std::get<dns::TxtData>(response.answers[0].rdata);
+  const anycast::PopId expected = f.gdns->pop_for(groningen, 77);
+  EXPECT_EQ(txt.text, f.pops.site(expected).city);
+}
+
+TEST(GoogleDns, WireSnoopPathMatchesDirectProbe) {
+  Fixture f;
+  const net::Ipv4Addr client = *net::Ipv4Addr::parse("100.64.5.9");
+  const net::LatLon vp_loc{39.0, -77.5};
+  const anycast::PopId pop = f.gdns->pop_for(vp_loc, 1);
+  f.gdns->client_query(pop, f.domain, client, 10.0);
+  // Snoop over the wire: RD=0 + ECS, via encode/decode round trip.
+  bool hit = false;
+  for (std::uint16_t id = 0; id < 16 && !hit; ++id) {
+    auto query = dns::make_query(
+        id, f.domain, dns::RecordType::kA, false,
+        dns::EcsOption::for_query(scope_block_for(f, client)));
+    const auto wire = dns::encode(query);
+    const auto decoded = dns::decode(wire);
+    ASSERT_TRUE(decoded.ok);
+    const auto response =
+        f.gdns->handle(decoded.message, vp_loc, 1, 20.0, Transport::kTcp, 1);
+    hit = !response.answers.empty();
+    if (hit) {
+      ASSERT_TRUE(response.edns && response.edns->ecs);
+      EXPECT_GT(response.edns->ecs->scope_prefix_length, 0);
+    }
+  }
+  EXPECT_TRUE(hit);
+}
+
+TEST(GoogleDns, RecursiveWireQueryPopulatesCache) {
+  Fixture f;
+  auto query = dns::make_query(
+      5, f.domain, dns::RecordType::kA, true,
+      dns::EcsOption::for_query(*net::Prefix::parse("100.64.5.0/24")));
+  const auto response =
+      f.gdns->handle(query, {39.0, -77.5}, 2, 1.0, Transport::kUdp);
+  EXPECT_EQ(response.answers.size(), 1u);
+  EXPECT_GE(f.gdns->explicit_entries(), 1u);
+}
+
+TEST(GoogleDns, ExplicitEntriesCountsCacheContents) {
+  Fixture f;
+  EXPECT_EQ(f.gdns->explicit_entries(), 0u);
+  f.gdns->client_query(0, f.domain, *net::Ipv4Addr::parse("100.64.5.9"), 1);
+  f.gdns->client_query(0, f.domain, *net::Ipv4Addr::parse("200.1.2.3"), 1);
+  EXPECT_EQ(f.gdns->explicit_entries(), 2u);
+}
+
+}  // namespace
+}  // namespace netclients::googledns

@@ -1,0 +1,262 @@
+// End-to-end integration tests: the full measurement study on a small
+// world — both techniques, the validation datasets, and the paper's
+// qualitative claims checked against ground truth. Also exercises the
+// packet-level (wire format) path through the full stack.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+
+#include "apnic/apnic.h"
+#include "cdn/cdn.h"
+#include "core/cacheprobe/cacheprobe.h"
+#include "core/chromium/chromium.h"
+#include "core/compare/compare.h"
+#include "core/datasets/datasets.h"
+#include "dns/wire.h"
+#include "roots/root_server.h"
+#include "sim/activity.h"
+#include "sim/ditl.h"
+#include "sim/world.h"
+
+namespace netclients {
+namespace {
+
+struct Study {
+  Study() {
+    sim::WorldConfig config;
+    config.scale = 1.0 / 512;
+    world = sim::World::generate(config);
+    activity = std::make_unique<sim::WorldActivityModel>(&world);
+    gdns = std::make_unique<googledns::GooglePublicDns>(
+        &world.pops(), &world.catchment(), &world.authoritative(),
+        googledns::GoogleDnsConfig{}, activity.get());
+    core::CacheProbeCampaign campaign(
+        &world.authoritative(), gdns.get(), &world.geodb(),
+        anycast::default_vantage_fleet(), world.domains(), 1u << 16,
+        world.address_space_end());
+    probing = campaign.run_full();
+
+    const roots::RootSystem roots = roots::RootSystem::ditl_2020(config.seed);
+    sim::DitlOptions ditl;
+    ditl.sample_rate = 1.0 / 16;  // streaming-sampled, counts scaled back
+    core::ChromiumOptions chromium_options;
+    chromium_options.sample_rate = ditl.sample_rate;
+    const core::ChromiumCounter counter(chromium_options);
+    chromium = counter.process(
+        [&](const std::function<void(const roots::TraceRecord&)>& emit) {
+          sim::generate_ditl(world, roots, ditl, emit);
+        });
+
+    ms = cdn::observe_cdn(world, {});
+    apnic_est = apnic::estimate_population(world, {});
+  }
+
+  sim::World world;
+  std::unique_ptr<sim::WorldActivityModel> activity;
+  std::unique_ptr<googledns::GooglePublicDns> gdns;
+  core::CampaignResult probing;
+  core::ChromiumResult chromium;
+  cdn::CdnObservation ms;
+  apnic::ApnicEstimate apnic_est;
+};
+
+const Study& study() {
+  static const Study s;
+  return s;
+}
+
+core::PrefixDataset clients_dataset() {
+  core::PrefixDataset ds("Microsoft clients");
+  for (const auto& [idx, volume] : study().ms.client_volume) {
+    ds.add(idx, volume);
+  }
+  return ds;
+}
+
+TEST(EndToEnd, TechniquesDetectMostCdnVolume) {
+  const auto clients = clients_dataset();
+  const auto probing_ds = study().probing.to_prefix_dataset("cache probing");
+  const auto logs_ds = study().chromium.to_prefix_dataset("DNS logs");
+  const auto unified = core::PrefixDataset::union_of("union", probing_ds,
+                                                     logs_ds);
+  // Paper: 95.2% of CDN volume in detected prefixes. Accept the same
+  // ballpark at small scale.
+  EXPECT_GT(core::prefix_volume_share(clients, unified), 80.0);
+}
+
+TEST(EndToEnd, DnsLogsHasHighPrecision) {
+  const auto clients = clients_dataset();
+  const auto logs_ds = study().chromium.to_prefix_dataset("DNS logs");
+  std::size_t in_clients = 0;
+  for (const auto& [idx, count] : logs_ds.entries()) {
+    in_clients += clients.contains(idx);
+  }
+  ASSERT_GT(logs_ds.size(), 20u);
+  // Paper: 95.5% of DNS-logs prefixes are Microsoft-client prefixes.
+  EXPECT_GT(static_cast<double>(in_clients) / logs_ds.size(), 0.85);
+}
+
+TEST(EndToEnd, CacheProbingUpperBoundIsGenerous) {
+  // Paper: only 74.7% of upper-bound /24s are CDN client /24s — the bound
+  // deliberately over-counts. Verify it over-counts but not absurdly.
+  const auto clients = clients_dataset();
+  const auto probing_ds = study().probing.to_prefix_dataset("cache probing");
+  std::size_t in_clients = 0;
+  for (const auto& [idx, v] : probing_ds.entries()) {
+    in_clients += clients.contains(idx);
+  }
+  const double precision =
+      static_cast<double>(in_clients) / probing_ds.size();
+  EXPECT_GT(precision, 0.4);
+  EXPECT_LT(precision, 0.95);
+}
+
+TEST(EndToEnd, UnionBeatsEitherTechniqueAtAsLevel) {
+  const auto probing_as = core::to_as_dataset(
+      "cache probing", study().probing.to_prefix_dataset("p"), study().world);
+  const auto logs_as = core::to_as_dataset(
+      "DNS logs", study().chromium.to_prefix_dataset("l"), study().world);
+  const auto union_as =
+      core::AsDataset::union_of("union", probing_as, logs_as);
+  EXPECT_GT(union_as.size(), probing_as.size());
+  EXPECT_GT(union_as.size(), logs_as.size());
+}
+
+TEST(EndToEnd, ApnicMissesAsesTheTechniquesFind) {
+  const auto probing_as = core::to_as_dataset(
+      "cache probing", study().probing.to_prefix_dataset("p"), study().world);
+  std::size_t missed_by_apnic = 0;
+  for (const auto& [asn, v] : probing_as.entries()) {
+    missed_by_apnic += !study().apnic_est.users_by_as.contains(asn);
+  }
+  EXPECT_GT(missed_by_apnic, 0u)
+      << "the paper found 29,973 such ASes at full scale";
+}
+
+TEST(EndToEnd, GroundTruthEcsRecoveredByMsCdnDomain) {
+  // §4: cache probing recovers 91% of the ground-truth ECS prefixes of the
+  // Microsoft-hosted domain (clients using Google Public DNS).
+  int ms_domain = -1;
+  for (std::size_t d = 0; d < study().world.domains().size(); ++d) {
+    if (study().world.domains()[d].is_microsoft_cdn) {
+      ms_domain = static_cast<int>(d);
+    }
+  }
+  ASSERT_GE(ms_domain, 0);
+  std::uint64_t recovered = 0;
+  for (std::uint32_t idx : study().ms.ecs_prefixes) {
+    recovered += study()
+                     .probing.active_by_domain[static_cast<std::size_t>(
+                         ms_domain)]
+                     .intersects(net::Prefix::from_slash24_index(idx));
+  }
+  ASSERT_FALSE(study().ms.ecs_prefixes.empty());
+  const double recall =
+      static_cast<double>(recovered) / study().ms.ecs_prefixes.size();
+  EXPECT_GT(recall, 0.6);  // paper: 0.91 at full scale
+}
+
+TEST(EndToEnd, ResolverCentricDatasetsAgree) {
+  // DNS logs and Microsoft resolvers both observe recursive resolvers, so
+  // their AS sets overlap far more than either does with APNIC (B.3).
+  const auto logs_as = core::to_as_dataset(
+      "DNS logs", study().chromium.to_prefix_dataset("l"), study().world);
+  core::AsDataset resolvers_as("Microsoft resolvers");
+  {
+    core::PrefixDataset resolver_prefixes("r");
+    for (const auto& [idx, clients] : study().ms.resolver_clients) {
+      resolver_prefixes.add(idx, clients);
+    }
+    resolvers_as = core::to_as_dataset("Microsoft resolvers",
+                                       resolver_prefixes, study().world);
+  }
+  std::size_t in_resolvers = 0, in_apnic = 0;
+  for (const auto& [asn, v] : logs_as.entries()) {
+    in_resolvers += resolvers_as.contains(asn);
+    in_apnic += study().apnic_est.users_by_as.contains(asn);
+  }
+  EXPECT_GT(in_resolvers, in_apnic);
+}
+
+TEST(EndToEnd, WirePacketFlowThroughFullStack) {
+  // A miniature packet-level run: a client populates the cache through the
+  // recursive front end, a prober discovers its PoP via myaddr and snoops
+  // it — all via encoded/decoded DNS messages.
+  const sim::World& world = study().world;
+  auto gdns = std::make_unique<googledns::GooglePublicDns>(
+      &world.pops(), &world.catchment(), &world.authoritative());
+
+  // Pick a real client block.
+  const sim::Slash24Block* block = nullptr;
+  for (const auto& b : world.blocks()) {
+    if (b.users > 100) {
+      block = &b;
+      break;
+    }
+  }
+  ASSERT_NE(block, nullptr);
+  const net::Ipv4Addr client((block->index << 8) + 77);
+  const auto& domain = world.domains()[0].name;
+
+  // 1. Client resolves through Google Public DNS (RD=1).
+  {
+    auto query = dns::make_query(1, domain, dns::RecordType::kA, true,
+                                 dns::EcsOption::for_query(
+                                     net::Prefix::slash24_of(client)));
+    const auto decoded = dns::decode(dns::encode(query));
+    ASSERT_TRUE(decoded.ok);
+    const auto response =
+        gdns->handle(decoded.message, block->location, block->index, 100.0,
+                     googledns::Transport::kUdp);
+    ASSERT_EQ(response.answers.size(), 1u);
+  }
+
+  // 2. Prober finds the client's PoP with a myaddr query from the client's
+  // own location (we cheat the VP location to guarantee the same PoP).
+  const auto myaddr_query = dns::make_query(
+      2, googledns::GooglePublicDns::myaddr_name(), dns::RecordType::kTxt,
+      true);
+  const auto myaddr = gdns->handle(myaddr_query, block->location,
+                                   block->index, 101.0,
+                                   googledns::Transport::kUdp);
+  ASSERT_EQ(myaddr.answers.size(), 1u);
+
+  // 3. RD=0 ECS snoop for the client's scope block hits.
+  const auto scope = world.authoritative().scope_for(
+      domain, net::Prefix::slash24_of(client), gdns->config().epoch);
+  ASSERT_TRUE(scope.has_value());
+  bool hit = false;
+  for (std::uint16_t id = 0; id < 16 && !hit; ++id) {
+    auto probe = dns::make_query(
+        id, domain, dns::RecordType::kA, false,
+        dns::EcsOption::for_query(
+            net::Prefix::slash24_of(client).widen_to(*scope)));
+    const auto decoded = dns::decode(dns::encode(probe));
+    ASSERT_TRUE(decoded.ok);
+    const auto response =
+        gdns->handle(decoded.message, block->location, block->index, 102.0,
+                     googledns::Transport::kTcp, 1);
+    hit = !response.answers.empty();
+  }
+  EXPECT_TRUE(hit);
+}
+
+TEST(EndToEnd, RootServerWirePathCapturesChromiumProbe) {
+  roots::RootSystem roots = roots::RootSystem::ditl_2020(3);
+  auto& j_root = roots.root('j');
+  const auto probe = dns::make_query(
+      7, *dns::DnsName::parse("qxrwmzkpvt"), dns::RecordType::kA, false);
+  const auto decoded = dns::decode(dns::encode(probe));
+  ASSERT_TRUE(decoded.ok);
+  const auto response = j_root.handle(decoded.message,
+                                      *net::Ipv4Addr::parse("10.0.0.53"),
+                                      12.0);
+  EXPECT_EQ(response.header.rcode, dns::RCode::kNxDomain);
+  ASSERT_EQ(j_root.trace().size(), 1u);
+  EXPECT_TRUE(core::matches_chromium_signature(j_root.trace()[0].qname));
+}
+
+}  // namespace
+}  // namespace netclients
