@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collisions.dir/bench_collisions.cpp.o"
+  "CMakeFiles/bench_collisions.dir/bench_collisions.cpp.o.d"
+  "bench_collisions"
+  "bench_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diurnal.dir/bench_diurnal.cpp.o"
+  "CMakeFiles/bench_diurnal.dir/bench_diurnal.cpp.o.d"
+  "bench_diurnal"
+  "bench_diurnal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

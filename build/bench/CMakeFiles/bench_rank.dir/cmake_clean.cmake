@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rank.dir/bench_rank.cpp.o"
+  "CMakeFiles/bench_rank.dir/bench_rank.cpp.o.d"
+  "bench_rank"
+  "bench_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

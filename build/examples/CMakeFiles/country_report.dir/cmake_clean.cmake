@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/country_report.dir/country_report.cpp.o"
+  "CMakeFiles/country_report.dir/country_report.cpp.o.d"
+  "country_report"
+  "country_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/country_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_diagnosis.dir/coverage_diagnosis.cpp.o"
+  "CMakeFiles/coverage_diagnosis.dir/coverage_diagnosis.cpp.o.d"
+  "coverage_diagnosis"
+  "coverage_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditl_export.dir/ditl_export.cpp.o"
+  "CMakeFiles/ditl_export.dir/ditl_export.cpp.o.d"
+  "ditl_export"
+  "ditl_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditl_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolocation_confidence.dir/geolocation_confidence.cpp.o"
+  "CMakeFiles/geolocation_confidence.dir/geolocation_confidence.cpp.o.d"
+  "geolocation_confidence"
+  "geolocation_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolocation_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for geolocation_confidence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_impact.dir/outage_impact.cpp.o"
+  "CMakeFiles/outage_impact.dir/outage_impact.cpp.o.d"
+  "outage_impact"
+  "outage_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_level_probe.dir/packet_level_probe.cpp.o"
+  "CMakeFiles/packet_level_probe.dir/packet_level_probe.cpp.o.d"
+  "packet_level_probe"
+  "packet_level_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_level_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_bias.dir/peering_bias.cpp.o"
+  "CMakeFiles/peering_bias.dir/peering_bias.cpp.o.d"
+  "peering_bias"
+  "peering_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for peering_bias.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("dns")
+subdirs("dnssrv")
+subdirs("netsim")
+subdirs("anycast")
+subdirs("googledns")
+subdirs("roots")
+subdirs("geo")
+subdirs("asdb")
+subdirs("sim")
+subdirs("cdn")
+subdirs("apnic")
+subdirs("core")

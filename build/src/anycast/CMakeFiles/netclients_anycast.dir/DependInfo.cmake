@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anycast/catchment.cc" "src/anycast/CMakeFiles/netclients_anycast.dir/catchment.cc.o" "gcc" "src/anycast/CMakeFiles/netclients_anycast.dir/catchment.cc.o.d"
+  "/root/repo/src/anycast/pop.cc" "src/anycast/CMakeFiles/netclients_anycast.dir/pop.cc.o" "gcc" "src/anycast/CMakeFiles/netclients_anycast.dir/pop.cc.o.d"
+  "/root/repo/src/anycast/vantage.cc" "src/anycast/CMakeFiles/netclients_anycast.dir/vantage.cc.o" "gcc" "src/anycast/CMakeFiles/netclients_anycast.dir/vantage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/netclients_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclients_anycast.dir/catchment.cc.o"
+  "CMakeFiles/netclients_anycast.dir/catchment.cc.o.d"
+  "CMakeFiles/netclients_anycast.dir/pop.cc.o"
+  "CMakeFiles/netclients_anycast.dir/pop.cc.o.d"
+  "CMakeFiles/netclients_anycast.dir/vantage.cc.o"
+  "CMakeFiles/netclients_anycast.dir/vantage.cc.o.d"
+  "libnetclients_anycast.a"
+  "libnetclients_anycast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclients_anycast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

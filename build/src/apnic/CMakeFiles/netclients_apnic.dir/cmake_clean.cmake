@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclients_apnic.dir/apnic.cc.o"
+  "CMakeFiles/netclients_apnic.dir/apnic.cc.o.d"
+  "libnetclients_apnic.a"
+  "libnetclients_apnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclients_apnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

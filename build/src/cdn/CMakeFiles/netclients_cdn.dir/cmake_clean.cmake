@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclients_cdn.dir/cdn.cc.o"
+  "CMakeFiles/netclients_cdn.dir/cdn.cc.o.d"
+  "libnetclients_cdn.a"
+  "libnetclients_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclients_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclients_core.dir/cacheprobe/cacheprobe.cc.o"
+  "CMakeFiles/netclients_core.dir/cacheprobe/cacheprobe.cc.o.d"
+  "CMakeFiles/netclients_core.dir/chromium/chromium.cc.o"
+  "CMakeFiles/netclients_core.dir/chromium/chromium.cc.o.d"
+  "CMakeFiles/netclients_core.dir/compare/compare.cc.o"
+  "CMakeFiles/netclients_core.dir/compare/compare.cc.o.d"
+  "CMakeFiles/netclients_core.dir/datasets/datasets.cc.o"
+  "CMakeFiles/netclients_core.dir/datasets/datasets.cc.o.d"
+  "CMakeFiles/netclients_core.dir/rank/activity_rank.cc.o"
+  "CMakeFiles/netclients_core.dir/rank/activity_rank.cc.o.d"
+  "CMakeFiles/netclients_core.dir/report/report.cc.o"
+  "CMakeFiles/netclients_core.dir/report/report.cc.o.d"
+  "libnetclients_core.a"
+  "libnetclients_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclients_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

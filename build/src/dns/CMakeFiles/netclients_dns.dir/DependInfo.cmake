@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/message.cc" "src/dns/CMakeFiles/netclients_dns.dir/message.cc.o" "gcc" "src/dns/CMakeFiles/netclients_dns.dir/message.cc.o.d"
+  "/root/repo/src/dns/name.cc" "src/dns/CMakeFiles/netclients_dns.dir/name.cc.o" "gcc" "src/dns/CMakeFiles/netclients_dns.dir/name.cc.o.d"
+  "/root/repo/src/dns/wire.cc" "src/dns/CMakeFiles/netclients_dns.dir/wire.cc.o" "gcc" "src/dns/CMakeFiles/netclients_dns.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/netclients_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclients_dns.dir/message.cc.o"
+  "CMakeFiles/netclients_dns.dir/message.cc.o.d"
+  "CMakeFiles/netclients_dns.dir/name.cc.o"
+  "CMakeFiles/netclients_dns.dir/name.cc.o.d"
+  "CMakeFiles/netclients_dns.dir/wire.cc.o"
+  "CMakeFiles/netclients_dns.dir/wire.cc.o.d"
+  "libnetclients_dns.a"
+  "libnetclients_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclients_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

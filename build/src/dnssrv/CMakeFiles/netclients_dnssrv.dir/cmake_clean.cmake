@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclients_dnssrv.dir/authoritative.cc.o"
+  "CMakeFiles/netclients_dnssrv.dir/authoritative.cc.o.d"
+  "CMakeFiles/netclients_dnssrv.dir/cache.cc.o"
+  "CMakeFiles/netclients_dnssrv.dir/cache.cc.o.d"
+  "libnetclients_dnssrv.a"
+  "libnetclients_dnssrv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclients_dnssrv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetclients_dnssrv.a"
+)

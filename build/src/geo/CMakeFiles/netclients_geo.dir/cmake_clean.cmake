@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclients_geo.dir/geodb.cc.o"
+  "CMakeFiles/netclients_geo.dir/geodb.cc.o.d"
+  "libnetclients_geo.a"
+  "libnetclients_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclients_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

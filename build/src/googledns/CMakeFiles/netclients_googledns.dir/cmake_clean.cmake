@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclients_googledns.dir/google_dns.cc.o"
+  "CMakeFiles/netclients_googledns.dir/google_dns.cc.o.d"
+  "libnetclients_googledns.a"
+  "libnetclients_googledns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclients_googledns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/netclients_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/netclients_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/prefix.cc" "src/net/CMakeFiles/netclients_net.dir/prefix.cc.o" "gcc" "src/net/CMakeFiles/netclients_net.dir/prefix.cc.o.d"
+  "/root/repo/src/net/prefix_set.cc" "src/net/CMakeFiles/netclients_net.dir/prefix_set.cc.o" "gcc" "src/net/CMakeFiles/netclients_net.dir/prefix_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclients_net.dir/ipv4.cc.o"
+  "CMakeFiles/netclients_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/netclients_net.dir/prefix.cc.o"
+  "CMakeFiles/netclients_net.dir/prefix.cc.o.d"
+  "CMakeFiles/netclients_net.dir/prefix_set.cc.o"
+  "CMakeFiles/netclients_net.dir/prefix_set.cc.o.d"
+  "libnetclients_net.a"
+  "libnetclients_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclients_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclients_netsim.dir/bus.cc.o"
+  "CMakeFiles/netclients_netsim.dir/bus.cc.o.d"
+  "libnetclients_netsim.a"
+  "libnetclients_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclients_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

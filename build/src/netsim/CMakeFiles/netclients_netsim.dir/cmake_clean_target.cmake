@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetclients_netsim.a"
+)

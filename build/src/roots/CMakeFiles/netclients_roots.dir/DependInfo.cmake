@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roots/root_server.cc" "src/roots/CMakeFiles/netclients_roots.dir/root_server.cc.o" "gcc" "src/roots/CMakeFiles/netclients_roots.dir/root_server.cc.o.d"
+  "/root/repo/src/roots/trace.cc" "src/roots/CMakeFiles/netclients_roots.dir/trace.cc.o" "gcc" "src/roots/CMakeFiles/netclients_roots.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/netclients_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netclients_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

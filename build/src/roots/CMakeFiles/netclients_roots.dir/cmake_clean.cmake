@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclients_roots.dir/root_server.cc.o"
+  "CMakeFiles/netclients_roots.dir/root_server.cc.o.d"
+  "CMakeFiles/netclients_roots.dir/trace.cc.o"
+  "CMakeFiles/netclients_roots.dir/trace.cc.o.d"
+  "libnetclients_roots.a"
+  "libnetclients_roots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclients_roots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netclients_sim.dir/activity.cc.o"
+  "CMakeFiles/netclients_sim.dir/activity.cc.o.d"
+  "CMakeFiles/netclients_sim.dir/country.cc.o"
+  "CMakeFiles/netclients_sim.dir/country.cc.o.d"
+  "CMakeFiles/netclients_sim.dir/ditl.cc.o"
+  "CMakeFiles/netclients_sim.dir/ditl.cc.o.d"
+  "CMakeFiles/netclients_sim.dir/domains.cc.o"
+  "CMakeFiles/netclients_sim.dir/domains.cc.o.d"
+  "CMakeFiles/netclients_sim.dir/world.cc.o"
+  "CMakeFiles/netclients_sim.dir/world.cc.o.d"
+  "libnetclients_sim.a"
+  "libnetclients_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netclients_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

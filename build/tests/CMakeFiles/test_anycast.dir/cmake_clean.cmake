@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anycast.dir/test_anycast.cpp.o"
+  "CMakeFiles/test_anycast.dir/test_anycast.cpp.o.d"
+  "test_anycast"
+  "test_anycast.pdb"
+  "test_anycast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anycast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cacheprobe.dir/test_cacheprobe.cpp.o"
+  "CMakeFiles/test_cacheprobe.dir/test_cacheprobe.cpp.o.d"
+  "test_cacheprobe"
+  "test_cacheprobe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cacheprobe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdn_apnic.dir/test_cdn_apnic.cpp.o"
+  "CMakeFiles/test_cdn_apnic.dir/test_cdn_apnic.cpp.o.d"
+  "test_cdn_apnic"
+  "test_cdn_apnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdn_apnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

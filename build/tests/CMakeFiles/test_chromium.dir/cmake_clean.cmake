@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chromium.dir/test_chromium.cpp.o"
+  "CMakeFiles/test_chromium.dir/test_chromium.cpp.o.d"
+  "test_chromium"
+  "test_chromium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chromium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

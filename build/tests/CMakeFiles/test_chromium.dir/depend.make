@@ -1,0 +1,2 @@
+# Empty dependencies file for test_chromium.
+# This may be replaced when dependencies are built.

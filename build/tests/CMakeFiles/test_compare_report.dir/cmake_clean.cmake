@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compare_report.dir/test_compare_report.cpp.o"
+  "CMakeFiles/test_compare_report.dir/test_compare_report.cpp.o.d"
+  "test_compare_report"
+  "test_compare_report.pdb"
+  "test_compare_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compare_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

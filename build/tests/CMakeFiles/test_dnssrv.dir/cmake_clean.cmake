@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnssrv.dir/test_dnssrv.cpp.o"
+  "CMakeFiles/test_dnssrv.dir/test_dnssrv.cpp.o.d"
+  "test_dnssrv"
+  "test_dnssrv.pdb"
+  "test_dnssrv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnssrv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

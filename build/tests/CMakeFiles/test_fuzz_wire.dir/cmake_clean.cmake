@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_wire.dir/test_fuzz_wire.cpp.o"
+  "CMakeFiles/test_fuzz_wire.dir/test_fuzz_wire.cpp.o.d"
+  "test_fuzz_wire"
+  "test_fuzz_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo_asdb.dir/test_geo_asdb.cpp.o"
+  "CMakeFiles/test_geo_asdb.dir/test_geo_asdb.cpp.o.d"
+  "test_geo_asdb"
+  "test_geo_asdb.pdb"
+  "test_geo_asdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo_asdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_googledns.dir/test_googledns.cpp.o"
+  "CMakeFiles/test_googledns.dir/test_googledns.cpp.o.d"
+  "test_googledns"
+  "test_googledns.pdb"
+  "test_googledns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_googledns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

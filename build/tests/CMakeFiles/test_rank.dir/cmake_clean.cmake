@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rank.dir/test_rank.cpp.o"
+  "CMakeFiles/test_rank.dir/test_rank.cpp.o.d"
+  "test_rank"
+  "test_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

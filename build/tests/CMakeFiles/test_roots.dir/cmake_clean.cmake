@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roots.dir/test_roots.cpp.o"
+  "CMakeFiles/test_roots.dir/test_roots.cpp.o.d"
+  "test_roots"
+  "test_roots.pdb"
+  "test_roots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

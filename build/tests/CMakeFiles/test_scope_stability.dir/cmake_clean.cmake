@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scope_stability.dir/test_scope_stability.cpp.o"
+  "CMakeFiles/test_scope_stability.dir/test_scope_stability.cpp.o.d"
+  "test_scope_stability"
+  "test_scope_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scope_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_scope_stability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_dns[1]_include.cmake")
+include("/root/repo/build/tests/test_dnssrv[1]_include.cmake")
+include("/root/repo/build/tests/test_anycast[1]_include.cmake")
+include("/root/repo/build/tests/test_googledns[1]_include.cmake")
+include("/root/repo/build/tests/test_roots[1]_include.cmake")
+include("/root/repo/build/tests/test_geo_asdb[1]_include.cmake")
+include("/root/repo/build/tests/test_compare_report[1]_include.cmake")
+include("/root/repo/build/tests/test_netsim[1]_include.cmake")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;32;add_nc_test_batch;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cdn_apnic "/root/repo/build/tests/test_cdn_apnic")
+set_tests_properties(test_cdn_apnic PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;33;add_nc_test_batch;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cacheprobe "/root/repo/build/tests/test_cacheprobe")
+set_tests_properties(test_cacheprobe PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;34;add_nc_test_batch;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_chromium "/root/repo/build/tests/test_chromium")
+set_tests_properties(test_chromium PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;35;add_nc_test_batch;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;36;add_nc_test_batch;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_rank "/root/repo/build/tests/test_rank")
+set_tests_properties(test_rank PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;37;add_nc_test_batch;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fuzz_wire "/root/repo/build/tests/test_fuzz_wire")
+set_tests_properties(test_fuzz_wire PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;38;add_nc_test_batch;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_scope_stability "/root/repo/build/tests/test_scope_stability")
+set_tests_properties(test_scope_stability PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;39;add_nc_test_batch;/root/repo/tests/CMakeLists.txt;0;")
