@@ -34,12 +34,21 @@ Setup make_setup() {
   return s;
 }
 
+core::ProbeEnvironment make_env(Setup& s) {
+  core::ProbeEnvironment env;
+  env.authoritative = &s.world.authoritative();
+  env.google_dns = s.gdns.get();
+  env.geodb = &s.world.geodb();
+  env.vantage_points = anycast::default_vantage_fleet();
+  env.domains = s.world.domains();
+  env.slash24_begin = 1u << 16;
+  env.slash24_end = s.world.address_space_end();
+  return env;
+}
+
 core::CampaignResult run_with(Setup& s, const core::CacheProbeOptions& opts,
-                              std::uint64_t* assigned = nullptr) {
-  core::CacheProbeCampaign campaign(
-      &s.world.authoritative(), s.gdns.get(), &s.world.geodb(),
-      anycast::default_vantage_fleet(), s.world.domains(), 1u << 16,
-      s.world.address_space_end(), opts);
+                              double* assigned = nullptr) {
+  core::CacheProbeCampaign campaign(make_env(s), opts);
   const auto pops = campaign.discover_pops();
   const auto calibration = campaign.calibrate(pops);
   auto result = campaign.run(pops, calibration);
@@ -90,10 +99,10 @@ int main() {
   {
     core::CacheProbeOptions per_pop;
     per_pop.max_loops = 3;
-    std::uint64_t assigned = 0;
+    double assigned = 0;
     const auto result = run_with(s, per_pop, &assigned);
-    std::printf("  %-22s %16llu %12llu %13.1f%%\n", "per-PoP (paper)",
-                static_cast<unsigned long long>(assigned),
+    std::printf("  %-22s %16.1f %12llu %13.1f%%\n", "per-PoP (paper)",
+                assigned,
                 static_cast<unsigned long long>(result.probes_sent),
                 truth_coverage(s, result));
   }
@@ -102,9 +111,8 @@ int main() {
     max_radius.max_loops = 3;
     max_radius.use_max_radius_everywhere = true;
     const auto result = run_with(s, max_radius, nullptr);
-    std::uint64_t assigned = result.average_assigned_per_pop;
-    std::printf("  %-22s %16llu %12llu %13.1f%%\n", "max radius everywhere",
-                static_cast<unsigned long long>(assigned),
+    std::printf("  %-22s %16.1f %12llu %13.1f%%\n", "max radius everywhere",
+                result.average_assigned_per_pop,
                 static_cast<unsigned long long>(result.probes_sent),
                 truth_coverage(s, result));
   }

@@ -29,10 +29,15 @@ int main() {
   googledns::GooglePublicDns gdns(&world.pops(), &world.catchment(),
                                   &world.authoritative(),
                                   googledns::GoogleDnsConfig{}, &activity);
-  core::CacheProbeCampaign campaign(
-      &world.authoritative(), &gdns, &world.geodb(),
-      anycast::default_vantage_fleet(), world.domains(), 1u << 16,
-      world.address_space_end());
+  core::ProbeEnvironment probe_env;
+  probe_env.authoritative = &world.authoritative();
+  probe_env.google_dns = &gdns;
+  probe_env.geodb = &world.geodb();
+  probe_env.vantage_points = anycast::default_vantage_fleet();
+  probe_env.domains = world.domains();
+  probe_env.slash24_begin = 1u << 16;
+  probe_env.slash24_end = world.address_space_end();
+  core::CacheProbeCampaign campaign(std::move(probe_env));
   const auto pops = campaign.discover_pops();
   const auto calibration = campaign.calibrate(pops);
   const auto probing = campaign.run(pops, calibration);

@@ -15,10 +15,8 @@
 using namespace netclients;
 
 int main() {
-  bench::BuildOptions options;
-  options.run_chromium = false;
-  options.run_validation = false;
-  bench::Pipelines p = bench::build_pipelines(options);
+  bench::Pipelines p =
+      bench::PipelineBuilder().with_cache_probing().build();
 
   // Bin active /24s by MaxMind geolocation.
   std::map<std::pair<int, int>, std::uint64_t> bins;  // (lat5, lon5)

@@ -10,10 +10,8 @@
 using namespace netclients;
 
 int main() {
-  bench::BuildOptions options;
-  options.run_chromium = false;
-  options.run_validation = false;
-  bench::Pipelines p = bench::build_pipelines(options);
+  bench::Pipelines p =
+      bench::PipelineBuilder().with_cache_probing().build();
 
   const std::vector<std::string> focus = {"Groningen", "The Dalles",
                                           "Charleston"};
@@ -48,11 +46,10 @@ int main() {
     std::printf("  %-16s %7.0f km\n", city.c_str(), radius);
   }
   (void)assigned_with_radii;
-  std::printf("\nper-PoP assignment average: %llu candidates "
+  std::printf("\nper-PoP assignment average: %.1f candidates "
               "(paper: 2.4M per PoP with per-PoP radii vs 4.4M with the "
               "5524 km max radius)\n",
-              static_cast<unsigned long long>(
-                  p.probing.average_assigned_per_pop));
+              p.probing.average_assigned_per_pop);
 
   core::write_csv(bench::out_path("fig2_distance_cdf.csv"),
                   {"pop", "distance_km", "cumulative_fraction"}, csv);

@@ -10,9 +10,10 @@
 using namespace netclients;
 
 int main() {
-  bench::BuildOptions options;
-  options.run_chromium = false;
-  bench::Pipelines p = bench::build_pipelines(options);
+  bench::Pipelines p = bench::PipelineBuilder()
+                            .with_cache_probing()
+                            .with_validation()
+                            .build();
 
   const auto rows = core::country_coverage(p.world, p.apnic.users_by_as,
                                            p.probing_as);

@@ -12,9 +12,10 @@
 using namespace netclients;
 
 int main() {
-  bench::BuildOptions options;
-  options.run_chromium = false;
-  bench::Pipelines p = bench::build_pipelines(options);
+  bench::Pipelines p = bench::PipelineBuilder()
+                            .with_cache_probing()
+                            .with_validation()
+                            .build();
 
   std::unordered_set<anycast::PopId> probed;
   for (const auto& [pop, vp] : p.pops.probed_pops) probed.insert(pop);

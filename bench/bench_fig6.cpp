@@ -13,7 +13,11 @@
 using namespace netclients;
 
 int main() {
-  bench::Pipelines p = bench::build_pipelines();
+  bench::Pipelines p = bench::PipelineBuilder()
+                            .with_cache_probing()
+                            .with_chromium()
+                            .with_validation()
+                            .build();
 
   struct Series {
     const char* label;

@@ -11,7 +11,11 @@
 using namespace netclients;
 
 int main() {
-  bench::Pipelines p = bench::build_pipelines();
+  bench::Pipelines p = bench::PipelineBuilder()
+                            .with_cache_probing()
+                            .with_chromium()
+                            .with_validation()
+                            .build();
 
   const auto logs = core::relative_volumes(p.logs_as);
   const auto resolvers = core::relative_volumes(p.resolvers_as);

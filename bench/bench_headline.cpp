@@ -19,7 +19,11 @@
 using namespace netclients;
 
 int main() {
-  bench::Pipelines p = bench::build_pipelines();
+  bench::Pipelines p = bench::PipelineBuilder()
+                            .with_cache_probing()
+                            .with_chromium()
+                            .with_validation()
+                            .build();
 
   // --- volume coverage ------------------------------------------------
   const auto as_vol = core::as_volume_overlap({&p.clients_as}, {&p.union_as});

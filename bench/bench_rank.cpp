@@ -55,10 +55,8 @@ double spearman(std::vector<std::pair<double, double>> xy) {
 }  // namespace
 
 int main() {
-  bench::BuildOptions options;
-  options.run_chromium = false;
-  options.run_validation = false;
-  bench::Pipelines p = bench::build_pipelines(options);
+  bench::Pipelines p =
+      bench::PipelineBuilder().with_cache_probing().build();
 
   core::ActivityRanker ranker(p.google_dns.get(), p.world.domains());
   std::fprintf(stderr, "[bench] ranking %zu active prefixes...\n",

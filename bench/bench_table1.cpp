@@ -10,7 +10,11 @@
 using namespace netclients;
 
 int main() {
-  bench::Pipelines p = bench::build_pipelines();
+  bench::Pipelines p = bench::PipelineBuilder()
+                            .with_cache_probing()
+                            .with_chromium()
+                            .with_validation()
+                            .build();
 
   const std::vector<const core::PrefixDataset*> sets = {
       &p.probing_prefixes, &p.logs_prefixes, &p.union_prefixes,

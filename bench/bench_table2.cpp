@@ -11,10 +11,8 @@
 using namespace netclients;
 
 int main() {
-  bench::BuildOptions options;
-  options.run_chromium = false;
-  options.run_validation = false;
-  bench::Pipelines p = bench::build_pipelines(options);
+  bench::Pipelines p =
+      bench::PipelineBuilder().with_cache_probing().build();
 
   const std::size_t domains = p.world.domains().size();
   std::vector<std::uint64_t> total(domains, 0), exact(domains, 0),

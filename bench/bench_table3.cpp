@@ -11,7 +11,11 @@
 using namespace netclients;
 
 int main() {
-  bench::Pipelines p = bench::build_pipelines();
+  bench::Pipelines p = bench::PipelineBuilder()
+                            .with_cache_probing()
+                            .with_chromium()
+                            .with_validation()
+                            .build();
 
   const std::vector<const core::AsDataset*> sets = {
       &p.probing_as, &p.logs_as,      &p.union_as,

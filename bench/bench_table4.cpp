@@ -11,7 +11,11 @@
 using namespace netclients;
 
 int main() {
-  bench::Pipelines p = bench::build_pipelines();
+  bench::Pipelines p = bench::PipelineBuilder()
+                            .with_cache_probing()
+                            .with_chromium()
+                            .with_validation()
+                            .build();
 
   const std::vector<const core::AsDataset*> rows = {
       &p.logs_as, &p.apnic_as, &p.clients_as, &p.resolvers_as};

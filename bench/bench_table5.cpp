@@ -13,10 +13,8 @@
 using namespace netclients;
 
 int main() {
-  bench::BuildOptions options;
-  options.run_chromium = false;
-  options.run_validation = false;
-  bench::Pipelines p = bench::build_pipelines(options);
+  bench::Pipelines p =
+      bench::PipelineBuilder().with_cache_probing().build();
 
   const auto& domains = p.world.domains();
   const std::size_t n = domains.size();

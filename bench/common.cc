@@ -1,10 +1,12 @@
 #include "common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 
 #include "anycast/vantage.h"
+#include "core/exec/exec.h"
 
 namespace netclients::bench {
 
@@ -17,6 +19,25 @@ double env_denominator(const char* name, double fallback) {
   return parsed > 0 ? parsed : fallback;
 }
 
+/// Times one pipeline stage and reports its wall-clock to stderr.
+class StageTimer {
+ public:
+  explicit StageTimer(const char* stage)
+      : stage_(stage), start_(std::chrono::steady_clock::now()) {
+    std::fprintf(stderr, "[bench] %s...\n", stage_);
+  }
+  ~StageTimer() {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start_);
+    std::fprintf(stderr, "[bench] %s: %lld ms\n", stage_,
+                 static_cast<long long>(elapsed.count()));
+  }
+
+ private:
+  const char* stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
 
 double scale_denominator() { return env_denominator("REPRO_SCALE", 64); }
@@ -25,28 +46,40 @@ double ditl_sample_denominator() {
   return env_denominator("REPRO_DITL_SAMPLE", 64);
 }
 
-Pipelines build_pipelines(const BuildOptions& options) {
+Pipelines PipelineBuilder::build() const {
   Pipelines p;
   sim::WorldConfig config;
   config.scale = 1.0 / scale_denominator();
-  std::fprintf(stderr, "[bench] generating world at scale 1/%.0f...\n",
-               scale_denominator());
-  p.world = sim::World::generate(config);
-  std::fprintf(stderr, "[bench] %zu ASes, %zu /24s, %.0f users\n",
-               p.world.ases().size(), p.world.blocks().size(),
-               p.world.total_users());
+  const int threads = threads_ > 0 ? threads_ : core::exec::thread_count();
+  {
+    StageTimer timer("world generation");
+    std::fprintf(stderr, "[bench] scale 1/%.0f, %d threads\n",
+                 scale_denominator(), threads);
+    p.world = sim::World::generate(config);
+    std::fprintf(stderr, "[bench] %zu ASes, %zu /24s, %.0f users\n",
+                 p.world.ases().size(), p.world.blocks().size(),
+                 p.world.total_users());
+  }
 
   p.activity = std::make_unique<sim::WorldActivityModel>(&p.world);
   p.google_dns = std::make_unique<googledns::GooglePublicDns>(
       &p.world.pops(), &p.world.catchment(), &p.world.authoritative(),
       googledns::GoogleDnsConfig{}, p.activity.get());
-  p.campaign = std::make_unique<core::CacheProbeCampaign>(
-      &p.world.authoritative(), p.google_dns.get(), &p.world.geodb(),
-      anycast::default_vantage_fleet(), p.world.domains(), 1u << 16,
-      p.world.address_space_end());
+  core::ProbeEnvironment env;
+  env.authoritative = &p.world.authoritative();
+  env.google_dns = p.google_dns.get();
+  env.geodb = &p.world.geodb();
+  env.vantage_points = anycast::default_vantage_fleet();
+  env.domains = p.world.domains();
+  env.slash24_begin = 1u << 16;
+  env.slash24_end = p.world.address_space_end();
+  core::CacheProbeOptions probe_options;
+  probe_options.threads = threads;
+  p.campaign = std::make_unique<core::CacheProbeCampaign>(std::move(env),
+                                                          probe_options);
 
-  if (options.run_cache_probing) {
-    std::fprintf(stderr, "[bench] cache probing campaign...\n");
+  if (cache_probing_) {
+    StageTimer timer("cache probing campaign");
     p.pops = p.campaign->discover_pops();
     p.calibration = p.campaign->calibrate(p.pops);
     p.probing = p.campaign->run(p.pops, p.calibration);
@@ -56,14 +89,15 @@ Pipelines build_pipelines(const BuildOptions& options) {
                  p.probing.hits.size());
   }
 
-  if (options.run_chromium) {
-    std::fprintf(stderr, "[bench] DITL crawl...\n");
+  if (chromium_) {
+    StageTimer timer("DITL crawl");
     const roots::RootSystem root_system =
         roots::RootSystem::ditl_2020(config.seed);
     sim::DitlOptions ditl;
     ditl.sample_rate = 1.0 / ditl_sample_denominator();
     core::ChromiumOptions chromium_options;
     chromium_options.sample_rate = ditl.sample_rate;
+    chromium_options.threads = threads;
     core::ChromiumCounter counter(chromium_options);
     p.chromium = counter.process(
         [&](const std::function<void(const roots::TraceRecord&)>& emit) {
@@ -72,8 +106,8 @@ Pipelines build_pipelines(const BuildOptions& options) {
     p.logs_prefixes = p.chromium.to_prefix_dataset("DNS logs");
   }
 
-  if (options.run_validation) {
-    std::fprintf(stderr, "[bench] CDN + APNIC observation...\n");
+  if (validation_) {
+    StageTimer timer("CDN + APNIC observation");
     p.ms = cdn::observe_cdn(p.world, {});
     p.apnic = apnic::estimate_population(p.world, {});
     for (const auto& [idx, volume] : p.ms.client_volume) {

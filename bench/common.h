@@ -63,15 +63,48 @@ struct Pipelines {
   core::AsDataset resolvers_as{"Microsoft resolvers"};
 };
 
-struct BuildOptions {
-  bool run_cache_probing = true;
-  bool run_chromium = true;
-  bool run_validation = true;  // CDN + APNIC datasets
-};
+/// Declarative pipeline assembly: each bench binary states exactly the
+/// stages it needs and gets one generated world reused across them.
+///
+///   Pipelines p = PipelineBuilder()
+///                     .with_cache_probing()
+///                     .with_chromium()
+///                     .threads(8)   // optional; default REPRO_THREADS
+///                     .build();
+///
+/// build() prints per-stage wall-clock to stderr (table output on stdout
+/// stays clean), so `bench_table1` et al. double as pipeline-build
+/// speed reports.
+class PipelineBuilder {
+ public:
+  PipelineBuilder& with_cache_probing() {
+    cache_probing_ = true;
+    return *this;
+  }
+  PipelineBuilder& with_chromium() {
+    chromium_ = true;
+    return *this;
+  }
+  /// CDN + APNIC validation datasets.
+  PipelineBuilder& with_validation() {
+    validation_ = true;
+    return *this;
+  }
+  /// Parallelism for the sharded stages; 0 = REPRO_THREADS env (default
+  /// hardware_concurrency), 1 = serial.
+  PipelineBuilder& threads(int n) {
+    threads_ = n;
+    return *this;
+  }
 
-/// Builds the world and runs the requested pipelines; prints progress to
-/// stderr so table output stays clean.
-Pipelines build_pipelines(const BuildOptions& options = {});
+  Pipelines build() const;
+
+ private:
+  bool cache_probing_ = false;
+  bool chromium_ = false;
+  bool validation_ = false;
+  int threads_ = 0;
+};
 
 /// Creates bench_out/ (if needed) and returns "bench_out/<name>".
 std::string out_path(const std::string& name);

@@ -248,7 +248,10 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/anycast/vantage.h /root/repo/src/dnssrv/authoritative.h \
- /root/repo/src/net/prefix_trie.h /root/repo/src/dnssrv/rate_limiter.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/anycast/vantage.h \
+ /root/repo/src/dnssrv/authoritative.h /root/repo/src/net/prefix_trie.h \
+ /root/repo/src/dnssrv/rate_limiter.h \
  /root/repo/src/googledns/activity_model.h

@@ -243,7 +243,10 @@ bench/CMakeFiles/bench_table5.dir/bench_table5.cpp.o: \
  /root/repo/src/sim/country.h /root/repo/src/sim/domains.h \
  /root/repo/src/cdn/cdn.h /root/repo/src/core/cacheprobe/cacheprobe.h \
  /root/repo/src/anycast/vantage.h /root/repo/src/core/datasets/datasets.h \
- /root/repo/src/googledns/google_dns.h /root/repo/src/dnssrv/cache.h \
+ /root/repo/src/googledns/google_dns.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/dnssrv/cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/net/sim_time.h \
  /root/repo/src/dnssrv/rate_limiter.h /usr/include/c++/12/algorithm \
@@ -254,7 +257,7 @@ bench/CMakeFiles/bench_table5.dir/bench_table5.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/googledns/activity_model.h \
+ /usr/include/c++/12/atomic /root/repo/src/googledns/activity_model.h \
  /root/repo/src/net/prefix_set.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

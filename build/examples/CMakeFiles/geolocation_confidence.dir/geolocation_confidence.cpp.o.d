@@ -28,7 +28,15 @@ examples/CMakeFiles/geolocation_confidence.dir/geolocation_confidence.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cstdlib \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/type_traits \
+ /usr/include/c++/12/bits/move.h /usr/include/c++/12/bits/utility.h \
+ /usr/include/c++/12/compare /usr/include/c++/12/concepts \
+ /usr/include/c++/12/initializer_list \
+ /usr/include/c++/12/ext/numeric_traits.h \
+ /usr/include/c++/12/bits/cpp_type_traits.h \
+ /usr/include/c++/12/ext/type_traits.h /usr/include/c++/12/cstdlib \
  /usr/include/stdlib.h /usr/include/x86_64-linux-gnu/bits/waitflags.h \
  /usr/include/x86_64-linux-gnu/bits/waitstatus.h \
  /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
@@ -61,12 +69,6 @@ examples/CMakeFiles/geolocation_confidence.dir/geolocation_confidence.cpp.o: \
  /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
- /usr/include/c++/12/bits/cpp_type_traits.h \
- /usr/include/c++/12/ext/type_traits.h \
- /usr/include/c++/12/ext/numeric_traits.h \
- /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/type_traits \
- /usr/include/c++/12/bits/move.h /usr/include/c++/12/bits/utility.h \
- /usr/include/c++/12/compare /usr/include/c++/12/concepts \
  /usr/include/c++/12/bits/stl_iterator_base_types.h \
  /usr/include/c++/12/bits/iterator_concepts.h \
  /usr/include/c++/12/bits/ptr_traits.h \
@@ -87,7 +89,6 @@ examples/CMakeFiles/geolocation_confidence.dir/geolocation_confidence.cpp.o: \
  /usr/include/c++/12/ext/alloc_traits.h \
  /usr/include/c++/12/bits/alloc_traits.h \
  /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/functional_hash.h \
  /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/bits/refwrap.h \
@@ -230,8 +231,7 @@ examples/CMakeFiles/geolocation_confidence.dir/geolocation_confidence.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/prefix.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/prefix.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/sim/world.h /root/repo/src/anycast/catchment.h \
  /root/repo/src/net/rng.h /usr/include/c++/12/array \
@@ -241,7 +241,10 @@ examples/CMakeFiles/geolocation_confidence.dir/geolocation_confidence.cpp.o: \
  /root/repo/src/dns/name.h /root/repo/src/dns/types.h \
  /root/repo/src/geo/geodb.h /root/repo/src/sim/config.h \
  /root/repo/src/sim/country.h /root/repo/src/sim/domains.h \
- /root/repo/src/googledns/google_dns.h /root/repo/src/dnssrv/cache.h \
+ /root/repo/src/googledns/google_dns.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/dnssrv/cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/net/sim_time.h \
  /root/repo/src/dnssrv/rate_limiter.h /usr/include/c++/12/algorithm \
@@ -252,7 +255,7 @@ examples/CMakeFiles/geolocation_confidence.dir/geolocation_confidence.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/googledns/activity_model.h \
+ /usr/include/c++/12/atomic /root/repo/src/googledns/activity_model.h \
  /root/repo/src/net/prefix_set.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

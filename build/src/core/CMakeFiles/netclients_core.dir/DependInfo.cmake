@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/chromium/chromium.cc" "src/core/CMakeFiles/netclients_core.dir/chromium/chromium.cc.o" "gcc" "src/core/CMakeFiles/netclients_core.dir/chromium/chromium.cc.o.d"
   "/root/repo/src/core/compare/compare.cc" "src/core/CMakeFiles/netclients_core.dir/compare/compare.cc.o" "gcc" "src/core/CMakeFiles/netclients_core.dir/compare/compare.cc.o.d"
   "/root/repo/src/core/datasets/datasets.cc" "src/core/CMakeFiles/netclients_core.dir/datasets/datasets.cc.o" "gcc" "src/core/CMakeFiles/netclients_core.dir/datasets/datasets.cc.o.d"
+  "/root/repo/src/core/exec/exec.cc" "src/core/CMakeFiles/netclients_core.dir/exec/exec.cc.o" "gcc" "src/core/CMakeFiles/netclients_core.dir/exec/exec.cc.o.d"
   "/root/repo/src/core/rank/activity_rank.cc" "src/core/CMakeFiles/netclients_core.dir/rank/activity_rank.cc.o" "gcc" "src/core/CMakeFiles/netclients_core.dir/rank/activity_rank.cc.o.d"
   "/root/repo/src/core/report/report.cc" "src/core/CMakeFiles/netclients_core.dir/report/report.cc.o" "gcc" "src/core/CMakeFiles/netclients_core.dir/report/report.cc.o.d"
   )

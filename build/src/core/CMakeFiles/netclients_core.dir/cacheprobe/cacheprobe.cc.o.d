@@ -240,7 +240,10 @@ src/core/CMakeFiles/netclients_core.dir/cacheprobe/cacheprobe.cc.o: \
  /root/repo/src/dns/name.h /root/repo/src/dns/types.h \
  /root/repo/src/geo/geodb.h /root/repo/src/sim/config.h \
  /root/repo/src/sim/country.h /root/repo/src/sim/domains.h \
- /root/repo/src/googledns/google_dns.h /root/repo/src/dnssrv/cache.h \
+ /root/repo/src/googledns/google_dns.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/dnssrv/cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/net/sim_time.h \
  /root/repo/src/dnssrv/rate_limiter.h /usr/include/c++/12/algorithm \
@@ -251,7 +254,16 @@ src/core/CMakeFiles/netclients_core.dir/cacheprobe/cacheprobe.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/googledns/activity_model.h \
+ /usr/include/c++/12/atomic /root/repo/src/googledns/activity_model.h \
  /root/repo/src/net/prefix_set.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/exec/exec.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/thread

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/netclients_core.dir/compare/compare.cc.o.d"
   "CMakeFiles/netclients_core.dir/datasets/datasets.cc.o"
   "CMakeFiles/netclients_core.dir/datasets/datasets.cc.o.d"
+  "CMakeFiles/netclients_core.dir/exec/exec.cc.o"
+  "CMakeFiles/netclients_core.dir/exec/exec.cc.o.d"
   "CMakeFiles/netclients_core.dir/rank/activity_rank.cc.o"
   "CMakeFiles/netclients_core.dir/rank/activity_rank.cc.o.d"
   "CMakeFiles/netclients_core.dir/report/report.cc.o"

@@ -194,9 +194,14 @@ src/googledns/CMakeFiles/netclients_googledns.dir/google_dns.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
@@ -215,8 +220,7 @@ src/googledns/CMakeFiles/netclients_googledns.dir/google_dns.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -230,20 +234,20 @@ src/googledns/CMakeFiles/netclients_googledns.dir/google_dns.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/net/rng.h \
  /usr/include/c++/12/array /root/repo/src/anycast/vantage.h \
  /root/repo/src/net/ipv4.h /root/repo/src/dns/message.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/dns/ecs.h /root/repo/src/net/prefix.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/dns/name.h /root/repo/src/dns/types.h \
- /root/repo/src/dnssrv/authoritative.h /root/repo/src/net/prefix_trie.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/dnssrv/cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/net/sim_time.h /root/repo/src/dnssrv/rate_limiter.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/variant /root/repo/src/dns/ecs.h \
+ /root/repo/src/net/prefix.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/dns/name.h \
+ /root/repo/src/dns/types.h /root/repo/src/dnssrv/authoritative.h \
+ /root/repo/src/net/prefix_trie.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/dnssrv/cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/net/sim_time.h \
+ /root/repo/src/dnssrv/rate_limiter.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/googledns/activity_model.h
+ /usr/include/c++/12/atomic /root/repo/src/googledns/activity_model.h

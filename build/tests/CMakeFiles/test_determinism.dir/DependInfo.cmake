@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/test_determinism.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/test_determinism.dir/test_determinism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/netclients_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/netclients_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/apnic/CMakeFiles/netclients_apnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/netclients_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netclients_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/googledns/CMakeFiles/netclients_googledns.dir/DependInfo.cmake"
+  "/root/repo/build/src/anycast/CMakeFiles/netclients_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnssrv/CMakeFiles/netclients_dnssrv.dir/DependInfo.cmake"
+  "/root/repo/build/src/roots/CMakeFiles/netclients_roots.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/netclients_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/netclients_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netclients_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -320,12 +320,15 @@ tests/CMakeFiles/test_scope_stability.dir/test_scope_stability.cpp.o: \
  /root/repo/src/net/ipv4.h /root/repo/src/dns/name.h \
  /root/repo/src/dns/types.h /root/repo/src/net/prefix_trie.h \
  /root/repo/src/net/rng.h /root/repo/src/googledns/google_dns.h \
- /root/repo/src/anycast/catchment.h /root/repo/src/anycast/pop.h \
- /root/repo/src/net/geo.h /root/repo/src/anycast/vantage.h \
- /root/repo/src/dnssrv/cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/net/sim_time.h /root/repo/src/dnssrv/rate_limiter.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/anycast/catchment.h \
+ /root/repo/src/anycast/pop.h /root/repo/src/net/geo.h \
+ /root/repo/src/anycast/vantage.h /root/repo/src/dnssrv/cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/net/sim_time.h \
+ /root/repo/src/dnssrv/rate_limiter.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/googledns/activity_model.h

@@ -300,8 +300,10 @@ tests/CMakeFiles/test_sim.dir/test_sim.cpp.o: \
  /root/repo/src/net/ipv4.h /root/repo/src/dns/name.h \
  /root/repo/src/dns/types.h /root/repo/src/roots/trace.h \
  /root/repo/src/net/sim_time.h /root/repo/src/sim/activity.h \
- /root/repo/src/googledns/activity_model.h /root/repo/src/anycast/pop.h \
- /root/repo/src/net/geo.h /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/googledns/activity_model.h \
+ /root/repo/src/anycast/pop.h /root/repo/src/net/geo.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

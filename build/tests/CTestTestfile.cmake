@@ -29,3 +29,5 @@ add_test(test_fuzz_wire "/root/repo/build/tests/test_fuzz_wire")
 set_tests_properties(test_fuzz_wire PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;38;add_nc_test_batch;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_scope_stability "/root/repo/build/tests/test_scope_stability")
 set_tests_properties(test_scope_stability PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;39;add_nc_test_batch;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_determinism "/root/repo/build/tests/test_determinism")
+set_tests_properties(test_determinism PROPERTIES  LABELS "determinism;tsan" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;18;add_test;/root/repo/tests/CMakeLists.txt;40;add_nc_test_batch;/root/repo/tests/CMakeLists.txt;0;")

@@ -14,6 +14,7 @@
 // Run:  build/examples/coverage_diagnosis [scale-denominator]
 
 #include <cstdio>
+#include <utility>
 #include <cstdlib>
 #include <unordered_set>
 
@@ -35,10 +36,15 @@ int main(int argc, char** argv) {
   googledns::GooglePublicDns google_dns(&world.pops(), &world.catchment(),
                                         &world.authoritative(), {},
                                         &activity);
-  core::CacheProbeCampaign campaign(
-      &world.authoritative(), &google_dns, &world.geodb(),
-      anycast::default_vantage_fleet(), world.domains(), 1u << 16,
-      world.address_space_end());
+  core::ProbeEnvironment probe_env;
+  probe_env.authoritative = &world.authoritative();
+  probe_env.google_dns = &google_dns;
+  probe_env.geodb = &world.geodb();
+  probe_env.vantage_points = anycast::default_vantage_fleet();
+  probe_env.domains = world.domains();
+  probe_env.slash24_begin = 1u << 16;
+  probe_env.slash24_end = world.address_space_end();
+  core::CacheProbeCampaign campaign(std::move(probe_env));
   const auto pops = campaign.discover_pops();
   const auto calibration = campaign.calibrate(pops);
   const auto result = campaign.run(pops, calibration);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/exec/exec.h"
 #include "net/rng.h"
 
 namespace netclients::core {
@@ -21,54 +22,80 @@ PrefixDataset CampaignResult::to_prefix_dataset(std::string name) const {
   return out;
 }
 
-CacheProbeCampaign::CacheProbeCampaign(
-    const dnssrv::AuthoritativeServer* authoritative,
-    googledns::GooglePublicDns* google_dns, const geo::GeoDatabase* geodb,
-    std::vector<anycast::VantagePoint> vantage_points,
-    std::vector<sim::DomainInfo> domains, std::uint32_t slash24_begin,
-    std::uint32_t slash24_end, CacheProbeOptions options)
-    : authoritative_(authoritative),
-      google_dns_(google_dns),
-      geodb_(geodb),
-      vantage_points_(std::move(vantage_points)),
-      domains_(std::move(domains)),
-      slash24_begin_(slash24_begin),
-      slash24_end_(slash24_end),
-      options_(options) {}
+double mean_assigned_per_pop(std::uint64_t total_assigned, std::size_t pops,
+                             std::size_t domains) {
+  const double cells = static_cast<double>(pops) * static_cast<double>(domains);
+  return cells > 0 ? static_cast<double>(total_assigned) / cells : 0.0;
+}
 
-std::vector<ProbeCandidate> CacheProbeCampaign::discover_scopes(
-    int domain_index) const {
+namespace {
+
+/// /24s per scope-discovery shard. Fixed (never derived from the thread
+/// count) so the shard partition — and therefore the merged candidate
+/// list — is identical for every REPRO_THREADS value.
+constexpr std::size_t kScopeScanChunk = 1 << 14;
+
+}  // namespace
+
+std::vector<ProbeCandidate> discover_scopes(const ProbeEnvironment& env,
+                                            const CacheProbeOptions& options,
+                                            int domain_index) {
   const sim::DomainInfo& domain =
-      domains_[static_cast<std::size_t>(domain_index)];
+      env.domains[static_cast<std::size_t>(domain_index)];
+
+  // Each shard runs the serial scan over its own /24 range. A shard's
+  // first candidate may also be covered by the previous shard's final
+  // candidate (scopes are not aligned to shard seams) — the ordered merge
+  // below drops those, mirroring the slight overlaps real unaligned
+  // authoritative scopes produce anyway.
+  const auto chunks = exec::parallel_for_chunks(
+      env.slash24_begin, env.slash24_end, kScopeScanChunk, options.threads,
+      [&](exec::ChunkRange range) {
+        std::vector<ProbeCandidate> out;
+        std::uint32_t idx = static_cast<std::uint32_t>(range.begin);
+        while (idx < range.end) {
+          const net::Prefix slash24 = net::Prefix::from_slash24_index(idx);
+          const auto scope = env.authoritative->scope_for(domain.name, slash24,
+                                                          /*epoch=*/0);
+          if (!scope || *scope == 0) {
+            // Non-ECS answer: the whole address space shares one cache
+            // entry, so there is nothing prefix-specific to learn — skip
+            // the domain's /24.
+            ++idx;
+            continue;
+          }
+          const std::uint8_t scope_len = std::min<std::uint8_t>(*scope, 24);
+          const net::Prefix candidate = slash24.widen_to(scope_len);
+          out.push_back(ProbeCandidate{candidate});
+          // All /24s inside the returned scope share the cache entry.
+          idx = candidate.first_slash24_index() +
+                static_cast<std::uint32_t>(candidate.slash24_count());
+        }
+        return out;
+      });
+
   std::vector<ProbeCandidate> candidates;
-  std::uint32_t idx = slash24_begin_;
-  while (idx < slash24_end_) {
-    const net::Prefix slash24 = net::Prefix::from_slash24_index(idx);
-    const auto scope = authoritative_->scope_for(domain.name, slash24,
-                                                 /*epoch=*/0);
-    if (!scope || *scope == 0) {
-      // Non-ECS answer: the whole address space shares one cache entry, so
-      // there is nothing prefix-specific to learn — skip the domain's /24.
-      ++idx;
-      continue;
+  std::uint32_t covered_to = 0;
+  for (const auto& chunk : chunks) {
+    for (const ProbeCandidate& candidate : chunk) {
+      const std::uint32_t end =
+          candidate.scope.first_slash24_index() +
+          static_cast<std::uint32_t>(candidate.scope.slash24_count());
+      if (end <= covered_to) continue;  // seam overlap: already covered
+      candidates.push_back(candidate);
+      covered_to = end;
     }
-    const std::uint8_t scope_len = std::min<std::uint8_t>(*scope, 24);
-    const net::Prefix candidate = slash24.widen_to(scope_len);
-    candidates.push_back(ProbeCandidate{candidate});
-    // All /24s inside the returned scope share the cache entry: skip them.
-    idx = candidate.first_slash24_index() +
-          static_cast<std::uint32_t>(candidate.slash24_count());
   }
   return candidates;
 }
 
-PopDiscoveryResult CacheProbeCampaign::discover_pops() const {
+PopDiscoveryResult discover_pops(const ProbeEnvironment& env) {
   PopDiscoveryResult result;
-  result.vp_pop.reserve(vantage_points_.size());
-  for (const auto& vp : vantage_points_) {
+  result.vp_pop.reserve(env.vantage_points.size());
+  for (const auto& vp : env.vantage_points) {
     // Equivalent of `dig @8.8.8.8 o-o.myaddr.l.google.com -t TXT`.
     const PopId pop =
-        google_dns_->pop_for(vp.location, vp.address.value());
+        env.google_dns->pop_for(vp.location, vp.address.value());
     result.vp_pop.push_back(pop);
     const bool seen =
         std::any_of(result.probed_pops.begin(), result.probed_pops.end(),
@@ -79,30 +106,32 @@ PopDiscoveryResult CacheProbeCampaign::discover_pops() const {
   return result;
 }
 
-CalibrationResult CacheProbeCampaign::calibrate(
-    const PopDiscoveryResult& pops) const {
+CalibrationResult calibrate(const ProbeEnvironment& env,
+                            const CacheProbeOptions& options,
+                            const PopDiscoveryResult& pops) {
   CalibrationResult result;
   // Random sample of geolocatable /24s with tight error radius. The target
   // count scales with the address space so the density matches the paper's
-  // 78,637-of-15.5M sample.
+  // 78,637-of-15.5M sample. Drawn once, serially, before the fan-out: all
+  // PoP shards probe the same sample.
   const double space_fraction =
-      static_cast<double>(slash24_end_ - slash24_begin_) / 15527909.0;
+      static_cast<double>(env.slash24_end - env.slash24_begin) / 15527909.0;
   const double target =
-      std::max(64.0, options_.calibration_sample_target * space_fraction);
+      std::max(64.0, options.calibration_sample_target * space_fraction);
 
   std::vector<std::pair<std::uint32_t, net::LatLon>> sample;
   {
     std::size_t eligible = 0;
-    geodb_->for_each([&](std::uint32_t, const geo::GeoRecord& rec) {
-      if (rec.error_radius_km < options_.calibration_max_error_radius_km) {
+    env.geodb->for_each([&](std::uint32_t, const geo::GeoRecord& rec) {
+      if (rec.error_radius_km < options.calibration_max_error_radius_km) {
         ++eligible;
       }
     });
     if (eligible == 0) return result;
     const double p = std::min(1.0, target / static_cast<double>(eligible));
-    net::Rng rng(net::stable_seed(options_.seed, 0xCA11u));
-    geodb_->for_each([&](std::uint32_t idx, const geo::GeoRecord& rec) {
-      if (rec.error_radius_km < options_.calibration_max_error_radius_km &&
+    net::Rng rng(net::stable_seed(options.seed, 0xCA11u));
+    env.geodb->for_each([&](std::uint32_t idx, const geo::GeoRecord& rec) {
+      if (rec.error_radius_km < options.calibration_max_error_radius_km &&
           rng.bernoulli(p)) {
         sample.emplace_back(idx, rec.location);
       }
@@ -113,143 +142,195 @@ CalibrationResult CacheProbeCampaign::calibrate(
   // Calibration probes the four Alexa domains (§3.1.1); the Microsoft CDN
   // domain is reserved for validation.
   std::vector<int> calibration_domains;
-  for (std::size_t d = 0; d < domains_.size(); ++d) {
-    if (!domains_[d].is_microsoft_cdn) {
+  for (std::size_t d = 0; d < env.domains.size(); ++d) {
+    if (!env.domains[d].is_microsoft_cdn) {
       calibration_domains.push_back(static_cast<int>(d));
     }
   }
 
-  for (const auto& [pop, vp_id] : pops.probed_pops) {
-    std::vector<double>& distances = result.hit_distances_km[pop];
-    double t = 0;
-    for (const auto& [idx, location] : sample) {
-      const net::Prefix query = net::Prefix::from_slash24_index(idx);
-      bool hit = false;
-      for (int d : calibration_domains) {
-        for (int attempt = 0;
-             attempt < options_.redundant_queries && !hit; ++attempt) {
-          auto probe = google_dns_->probe(pop, domains_[d].name, query, t,
-                                          options_.transport, vp_id, attempt);
-          hit = probe.cache_hit && probe.return_scope > 0;
+  // One shard per PoP: each shard drives its own vantage point's flows and
+  // its own PoP's cache pools, so shards never contend on substrate state.
+  struct PopCalibration {
+    std::vector<double> distances;
+    double radius = 0;
+  };
+  std::vector<PopCalibration> shards = exec::parallel_map(
+      pops.probed_pops.size(), options.threads, [&](std::size_t i) {
+        const auto& [pop, vp_id] = pops.probed_pops[i];
+        PopCalibration shard;
+        double t = 0;
+        for (const auto& [idx, location] : sample) {
+          const net::Prefix query = net::Prefix::from_slash24_index(idx);
+          bool hit = false;
+          for (int d : calibration_domains) {
+            for (int attempt = 0;
+                 attempt < options.redundant_queries && !hit; ++attempt) {
+              auto probe =
+                  env.google_dns->probe(pop, env.domains[static_cast<std::size_t>(d)].name,
+                                        query, t, options.transport, vp_id,
+                                        attempt);
+              hit = probe.cache_hit && probe.return_scope > 0;
+            }
+            if (hit) break;
+          }
+          t += 1.0 / options.prefixes_per_second_per_domain;
+          if (hit) {
+            shard.distances.push_back(net::haversine_km(
+                location, env.google_dns->pops().site(pop).location));
+          }
         }
-        if (hit) break;
-      }
-      t += 1.0 / options_.prefixes_per_second_per_domain;
-      if (hit) {
-        distances.push_back(net::haversine_km(
-            location, google_dns_->pops().site(pop).location));
-      }
-    }
-    if (distances.size() >= 10) {
-      std::vector<double> sorted = distances;
-      std::sort(sorted.begin(), sorted.end());
-      const std::size_t rank = static_cast<std::size_t>(
-          options_.service_radius_percentile *
-          static_cast<double>(sorted.size() - 1));
-      result.service_radius_km[pop] = sorted[rank];
-    } else {
-      result.service_radius_km[pop] = options_.default_service_radius_km;
-    }
+        if (shard.distances.size() >= 10) {
+          std::vector<double> sorted = shard.distances;
+          std::sort(sorted.begin(), sorted.end());
+          const std::size_t rank = static_cast<std::size_t>(
+              options.service_radius_percentile *
+              static_cast<double>(sorted.size() - 1));
+          shard.radius = sorted[rank];
+        } else {
+          shard.radius = options.default_service_radius_km;
+        }
+        return shard;
+      });
+
+  // Ordered merge in PoP order (probed_pops is sorted).
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const PopId pop = pops.probed_pops[i].first;
+    result.hit_distances_km[pop] = std::move(shards[i].distances);
+    result.service_radius_km[pop] = shards[i].radius;
   }
   return result;
 }
 
-CampaignResult CacheProbeCampaign::run(
-    const PopDiscoveryResult& pops,
-    const CalibrationResult& calibration) const {
+CampaignResult run_campaign(const ProbeEnvironment& env,
+                            const CacheProbeOptions& options,
+                            const PopDiscoveryResult& pops,
+                            const CalibrationResult& calibration) {
   CampaignResult result;
-  result.active_by_domain.resize(domains_.size());
-  const double duration = options_.duration_hours * net::kHour;
+  result.active_by_domain.resize(env.domains.size());
+  const double duration = options.duration_hours * net::kHour;
 
-  // Scope discovery once per domain; assignment reuses the lists.
+  // Scope discovery once per domain (itself sharded over /24 ranges);
+  // the per-PoP assignment below reuses the lists read-only.
   std::vector<std::vector<ProbeCandidate>> candidates_by_domain;
-  candidates_by_domain.reserve(domains_.size());
-  for (std::size_t d = 0; d < domains_.size(); ++d) {
-    candidates_by_domain.push_back(discover_scopes(static_cast<int>(d)));
+  candidates_by_domain.reserve(env.domains.size());
+  for (std::size_t d = 0; d < env.domains.size(); ++d) {
+    candidates_by_domain.push_back(
+        discover_scopes(env, options, static_cast<int>(d)));
   }
 
-  std::uint64_t total_assigned = 0;
-  for (const auto& [pop, vp_id] : pops.probed_pops) {
-    const net::LatLon pop_location = google_dns_->pops().site(pop).location;
-    const double radius =
-        !options_.use_max_radius_everywhere &&
-                calibration.service_radius_km.contains(pop)
-            ? calibration.service_radius_km.at(pop)
-            : options_.default_service_radius_km;
-    for (std::size_t d = 0; d < domains_.size(); ++d) {
-      // Assign this PoP the candidates MaxMind places possibly within its
-      // service radius (location + reported error radius).
-      std::vector<net::Prefix> assigned;
-      for (const ProbeCandidate& candidate : candidates_by_domain[d]) {
-        const auto rec =
-            geodb_->lookup(candidate.scope.first_slash24_index());
-        if (!rec) continue;  // not geolocatable: not assigned anywhere
-        if (net::haversine_km(rec->location, pop_location) <=
-            radius + rec->error_radius_km) {
-          assigned.push_back(candidate.scope);
-        }
-      }
-      total_assigned += assigned.size();
-      if (assigned.empty()) continue;
-
-      const double cycle_seconds =
-          static_cast<double>(assigned.size()) /
-          options_.prefixes_per_second_per_domain;
-      const int loops = std::clamp(
-          static_cast<int>(duration / cycle_seconds), 1, options_.max_loops);
-      std::vector<bool> already_hit(assigned.size(), false);
-      for (int loop = 0; loop < loops; ++loop) {
-        for (std::size_t j = 0; j < assigned.size(); ++j) {
-          if (already_hit[j]) continue;
-          const double t =
-              loop * cycle_seconds +
-              static_cast<double>(j) /
-                  options_.prefixes_per_second_per_domain;
-          for (int attempt = 0; attempt < options_.redundant_queries;
-               ++attempt) {
-            ++result.probes_sent;
-            // Redundant queries go out back-to-back (2 ms apart), keeping
-            // the flow's timestamps monotone within the 20 ms per-prefix
-            // budget of the 50 pps loop.
-            auto probe = google_dns_->probe(
-                pop, domains_[d].name, assigned[j], t + attempt * 0.002,
-                options_.transport, vp_id, loop * 131 + attempt);
-            if (probe.rate_limited) {
-              ++result.rate_limited;
-              continue;
+  // One shard per PoP — the paper's own fan-out unit (22 PoPs probed at
+  // once). Probe outcomes are pure functions of (entry, time) oracles, a
+  // PoP's cache pools and its VP's rate-limiter flows are confined to its
+  // shard, so shard results are independent of interleaving.
+  struct PopShard {
+    std::vector<CacheHit> hits;
+    std::uint64_t probes_sent = 0;
+    std::uint64_t rate_limited = 0;
+    std::uint64_t assigned = 0;
+  };
+  std::vector<PopShard> shards = exec::parallel_map(
+      pops.probed_pops.size(), options.threads, [&](std::size_t i) {
+        const auto& [pop, vp_id] = pops.probed_pops[i];
+        PopShard shard;
+        const net::LatLon pop_location =
+            env.google_dns->pops().site(pop).location;
+        const double radius =
+            !options.use_max_radius_everywhere &&
+                    calibration.service_radius_km.contains(pop)
+                ? calibration.service_radius_km.at(pop)
+                : options.default_service_radius_km;
+        for (std::size_t d = 0; d < env.domains.size(); ++d) {
+          // Assign this PoP the candidates MaxMind places possibly within
+          // its service radius (location + reported error radius).
+          std::vector<net::Prefix> assigned;
+          for (const ProbeCandidate& candidate : candidates_by_domain[d]) {
+            const auto rec =
+                env.geodb->lookup(candidate.scope.first_slash24_index());
+            if (!rec) continue;  // not geolocatable: not assigned anywhere
+            if (net::haversine_km(rec->location, pop_location) <=
+                radius + rec->error_radius_km) {
+              assigned.push_back(candidate.scope);
             }
-            if (probe.cache_hit && probe.return_scope > 0) {
-              CacheHit hit;
-              hit.domain_index = static_cast<int>(d);
-              hit.query_scope = assigned[j];
-              hit.return_scope = probe.return_scope;
-              hit.pop = pop;
-              hit.when = t;
-              result.hits.push_back(hit);
-              const net::Prefix active_prefix(
-                  assigned[j].base(),
-                  std::min<std::uint8_t>(probe.return_scope, 24));
-              result.active.insert(active_prefix);
-              result.active_by_domain[d].insert(active_prefix);
-              already_hit[j] = true;
-              break;
+          }
+          shard.assigned += assigned.size();
+          if (assigned.empty()) continue;
+
+          const double cycle_seconds =
+              static_cast<double>(assigned.size()) /
+              options.prefixes_per_second_per_domain;
+          const int loops =
+              std::clamp(static_cast<int>(duration / cycle_seconds), 1,
+                         options.max_loops);
+          std::vector<bool> already_hit(assigned.size(), false);
+          for (int loop = 0; loop < loops; ++loop) {
+            for (std::size_t j = 0; j < assigned.size(); ++j) {
+              if (already_hit[j]) continue;
+              const double t =
+                  loop * cycle_seconds +
+                  static_cast<double>(j) /
+                      options.prefixes_per_second_per_domain;
+              for (int attempt = 0; attempt < options.redundant_queries;
+                   ++attempt) {
+                ++shard.probes_sent;
+                // Redundant queries go out back-to-back (2 ms apart),
+                // keeping the flow's timestamps monotone within the 20 ms
+                // per-prefix budget of the 50 pps loop.
+                auto probe = env.google_dns->probe(
+                    pop, env.domains[d].name, assigned[j],
+                    t + attempt * 0.002, options.transport, vp_id,
+                    loop * 131 + attempt);
+                if (probe.rate_limited) {
+                  ++shard.rate_limited;
+                  continue;
+                }
+                if (probe.cache_hit && probe.return_scope > 0) {
+                  CacheHit hit;
+                  hit.domain_index = static_cast<int>(d);
+                  hit.query_scope = assigned[j];
+                  hit.return_scope = probe.return_scope;
+                  hit.pop = pop;
+                  hit.when = t;
+                  shard.hits.push_back(hit);
+                  already_hit[j] = true;
+                  break;
+                }
+              }
             }
           }
         }
-      }
+        return shard;
+      });
+
+  // Ordered merge in PoP order — the exact sequence a serial run visits,
+  // so hit vectors and prefix-set insertions are byte-identical for any
+  // thread count.
+  std::uint64_t total_assigned = 0;
+  for (PopShard& shard : shards) {
+    result.probes_sent += shard.probes_sent;
+    result.rate_limited += shard.rate_limited;
+    total_assigned += shard.assigned;
+    for (CacheHit& hit : shard.hits) {
+      const net::Prefix active_prefix(
+          hit.query_scope.base(),
+          std::min<std::uint8_t>(hit.return_scope, 24));
+      result.active.insert(active_prefix);
+      result.active_by_domain[static_cast<std::size_t>(hit.domain_index)]
+          .insert(active_prefix);
+      result.hits.push_back(hit);
     }
   }
   if (!pops.probed_pops.empty()) {
-    result.average_assigned_per_pop =
-        total_assigned / (pops.probed_pops.size() * domains_.size());
+    result.average_assigned_per_pop = mean_assigned_per_pop(
+        total_assigned, pops.probed_pops.size(), env.domains.size());
   }
   return result;
 }
 
-CampaignResult CacheProbeCampaign::run_full() {
-  const PopDiscoveryResult pops = discover_pops();
-  const CalibrationResult calibration = calibrate(pops);
-  return run(pops, calibration);
+CampaignResult run_full_campaign(const ProbeEnvironment& env,
+                                 const CacheProbeOptions& options) {
+  const PopDiscoveryResult pops = discover_pops(env);
+  const CalibrationResult calibration = calibrate(env, options, pops);
+  return run_campaign(env, options, pops, calibration);
 }
 
 }  // namespace netclients::core

@@ -17,6 +17,22 @@
 
 namespace netclients::core {
 
+/// Everything the measurer has access to — the explicit substrate of the
+/// campaign. The pipeline deliberately consumes only what a real measurer
+/// has: query access to the domains' authoritatives (scope pre-pass), query
+/// access to Google Public DNS, a MaxMind-style geolocation database, a
+/// vantage-point fleet, and the public /24 space bounds. It never touches
+/// the simulator's ground truth.
+struct ProbeEnvironment {
+  const dnssrv::AuthoritativeServer* authoritative = nullptr;
+  googledns::GooglePublicDns* google_dns = nullptr;
+  const geo::GeoDatabase* geodb = nullptr;
+  std::vector<anycast::VantagePoint> vantage_points;
+  std::vector<sim::DomainInfo> domains;
+  std::uint32_t slash24_begin = 0;
+  std::uint32_t slash24_end = 0;
+};
+
 /// Tuning of the cache-probing campaign; defaults are the paper's (§3.1.1).
 struct CacheProbeOptions {
   double duration_hours = 120;
@@ -39,6 +55,12 @@ struct CacheProbeOptions {
   bool use_max_radius_everywhere = false;
 
   std::uint64_t seed = 0xCAFE;
+
+  /// Parallelism degree for the sharded stages (scope discovery sharded
+  /// over /24 ranges, calibration and the campaign sharded per PoP).
+  /// 0 = exec::thread_count() (the REPRO_THREADS env var); 1 = serial.
+  /// Same seed ⇒ byte-identical results for every value.
+  int threads = 0;
 };
 
 /// A candidate probe target discovered by the scope pre-pass: one query per
@@ -80,7 +102,7 @@ struct CampaignResult {
   std::vector<net::DisjointPrefixSet> active_by_domain;
   std::uint64_t probes_sent = 0;
   std::uint64_t rate_limited = 0;
-  std::uint64_t average_assigned_per_pop = 0;
+  double average_assigned_per_pop = 0;
 
   /// Lower bound on active /24s: one per disjoint hit prefix (§4).
   std::uint64_t slash24_lower_bound() const { return active.size(); }
@@ -93,56 +115,84 @@ struct CampaignResult {
   PrefixDataset to_prefix_dataset(std::string name) const;
 };
 
+/// Mean candidates assigned per (PoP, domain) pair, in double — the
+/// integer-division truncation this replaces underreported Figure 2's
+/// 2.4M-vs-4.4M comparison at small scales.
+double mean_assigned_per_pop(std::uint64_t total_assigned, std::size_t pops,
+                             std::size_t domains);
+
+// ---------------------------------------------------------------------------
+// Stage API. Each stage is a pure function of its explicit inputs: what a
+// stage learns travels only through its returned value, never through
+// hidden mutable state — which is what lets shards run independently.
+// (`env.google_dns` is the measured system; probing it is the measurement
+// itself, not hidden pipeline state.)
+
+/// Stage 1 — scope discovery (§3.1.1, validated in Appendix A.2): queries
+/// the authoritative for every /24 in the environment's range and collapses
+/// runs sharing a response scope into one candidate. Sharded over fixed
+/// /24 chunks; the ordered merge drops candidates a preceding chunk's
+/// final (overshooting) candidate already covers.
+std::vector<ProbeCandidate> discover_scopes(const ProbeEnvironment& env,
+                                            const CacheProbeOptions& options,
+                                            int domain_index);
+
+/// Stage 2 — PoP discovery: `dig @8.8.8.8 o-o.myaddr...` from every VP.
+PopDiscoveryResult discover_pops(const ProbeEnvironment& env);
+
+/// Stage 3 — service-radius calibration: probes a geolocated random sample
+/// from each reached PoP and takes the 90th-percentile hit distance
+/// (Figure 2). Sharded per PoP.
+CalibrationResult calibrate(const ProbeEnvironment& env,
+                            const CacheProbeOptions& options,
+                            const PopDiscoveryResult& pops);
+
+/// Stage 4 — the 120-hour campaign: each PoP probes the candidates whose
+/// geolocation (+ error radius) falls within its service radius, with
+/// redundant queries over TCP. Sharded per PoP (the paper fans out across
+/// 22 PoPs at once); per-shard hit lists and counters are merged in PoP
+/// order, so the result is byte-identical to a serial run.
+CampaignResult run_campaign(const ProbeEnvironment& env,
+                            const CacheProbeOptions& options,
+                            const PopDiscoveryResult& pops,
+                            const CalibrationResult& calibration);
+
+/// Convenience: stages 2–4 (stage 1 runs inside stage 4).
+CampaignResult run_full_campaign(const ProbeEnvironment& env,
+                                 const CacheProbeOptions& options = {});
+
 /// The paper's first technique: ECS cache probing of Google Public DNS.
-///
-/// The pipeline deliberately consumes only what a real measurer has:
-/// the public /24 space bounds, a MaxMind-style geolocation database, query
-/// access to the domains' authoritatives (scope pre-pass), a vantage-point
-/// fleet, and query access to Google Public DNS. It never touches the
-/// simulator's ground truth.
+/// A thin handle bundling a ProbeEnvironment with options; every method
+/// delegates to the stage functions above.
 class CacheProbeCampaign {
  public:
-  CacheProbeCampaign(const dnssrv::AuthoritativeServer* authoritative,
-                     googledns::GooglePublicDns* google_dns,
-                     const geo::GeoDatabase* geodb,
-                     std::vector<anycast::VantagePoint> vantage_points,
-                     std::vector<sim::DomainInfo> domains,
-                     std::uint32_t slash24_begin, std::uint32_t slash24_end,
-                     CacheProbeOptions options = {});
+  explicit CacheProbeCampaign(ProbeEnvironment env,
+                              CacheProbeOptions options = {})
+      : env_(std::move(env)), options_(options) {}
 
-  /// Stage 1 — scope discovery (§3.1.1, validated in Appendix A.2):
-  /// queries the authoritative for every /24 and collapses runs sharing a
-  /// response scope into one candidate.
-  std::vector<ProbeCandidate> discover_scopes(int domain_index) const;
-
-  /// Stage 2 — PoP discovery: `dig @8.8.8.8 o-o.myaddr...` from every VP.
-  PopDiscoveryResult discover_pops() const;
-
-  /// Stage 3 — service-radius calibration: probes a geolocated random
-  /// sample from each reached PoP and takes the 90th-percentile hit
-  /// distance (Figure 2).
-  CalibrationResult calibrate(const PopDiscoveryResult& pops) const;
-
-  /// Stage 4 — the 120-hour campaign: each PoP probes the candidates whose
-  /// geolocation (+ error radius) falls within its service radius, with
-  /// redundant queries over TCP.
+  std::vector<ProbeCandidate> discover_scopes(int domain_index) const {
+    return core::discover_scopes(env_, options_, domain_index);
+  }
+  PopDiscoveryResult discover_pops() const {
+    return core::discover_pops(env_);
+  }
+  CalibrationResult calibrate(const PopDiscoveryResult& pops) const {
+    return core::calibrate(env_, options_, pops);
+  }
   CampaignResult run(const PopDiscoveryResult& pops,
-                     const CalibrationResult& calibration) const;
+                     const CalibrationResult& calibration) const {
+    return core::run_campaign(env_, options_, pops, calibration);
+  }
+  CampaignResult run_full() const {
+    return core::run_full_campaign(env_, options_);
+  }
 
-  /// Convenience: all four stages.
-  CampaignResult run_full();
-
-  const std::vector<sim::DomainInfo>& domains() const { return domains_; }
+  const ProbeEnvironment& environment() const { return env_; }
+  const std::vector<sim::DomainInfo>& domains() const { return env_.domains; }
   const CacheProbeOptions& options() const { return options_; }
 
  private:
-  const dnssrv::AuthoritativeServer* authoritative_;
-  googledns::GooglePublicDns* google_dns_;
-  const geo::GeoDatabase* geodb_;
-  std::vector<anycast::VantagePoint> vantage_points_;
-  std::vector<sim::DomainInfo> domains_;
-  std::uint32_t slash24_begin_;
-  std::uint32_t slash24_end_;
+  ProbeEnvironment env_;
   CacheProbeOptions options_;
 };
 

@@ -1,8 +1,11 @@
 #include "core/chromium/chromium.h"
 
 #include <cmath>
+#include <mutex>
+#include <utility>
 
 #include "core/chromium/sketch.h"
+#include "core/exec/exec.h"
 #include "net/rng.h"
 #include "net/sim_time.h"
 
@@ -25,6 +28,61 @@ std::uint64_t name_day_key(const roots::TraceRecord& rec) {
   return net::hash_combine(net::stable_hash(rec.qname.labels().front()), day);
 }
 
+/// Cuts a sequential stream of values into fixed-size chunks and hands
+/// batches of chunks to the pool. The producer (the replay callback) stays
+/// single-threaded; only chunk processing fans out. Chunk boundaries
+/// depend on arrival order alone, so the partition is identical for every
+/// thread count.
+template <typename T>
+class ChunkedScatter {
+ public:
+  using ChunkFn = std::function<void(std::size_t, const std::vector<T>&)>;
+
+  ChunkedScatter(std::size_t chunk_size, int threads, ChunkFn fn)
+      : chunk_size_(std::max<std::size_t>(1, chunk_size)),
+        threads_(threads),
+        fn_(std::move(fn)) {
+    batch_limit_ = static_cast<std::size_t>(
+        std::max(1, threads_ > 0 ? threads_ : exec::thread_count()) * 2);
+  }
+
+  void push(T value) {
+    current_.push_back(std::move(value));
+    if (current_.size() == chunk_size_) {
+      batch_.push_back(std::move(current_));
+      current_.clear();
+      if (batch_.size() >= batch_limit_) flush();
+    }
+  }
+
+  void finish() {
+    if (!current_.empty()) {
+      batch_.push_back(std::move(current_));
+      current_.clear();
+    }
+    flush();
+  }
+
+ private:
+  void flush() {
+    if (batch_.empty()) return;
+    exec::parallel_map(batch_.size(), threads_, [&](std::size_t i) {
+      fn_(next_chunk_index_ + i, batch_[i]);
+      return 0;
+    });
+    next_chunk_index_ += batch_.size();
+    batch_.clear();
+  }
+
+  std::size_t chunk_size_;
+  int threads_;
+  ChunkFn fn_;
+  std::size_t batch_limit_;
+  std::size_t next_chunk_index_ = 0;
+  std::vector<T> current_;
+  std::vector<std::vector<T>> batch_;
+};
+
 }  // namespace
 
 ChromiumResult ChromiumCounter::process(const ReplayFn& replay) const {
@@ -38,26 +96,66 @@ ChromiumResult ChromiumCounter::process(const ReplayFn& replay) const {
              options_.daily_collision_threshold * options_.sample_rate)));
 
   // Pass 1: per-(name, day) frequency sketch over signature matches only.
+  // The producer extracts keys serially; shards scatter them into the
+  // shared sketch with atomic (commutative) increments.
   CountMinSketch sketch(options_.sketch_width, options_.sketch_depth,
                         options_.seed);
-  replay([&](const roots::TraceRecord& rec) {
-    if (matches_chromium_signature(rec.qname)) {
-      sketch.add(name_day_key(rec));
-    }
-  });
+  {
+    ChunkedScatter<std::uint64_t> scatter(
+        options_.chunk_records, options_.threads,
+        [&](std::size_t, const std::vector<std::uint64_t>& keys) {
+          for (std::uint64_t key : keys) sketch.add(key);
+        });
+    replay([&](const roots::TraceRecord& rec) {
+      if (matches_chromium_signature(rec.qname)) {
+        scatter.push(name_day_key(rec));
+      }
+    });
+    scatter.finish();
+  }
 
   // Pass 2: attribute surviving matches to their resolver source address.
-  replay([&](const roots::TraceRecord& rec) {
-    ++result.records_scanned;
-    if (!matches_chromium_signature(rec.qname)) return;
-    ++result.signature_matches;
-    if (sketch.estimate(name_day_key(rec)) >= threshold) {
-      ++result.rejected_collisions;
-      return;
-    }
-    result.probes_by_resolver[rec.source.value()] +=
-        1.0 / options_.sample_rate;
-  });
+  // Per-shard partials are integer counts merged in chunk order, then
+  // scaled once — byte-identical totals for any thread count.
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  std::uint64_t rejected = 0;
+  {
+    struct Match {
+      std::uint64_t key;
+      std::uint32_t source;
+    };
+    std::mutex merge_mu;
+    ChunkedScatter<Match> scatter(
+        options_.chunk_records, options_.threads,
+        [&](std::size_t, const std::vector<Match>& matches) {
+          std::unordered_map<std::uint32_t, std::uint64_t> local;
+          std::uint64_t local_rejected = 0;
+          for (const Match& m : matches) {
+            if (sketch.estimate(m.key) >= threshold) {
+              ++local_rejected;
+            } else {
+              ++local[m.source];
+            }
+          }
+          // Integer sums are order-independent, so merging under a plain
+          // lock (rather than in chunk order) is still deterministic.
+          std::lock_guard<std::mutex> lock(merge_mu);
+          rejected += local_rejected;
+          for (const auto& [source, count] : local) counts[source] += count;
+        });
+    replay([&](const roots::TraceRecord& rec) {
+      ++result.records_scanned;
+      if (!matches_chromium_signature(rec.qname)) return;
+      ++result.signature_matches;
+      scatter.push(Match{name_day_key(rec), rec.source.value()});
+    });
+    scatter.finish();
+  }
+  result.rejected_collisions = rejected;
+  const double scale = 1.0 / options_.sample_rate;
+  for (const auto& [source, count] : counts) {
+    result.probes_by_resolver[source] = static_cast<double>(count) * scale;
+  }
   return result;
 }
 

@@ -29,6 +29,15 @@ struct ChromiumOptions {
   std::size_t sketch_width = 1 << 22;
   int sketch_depth = 4;
   std::uint64_t seed = 0xC520;
+
+  /// Parallelism degree for the chunked trace scan. 0 = exec::thread_count()
+  /// (the REPRO_THREADS env var); 1 = serial. Same trace ⇒ identical
+  /// counts for every value.
+  int threads = 0;
+  /// Records per scan shard. Fixed (never derived from the thread count)
+  /// so the chunk partition — and the chunk-ordered merge — is identical
+  /// for every REPRO_THREADS value.
+  std::size_t chunk_records = 1 << 15;
 };
 
 struct ChromiumResult {
@@ -49,8 +58,13 @@ struct ChromiumResult {
 ///
 /// Streaming, two-pass design: DITL-scale traces cannot be materialized, so
 /// the pipeline takes a *replayable* record source. Pass 1 builds a
-/// per-(name, day) frequency sketch plus an exact table of heavy hitters;
-/// pass 2 attributes each surviving signature match to its source address.
+/// per-(name, day) frequency sketch; pass 2 attributes each surviving
+/// signature match to its source address.
+///
+/// Both passes shard the stream into fixed-size record chunks processed in
+/// parallel: pass 1 scatters into the shared sketch with commutative
+/// atomic increments, pass 2 accumulates per-chunk integer partials merged
+/// in chunk order — so counts are identical for every thread count.
 class ChromiumCounter {
  public:
   /// Invokes `emit` once per trace record; must produce the identical

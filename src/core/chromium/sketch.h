@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -29,9 +30,14 @@ class CountMinSketch {
     for (std::size_t r = 0; r < rows_; ++r) seeds_.push_back(rng());
   }
 
+  /// Safe to call concurrently: cell increments are atomic, and integer
+  /// addition is commutative, so the final sketch is identical for any
+  /// thread count or interleaving. (Estimates read during a concurrent add
+  /// phase would be racy — the pipeline separates its passes.)
   void add(std::uint64_t key, std::uint32_t count = 1) {
     for (std::size_t r = 0; r < rows_; ++r) {
-      counters_[slot(r, key)] += count;
+      std::atomic_ref<std::uint32_t>(counters_[slot(r, key)])
+          .fetch_add(count, std::memory_order_relaxed);
     }
   }
 

@@ -1,0 +1,72 @@
+#include "core/exec/exec.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace netclients::core::exec {
+
+int thread_count() {
+  if (const char* value = std::getenv("REPRO_THREADS")) {
+    const int parsed = std::atoi(value);
+    if (parsed >= 1) return parsed;
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || next_ < queue_.size(); });
+      if (next_ >= queue_.size()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_[next_++]);
+      if (next_ == queue_.size()) {
+        queue_.clear();
+        next_ = 0;
+      }
+    }
+    task();
+  }
+}
+
+ThreadPool& shared_pool() {
+  // Sized for the hardware (floor 4 so TSan runs on small CI boxes still
+  // get real interleaving); REPRO_THREADS only selects how many worker
+  // tasks each parallel_map submits.
+  static ThreadPool pool(
+      std::max(4, static_cast<int>(std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace netclients::core::exec

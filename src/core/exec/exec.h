@@ -1,0 +1,169 @@
+#pragma once
+
+// Deterministic parallel-execution layer for the probe/scan pipelines.
+//
+// Every construct here preserves the repo's core invariant: same seed ⇒
+// byte-identical output regardless of thread count. The rules that make
+// that hold:
+//
+//  * Work is split into *shards* whose boundaries depend only on the input
+//    size (fixed chunk sizes), never on the thread count or scheduling.
+//  * Results are collected *by shard index* and merged in shard order —
+//    an ordered merge, not first-come-first-served.
+//  * Any randomness a shard needs comes from `shard_seed(seed, shard_id)`
+//    — a stable hash of the logical shard, never of thread identity.
+//  * Shared accumulators are either commutative over integers (atomic
+//    counter increments, count-min sketch cells) or per-shard partials
+//    merged in shard order.
+//
+// `REPRO_THREADS` (env) selects the parallelism degree; `1` forces the
+// serial path (the shard loop runs inline on the calling thread, visiting
+// shards in index order — which is exactly the order the merge replays, so
+// serial and parallel runs are identical by construction).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/rng.h"
+
+namespace netclients::core::exec {
+
+/// Parallelism degree: REPRO_THREADS when set (clamped to >= 1), otherwise
+/// std::thread::hardware_concurrency. Re-read on every call so tests can
+/// flip the env var in-process.
+int thread_count();
+
+/// Fixed-size thread pool. Workers are started once and run until
+/// destruction; tasks are plain fire-and-forget closures (parallel_map
+/// layers its own completion tracking on top).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> queue_;
+  std::size_t next_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The process-wide pool the pipelines share. Sized once at first use;
+/// parallel_map caps its effective parallelism at pool size + 1 (the
+/// calling thread participates), so REPRO_THREADS larger than the pool
+/// still runs — just with less actual concurrency, and identical results.
+ThreadPool& shared_pool();
+
+/// Seed for the RNG stream of shard `shard_id` under master `seed`.
+/// Derived by stable hashing of the logical shard id — never by thread
+/// identity — so a shard's stream is the same whichever thread runs it.
+constexpr std::uint64_t shard_seed(std::uint64_t seed,
+                                   std::uint64_t shard_id) {
+  return net::stable_seed(seed ^ 0x5AADD5EEDULL, shard_id);
+}
+
+/// Ready-made per-shard generator.
+inline net::Rng shard_rng(std::uint64_t seed, std::uint64_t shard_id) {
+  return net::Rng(shard_seed(seed, shard_id));
+}
+
+/// Runs fn(i) for every i in [0, n) across `threads` workers and returns
+/// the results *in index order*. `threads <= 0` means thread_count();
+/// 1 (or n <= 1) runs inline, in index order, on the calling thread.
+///
+/// fn must not itself call parallel_map/parallel_for_chunks: nested waits
+/// could exhaust the fixed pool. The pipelines parallelise one stage at a
+/// time, sequentially.
+template <typename Fn>
+auto parallel_map(std::size_t n, int threads, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> results(n);
+  if (n == 0) return results;
+  if (threads <= 0) threads = thread_count();
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{workers};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  auto body = [&] {
+    std::size_t i;
+    while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      done_cv.notify_all();
+    }
+  };
+
+  for (std::size_t w = 1; w < workers; ++w) shared_pool().submit(body);
+  body();  // the calling thread is worker 0
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] {
+      return remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+/// A contiguous shard of an index range.
+struct ChunkRange {
+  std::size_t index = 0;  // shard id — feed this to shard_seed, not a tid
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Splits [begin, end) into chunks of `chunk_size` (the last may be
+/// short), runs fn(ChunkRange) on each, and returns the per-chunk results
+/// in chunk order. Chunk boundaries depend only on (begin, end,
+/// chunk_size) — the same partition for any thread count.
+template <typename Fn>
+auto parallel_for_chunks(std::size_t begin, std::size_t end,
+                         std::size_t chunk_size, int threads, Fn&& fn)
+    -> std::vector<decltype(fn(ChunkRange{}))> {
+  if (chunk_size == 0) chunk_size = 1;
+  const std::size_t span = end > begin ? end - begin : 0;
+  const std::size_t chunks = (span + chunk_size - 1) / chunk_size;
+  return parallel_map(chunks, threads, [&](std::size_t i) {
+    ChunkRange range;
+    range.index = i;
+    range.begin = begin + i * chunk_size;
+    range.end = std::min(end, range.begin + chunk_size);
+    return fn(range);
+  });
+}
+
+}  // namespace netclients::core::exec

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 
 #include "net/sim_time.h"
 
@@ -17,16 +19,25 @@ class TokenBucket {
   TokenBucket(double rate_per_second, double burst)
       : rate_(rate_per_second), burst_(burst), tokens_(burst) {}
 
+  TokenBucket(const TokenBucket& other)
+      : rate_(other.rate_),
+        burst_(other.burst_),
+        tokens_(other.tokens_),
+        last_(other.last_),
+        allowed_(other.allowed_.load(std::memory_order_relaxed)),
+        rejected_(other.rejected_.load(std::memory_order_relaxed)) {}
+
   /// Consumes one token if available. Callers must pass non-decreasing
-  /// times.
+  /// times. The bucket state is thread-confined to the flow's shard;
+  /// only the diagnostic counters are safe to read from elsewhere.
   bool allow(net::SimTime now) {
     refill(now);
     if (tokens_ >= 1.0) {
       tokens_ -= 1.0;
-      ++allowed_;
+      allowed_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
-    ++rejected_;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
@@ -35,8 +46,12 @@ class TokenBucket {
     return tokens_;
   }
 
-  std::uint64_t allowed() const { return allowed_; }
-  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t allowed() const {
+    return allowed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
   double rate() const { return rate_; }
 
  private:
@@ -56,8 +71,8 @@ class TokenBucket {
   double burst_;
   double tokens_;
   net::SimTime last_ = 0;
-  std::uint64_t allowed_ = 0;
-  std::uint64_t rejected_ = 0;
+  std::atomic<std::uint64_t> allowed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
 };
 
 }  // namespace netclients::dnssrv

@@ -30,6 +30,9 @@ PopId GooglePublicDns::pop_for(net::LatLon location, std::uint64_t route_key,
 }
 
 dnssrv::DnsCache& GooglePublicDns::pool(PopId pop, int index) {
+  // Lock covers only set creation; the returned cache is thread-confined
+  // to the shard probing this PoP.
+  std::lock_guard<std::mutex> lock(pools_mu_);
   PoolSet& set = pop_pools_[pop];
   if (set.pools.empty()) {
     set.pools.reserve(static_cast<std::size_t>(config_.pools_per_pop));
@@ -46,12 +49,15 @@ dnssrv::TokenBucket& GooglePublicDns::limiter(int vp_id, Transport transport,
   const std::uint64_t key = net::hash_combine(
       domain.hash(), (static_cast<std::uint64_t>(vp_id) << 1) |
                          (transport == Transport::kTcp ? 1u : 0u));
+  // Lock covers only creation: each (vantage, transport, domain) flow is
+  // driven by exactly one PoP shard, so the bucket itself needs no lock.
+  std::lock_guard<std::mutex> lock(limiters_mu_);
   auto it = limiters_.find(key);
   if (it == limiters_.end()) {
     const double qps = transport == Transport::kTcp
                            ? config_.tcp_qps_limit
                            : config_.udp_repeated_qps_limit;
-    it = limiters_.emplace(key, dnssrv::TokenBucket(qps, qps)).first;
+    it = limiters_.try_emplace(key, qps, qps).first;
   }
   return it->second;
 }
@@ -162,13 +168,22 @@ ProbeResult GooglePublicDns::probe(PopId pop, const dns::DnsName& domain,
     const std::uint64_t memo_key = net::stable_seed(
         domain.hash(), std::uint64_t{query_scope.base().value()},
         std::uint64_t{query_scope.length()});
-    auto it = scope_memo_.find(memo_key);
-    if (it != scope_memo_.end()) {
-      entry_scope = it->second;
-    } else {
+    bool found = false;
+    {
+      std::shared_lock<std::shared_mutex> lock(scope_mu_);
+      auto it = scope_memo_.find(memo_key);
+      if (it != scope_memo_.end()) {
+        entry_scope = it->second;
+        found = true;
+      }
+    }
+    if (!found) {
+      // The scope is a pure function of (domain, block, epoch): concurrent
+      // shards that race here compute the same value.
       auto scope_now =
           upstream_->scope_for(domain, query_scope, config_.epoch);
       entry_scope = scope_now ? *scope_now : 255;
+      std::unique_lock<std::shared_mutex> lock(scope_mu_);
       scope_memo_.emplace(memo_key, entry_scope);
     }
   }
@@ -204,6 +219,7 @@ ProbeResult GooglePublicDns::probe(PopId pop, const dns::DnsName& domain,
 }
 
 std::size_t GooglePublicDns::explicit_entries() const {
+  std::lock_guard<std::mutex> lock(pools_mu_);
   std::size_t total = 0;
   for (const auto& [pop, set] : pop_pools_) {
     for (const auto& p : set.pools) total += p->size();

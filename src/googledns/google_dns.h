@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +48,14 @@ struct ProbeResult {
 /// Model of Google Public DNS: an anycast fleet of PoPs, each with several
 /// independent cache pools, honoring client-supplied ECS prefixes and
 /// answering non-recursive (RD=0) queries strictly from cache.
+///
+/// Concurrency discipline (see DESIGN.md "Concurrency model"): `probe` and
+/// `client_query` may be called concurrently as long as concurrent callers
+/// target *distinct PoPs* — each PoP's cache pools and each vantage point's
+/// token buckets are thread-confined to that PoP's shard. The shared
+/// lookup tables (pool-set / limiter creation, the scope memo) are guarded
+/// internally, and every memoized value is a pure function of its key, so
+/// results never depend on interleaving.
 ///
 /// Two occupancy sources compose:
 ///  * an explicit per-pool DnsCache populated by `client_query` — exact,
@@ -122,10 +132,18 @@ class GooglePublicDns {
   const dnssrv::AuthoritativeServer* upstream_;
   GoogleDnsConfig config_;
   const ClientActivityModel* activity_;
+  // Creation of a PoP's pool set / a flow's limiter is locked; the created
+  // objects themselves are thread-confined to their PoP's shard
+  // (unordered_map never invalidates references to values).
+  mutable std::mutex pools_mu_;
   std::unordered_map<anycast::PopId, PoolSet> pop_pools_;
+  std::mutex limiters_mu_;
   std::unordered_map<std::uint64_t, dnssrv::TokenBucket> limiters_;
   // Scope assignments are pure functions of (domain, block) at a fixed
-  // epoch; the campaign probes each combination dozens of times.
+  // epoch; the campaign probes each combination dozens of times, from
+  // every PoP shard — reads dominate, so a shared_mutex. A lost race
+  // recomputes the same value.
+  std::shared_mutex scope_mu_;
   std::unordered_map<std::uint64_t, std::uint8_t> scope_memo_;
 };
 

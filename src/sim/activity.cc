@@ -1,6 +1,7 @@
 #include "sim/activity.h"
 
 #include <cmath>
+#include <mutex>
 #include <numbers>
 
 #include "net/rng.h"
@@ -42,8 +43,11 @@ const WorldActivityModel::RateParts& WorldActivityModel::parts(
       0x4A7Eu, static_cast<std::uint64_t>(pop), static_cast<std::uint64_t>(d),
       std::uint64_t{scope_block.base().value()},
       std::uint64_t{scope_block.length()});
-  auto it = memo_.find(key);
-  if (it != memo_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(memo_mu_);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+  }
 
   RateParts parts;
   const double peak = world_->config().diurnal_peak_local_hour;
@@ -60,6 +64,7 @@ const WorldActivityModel::RateParts& WorldActivityModel::parts(
       parts.hsin += human * std::sin(phase);
     }
   }
+  std::unique_lock<std::shared_mutex> lock(memo_mu_);
   return memo_.emplace(key, parts).first->second;
 }
 

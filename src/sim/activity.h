@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "googledns/activity_model.h"
@@ -46,6 +47,9 @@ class WorldActivityModel final : public googledns::ClientActivityModel {
 
   const World* world_;
   std::unordered_map<dns::DnsName, int> domain_index_;
+  // Shared across concurrent PoP shards; each value is a pure function of
+  // its key, so a lost insertion race recomputes the same parts.
+  mutable std::shared_mutex memo_mu_;
   mutable std::unordered_map<std::uint64_t, RateParts> memo_;
 };
 

@@ -17,7 +17,8 @@ namespace netclients::core {
 namespace {
 
 struct Pipeline {
-  explicit Pipeline(double scale_denominator = 512) {
+  explicit Pipeline(double scale_denominator = 512,
+                    CacheProbeOptions options = {}) {
     sim::WorldConfig config;
     config.scale = 1.0 / scale_denominator;
     world = sim::World::generate(config);
@@ -25,10 +26,19 @@ struct Pipeline {
     gdns = std::make_unique<googledns::GooglePublicDns>(
         &world.pops(), &world.catchment(), &world.authoritative(),
         googledns::GoogleDnsConfig{}, activity.get());
-    campaign = std::make_unique<CacheProbeCampaign>(
-        &world.authoritative(), gdns.get(), &world.geodb(),
-        anycast::default_vantage_fleet(), world.domains(), 1u << 16,
-        world.address_space_end());
+    campaign = std::make_unique<CacheProbeCampaign>(environment(), options);
+  }
+
+  ProbeEnvironment environment() {
+    ProbeEnvironment env;
+    env.authoritative = &world.authoritative();
+    env.google_dns = gdns.get();
+    env.geodb = &world.geodb();
+    env.vantage_points = anycast::default_vantage_fleet();
+    env.domains = world.domains();
+    env.slash24_begin = 1u << 16;
+    env.slash24_end = world.address_space_end();
+    return env;
   }
 
   sim::World world;
@@ -244,10 +254,7 @@ TEST(Campaign, UdpCampaignIsRateLimited) {
   CacheProbeOptions options;
   options.transport = googledns::Transport::kUdp;
   options.max_loops = 1;
-  CacheProbeCampaign campaign(
-      &p.world.authoritative(), p.gdns.get(), &p.world.geodb(),
-      anycast::default_vantage_fleet(), p.world.domains(), 1u << 16,
-      p.world.address_space_end(), options);
+  CacheProbeCampaign campaign(p.environment(), options);
   const auto pops = campaign.discover_pops();
   const auto calibration = campaign.calibrate(pops);
   const auto result = campaign.run(pops, calibration);

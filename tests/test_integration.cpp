@@ -7,6 +7,7 @@
 
 #include <fstream>
 #include <memory>
+#include <utility>
 
 #include "apnic/apnic.h"
 #include "cdn/cdn.h"
@@ -32,10 +33,15 @@ struct Study {
     gdns = std::make_unique<googledns::GooglePublicDns>(
         &world.pops(), &world.catchment(), &world.authoritative(),
         googledns::GoogleDnsConfig{}, activity.get());
-    core::CacheProbeCampaign campaign(
-        &world.authoritative(), gdns.get(), &world.geodb(),
-        anycast::default_vantage_fleet(), world.domains(), 1u << 16,
-        world.address_space_end());
+    core::ProbeEnvironment probe_env;
+    probe_env.authoritative = &world.authoritative();
+    probe_env.google_dns = gdns.get();
+    probe_env.geodb = &world.geodb();
+    probe_env.vantage_points = anycast::default_vantage_fleet();
+    probe_env.domains = world.domains();
+    probe_env.slash24_begin = 1u << 16;
+    probe_env.slash24_end = world.address_space_end();
+    core::CacheProbeCampaign campaign(std::move(probe_env));
     probing = campaign.run_full();
 
     const roots::RootSystem roots = roots::RootSystem::ditl_2020(config.seed);

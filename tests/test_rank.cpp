@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "anycast/vantage.h"
 #include "core/rank/activity_rank.h"
@@ -177,10 +178,15 @@ TEST(Rank, EndToEndRankingCorrelatesWithTruth) {
   googledns::GooglePublicDns gdns(&world.pops(), &world.catchment(),
                                   &world.authoritative(),
                                   googledns::GoogleDnsConfig{}, &activity);
-  CacheProbeCampaign campaign(
-      &world.authoritative(), &gdns, &world.geodb(),
-      anycast::default_vantage_fleet(), world.domains(), 1u << 16,
-      world.address_space_end());
+  ProbeEnvironment probe_env;
+  probe_env.authoritative = &world.authoritative();
+  probe_env.google_dns = &gdns;
+  probe_env.geodb = &world.geodb();
+  probe_env.vantage_points = anycast::default_vantage_fleet();
+  probe_env.domains = world.domains();
+  probe_env.slash24_begin = 1u << 16;
+  probe_env.slash24_end = world.address_space_end();
+  CacheProbeCampaign campaign(std::move(probe_env));
   const auto pops = campaign.discover_pops();
   const auto calibration = campaign.calibrate(pops);
   const auto result = campaign.run(pops, calibration);
