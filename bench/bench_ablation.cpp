@@ -70,7 +70,8 @@ double truth_coverage(const Setup& s, const core::CampaignResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   Setup s = make_setup();
   std::fprintf(stderr, "[ablation] world: %zu /24s\n", s.world.blocks().size());
 

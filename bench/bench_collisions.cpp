@@ -11,7 +11,8 @@
 
 using namespace netclients;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   // 2020-era Chromium load on the roots: roughly half of ~60B daily root
   // queries (the paper's B-root check: "a few percent" post-fix, ~30% of
   // its 2020 level).

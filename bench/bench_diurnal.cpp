@@ -19,7 +19,8 @@
 
 using namespace netclients;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   sim::WorldConfig config;
   const char* env = std::getenv("REPRO_SCALE");
   config.scale = 1.0 / (env ? std::atof(env) : 256.0);

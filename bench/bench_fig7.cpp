@@ -10,7 +10,8 @@
 
 using namespace netclients;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   bench::Pipelines p = bench::PipelineBuilder()
                             .with_cache_probing()
                             .with_chromium()

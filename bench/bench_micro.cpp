@@ -7,6 +7,7 @@
 
 #include "anycast/catchment.h"
 #include "core/chromium/sketch.h"
+#include "core/obs/export.h"
 #include "dns/wire.h"
 #include "dnssrv/cache.h"
 #include "googledns/google_dns.h"
@@ -122,4 +123,13 @@ BENCHMARK(BM_GoogleDnsProbe);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN: the metrics guard must strip --metrics-out
+// before benchmark::Initialize sees (and rejects) unknown flags.
+int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -54,7 +54,8 @@ double spearman(std::vector<std::pair<double, double>> xy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   bench::Pipelines p =
       bench::PipelineBuilder().with_cache_probing().build();
 

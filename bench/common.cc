@@ -1,12 +1,14 @@
 #include "common.h"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <mutex>
+#include <string>
 
 #include "anycast/vantage.h"
 #include "core/exec/exec.h"
+#include "core/obs/obs.h"
 
 namespace netclients::bench {
 
@@ -19,24 +21,24 @@ double env_denominator(const char* name, double fallback) {
   return parsed > 0 ? parsed : fallback;
 }
 
-/// Times one pipeline stage and reports its wall-clock to stderr.
-class StageTimer {
- public:
-  explicit StageTimer(const char* stage)
-      : stage_(stage), start_(std::chrono::steady_clock::now()) {
-    std::fprintf(stderr, "[bench] %s...\n", stage_);
-  }
-  ~StageTimer() {
-    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::chrono::steady_clock::now() - start_);
-    std::fprintf(stderr, "[bench] %s: %lld ms\n", stage_,
-                 static_cast<long long>(elapsed.count()));
-  }
-
- private:
-  const char* stage_;
-  std::chrono::steady_clock::time_point start_;
-};
+/// Routes every obs::StageSpan — the pipelines' internal stage spans and
+/// the bench-level ones alike — to stderr, so the registry is the single
+/// source of truth for stage timing and the narration can never drift from
+/// what gets exported.
+void install_span_narrator() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    obs::set_span_logger(obs::SpanLogger{
+        [](std::string_view name) {
+          std::fprintf(stderr, "[bench] %.*s...\n",
+                       static_cast<int>(name.size()), name.data());
+        },
+        [](std::string_view name, double ms) {
+          std::fprintf(stderr, "[bench] %.*s: %.0f ms\n",
+                       static_cast<int>(name.size()), name.data(), ms);
+        }});
+  });
+}
 
 }  // namespace
 
@@ -47,18 +49,26 @@ double ditl_sample_denominator() {
 }
 
 Pipelines PipelineBuilder::build() const {
+  install_span_narrator();
+  obs::Registry& registry = obs::Registry::global();
   Pipelines p;
   sim::WorldConfig config;
   config.scale = 1.0 / scale_denominator();
   const int threads = threads_ > 0 ? threads_ : core::exec::thread_count();
+  registry.gauge("bench.scale_denominator").set(scale_denominator());
   {
-    StageTimer timer("world generation");
+    obs::StageSpan span("bench.world_generation");
     std::fprintf(stderr, "[bench] scale 1/%.0f, %d threads\n",
                  scale_denominator(), threads);
     p.world = sim::World::generate(config);
     std::fprintf(stderr, "[bench] %zu ASes, %zu /24s, %.0f users\n",
                  p.world.ases().size(), p.world.blocks().size(),
                  p.world.total_users());
+    registry.gauge("bench.world.ases")
+        .set(static_cast<double>(p.world.ases().size()));
+    registry.gauge("bench.world.slash24s")
+        .set(static_cast<double>(p.world.blocks().size()));
+    registry.gauge("bench.world.users").set(p.world.total_users());
   }
 
   p.activity = std::make_unique<sim::WorldActivityModel>(&p.world);
@@ -79,7 +89,7 @@ Pipelines PipelineBuilder::build() const {
                                                           probe_options);
 
   if (cache_probing_) {
-    StageTimer timer("cache probing campaign");
+    obs::StageSpan span("bench.cache_probing_campaign");
     p.pops = p.campaign->discover_pops();
     p.calibration = p.campaign->calibrate(p.pops);
     p.probing = p.campaign->run(p.pops, p.calibration);
@@ -90,7 +100,7 @@ Pipelines PipelineBuilder::build() const {
   }
 
   if (chromium_) {
-    StageTimer timer("DITL crawl");
+    obs::StageSpan span("bench.ditl_crawl");
     const roots::RootSystem root_system =
         roots::RootSystem::ditl_2020(config.seed);
     sim::DitlOptions ditl;
@@ -107,7 +117,7 @@ Pipelines PipelineBuilder::build() const {
   }
 
   if (validation_) {
-    StageTimer timer("CDN + APNIC observation");
+    obs::StageSpan span("bench.cdn_apnic_observation");
     p.ms = cdn::observe_cdn(p.world, {});
     p.apnic = apnic::estimate_population(p.world, {});
     for (const auto& [idx, volume] : p.ms.client_volume) {

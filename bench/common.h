@@ -6,6 +6,9 @@
 // the REPRO_SCALE env var: the denominator of the scale fraction, default
 // 64 — i.e. a 1/64-size Internet) and runs whichever pipelines it needs.
 // Output: a paper-style table on stdout plus CSV series under bench_out/.
+// Every bench also accepts `--metrics-out <path>` (or the
+// REPRO_METRICS_OUT env var) and writes the run's metrics-registry
+// snapshot there on exit — JSON by default, CSV for *.csv paths.
 
 #include <cstdint>
 #include <memory>
@@ -17,6 +20,7 @@
 #include "core/chromium/chromium.h"
 #include "core/compare/compare.h"
 #include "core/datasets/datasets.h"
+#include "core/obs/export.h"
 #include "core/report/report.h"
 #include "googledns/google_dns.h"
 #include "roots/root_server.h"
@@ -72,9 +76,11 @@ struct Pipelines {
 ///                     .threads(8)   // optional; default REPRO_THREADS
 ///                     .build();
 ///
-/// build() prints per-stage wall-clock to stderr (table output on stdout
-/// stays clean), so `bench_table1` et al. double as pipeline-build
-/// speed reports.
+/// build() times every stage with obs::StageSpan — the narration printed
+/// to stderr and the spans exported via `--metrics-out` come from the same
+/// registry records, so reported and measured stage boundaries cannot
+/// drift (table output on stdout stays clean). `bench_table1` et al.
+/// thereby double as pipeline-build speed reports.
 class PipelineBuilder {
  public:
   PipelineBuilder& with_cache_probing() {

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/obs/export.h"
 #include "apnic/apnic.h"
 #include "core/cacheprobe/cacheprobe.h"
 #include "core/chromium/chromium.h"
@@ -23,6 +24,7 @@
 using namespace netclients;
 
 int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   double denominator = 256;
   if (argc > 1) denominator = std::atof(argv[1]);
   const char* focus = argc > 2 ? argv[2] : nullptr;

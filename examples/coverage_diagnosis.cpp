@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <unordered_set>
 
+#include "core/obs/export.h"
 #include "core/cacheprobe/cacheprobe.h"
 #include "net/geo.h"
 #include "sim/activity.h"
@@ -26,6 +27,7 @@
 using namespace netclients;
 
 int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   double denominator = 256;
   if (argc > 1) denominator = std::atof(argv[1]);
   sim::WorldConfig config;

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/obs/export.h"
 #include "core/chromium/chromium.h"
 #include "roots/root_server.h"
 #include "roots/trace.h"
@@ -17,6 +18,7 @@
 using namespace netclients;
 
 int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   double denominator = 512;
   if (argc > 1) denominator = std::atof(argv[1]);
   const std::string path = argc > 2 ? argv[2] : "ditl_sample.trace";

@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/obs/export.h"
 #include "core/cacheprobe/cacheprobe.h"
 #include "core/compare/compare.h"
 #include "sim/activity.h"
@@ -22,6 +23,7 @@
 using namespace netclients;
 
 int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   double denominator = 256;
   if (argc > 1) denominator = std::atof(argv[1]);
   sim::WorldConfig config;

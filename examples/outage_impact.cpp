@@ -13,6 +13,7 @@
 #include <utility>
 #include <cstdlib>
 
+#include "core/obs/export.h"
 #include "core/cacheprobe/cacheprobe.h"
 #include "net/rng.h"
 #include "sim/activity.h"
@@ -21,6 +22,7 @@
 using namespace netclients;
 
 int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   double denominator = 256;
   if (argc > 1) denominator = std::atof(argv[1]);
   sim::WorldConfig config;

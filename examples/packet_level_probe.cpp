@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "core/obs/export.h"
 #include "dns/wire.h"
 #include "googledns/google_dns.h"
 #include "netsim/bus.h"
@@ -15,7 +16,8 @@
 
 using namespace netclients;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   // A miniature world: one zone, real PoP table/catchment, explicit caches.
   anycast::PopTable pops = anycast::PopTable::google_default();
   anycast::CatchmentModel catchment(&pops, 42);

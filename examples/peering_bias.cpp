@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <unordered_set>
 
+#include "core/obs/export.h"
 #include "core/cacheprobe/cacheprobe.h"
 #include "core/datasets/datasets.h"
 #include "net/rng.h"
@@ -24,6 +25,7 @@
 using namespace netclients;
 
 int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   double denominator = 256;
   if (argc > 1) denominator = std::atof(argv[1]);
   sim::WorldConfig config;

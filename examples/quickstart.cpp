@@ -9,6 +9,7 @@
 #include <utility>
 #include <cstdlib>
 
+#include "core/obs/export.h"
 #include "apnic/apnic.h"
 #include "cdn/cdn.h"
 #include "core/cacheprobe/cacheprobe.h"
@@ -23,6 +24,7 @@
 using namespace netclients;
 
 int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
   double denominator = 256;
   if (argc > 1) denominator = std::atof(argv[1]);
 

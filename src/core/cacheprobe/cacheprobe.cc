@@ -4,11 +4,48 @@
 #include <cmath>
 
 #include "core/exec/exec.h"
+#include "core/obs/obs.h"
 #include "net/rng.h"
 
 namespace netclients::core {
 
 using anycast::PopId;
+
+namespace {
+
+// Campaign-stage telemetry. Counters are bumped post-merge (the merged
+// totals are already deterministic); double-valued histograms are fed by
+// per-shard ShardDeltas merged in shard order, so their sums replay the
+// serial accumulation sequence at any REPRO_THREADS.
+struct CampaignMetrics {
+  obs::Counter& scope_candidates =
+      obs::Registry::global().counter("cacheprobe.scopes.candidates");
+  obs::Counter& pops_probed =
+      obs::Registry::global().counter("cacheprobe.pops.probed");
+  obs::Counter& calibration_sampled =
+      obs::Registry::global().counter("cacheprobe.calibration.sampled");
+  obs::Counter& campaign_hits =
+      obs::Registry::global().counter("cacheprobe.campaign.hits");
+  obs::Counter& campaign_probes =
+      obs::Registry::global().counter("cacheprobe.campaign.probes_sent");
+  obs::Counter& campaign_rate_limited =
+      obs::Registry::global().counter("cacheprobe.campaign.rate_limited");
+  obs::Counter& campaign_assigned =
+      obs::Registry::global().counter("cacheprobe.campaign.assigned");
+  obs::Histogram& hit_distance_km = obs::Registry::global().histogram(
+      "cacheprobe.calibration.hit_distance_km",
+      {100, 250, 500, 1000, 2000, 4000, 8000, 16000});
+  obs::Histogram& assigned_per_pop_domain = obs::Registry::global().histogram(
+      "cacheprobe.campaign.assigned_per_pop_domain",
+      {0, 10, 100, 1000, 10000, 100000, 1000000});
+
+  static CampaignMetrics& get() {
+    static CampaignMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 PrefixDataset CampaignResult::to_prefix_dataset(std::string name) const {
   PrefixDataset out(std::move(name));
@@ -40,6 +77,7 @@ constexpr std::size_t kScopeScanChunk = 1 << 14;
 std::vector<ProbeCandidate> discover_scopes(const ProbeEnvironment& env,
                                             const CacheProbeOptions& options,
                                             int domain_index) {
+  obs::StageSpan span("cacheprobe.discover_scopes");
   const sim::DomainInfo& domain =
       env.domains[static_cast<std::size_t>(domain_index)];
 
@@ -86,10 +124,12 @@ std::vector<ProbeCandidate> discover_scopes(const ProbeEnvironment& env,
       covered_to = end;
     }
   }
+  CampaignMetrics::get().scope_candidates.add(candidates.size());
   return candidates;
 }
 
 PopDiscoveryResult discover_pops(const ProbeEnvironment& env) {
+  obs::StageSpan span("cacheprobe.discover_pops");
   PopDiscoveryResult result;
   result.vp_pop.reserve(env.vantage_points.size());
   for (const auto& vp : env.vantage_points) {
@@ -103,12 +143,14 @@ PopDiscoveryResult discover_pops(const ProbeEnvironment& env) {
     if (!seen) result.probed_pops.emplace_back(pop, vp.id);
   }
   std::sort(result.probed_pops.begin(), result.probed_pops.end());
+  CampaignMetrics::get().pops_probed.add(result.probed_pops.size());
   return result;
 }
 
 CalibrationResult calibrate(const ProbeEnvironment& env,
                             const CacheProbeOptions& options,
                             const PopDiscoveryResult& pops) {
+  obs::StageSpan span("cacheprobe.calibrate");
   CalibrationResult result;
   // Random sample of geolocatable /24s with tight error radius. The target
   // count scales with the address space so the density matches the paper's
@@ -138,6 +180,7 @@ CalibrationResult calibrate(const ProbeEnvironment& env,
     });
   }
   result.sampled_prefixes = sample.size();
+  CampaignMetrics::get().calibration_sampled.add(sample.size());
 
   // Calibration probes the four Alexa domains (§3.1.1); the Microsoft CDN
   // domain is reserved for validation.
@@ -153,6 +196,7 @@ CalibrationResult calibrate(const ProbeEnvironment& env,
   struct PopCalibration {
     std::vector<double> distances;
     double radius = 0;
+    obs::ShardDelta metrics;  // merged in PoP order below
   };
   std::vector<PopCalibration> shards = exec::parallel_map(
       pops.probed_pops.size(), options.threads, [&](std::size_t i) {
@@ -177,6 +221,8 @@ CalibrationResult calibrate(const ProbeEnvironment& env,
           if (hit) {
             shard.distances.push_back(net::haversine_km(
                 location, env.google_dns->pops().site(pop).location));
+            shard.metrics.observe(CampaignMetrics::get().hit_distance_km,
+                                  shard.distances.back());
           }
         }
         if (shard.distances.size() >= 10) {
@@ -197,6 +243,7 @@ CalibrationResult calibrate(const ProbeEnvironment& env,
     const PopId pop = pops.probed_pops[i].first;
     result.hit_distances_km[pop] = std::move(shards[i].distances);
     result.service_radius_km[pop] = shards[i].radius;
+    shards[i].metrics.merge();
   }
   return result;
 }
@@ -205,6 +252,7 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
                             const CacheProbeOptions& options,
                             const PopDiscoveryResult& pops,
                             const CalibrationResult& calibration) {
+  obs::StageSpan span("cacheprobe.run_campaign");
   CampaignResult result;
   result.active_by_domain.resize(env.domains.size());
   const double duration = options.duration_hours * net::kHour;
@@ -227,6 +275,7 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
     std::uint64_t probes_sent = 0;
     std::uint64_t rate_limited = 0;
     std::uint64_t assigned = 0;
+    obs::ShardDelta metrics;  // merged in PoP order below
   };
   std::vector<PopShard> shards = exec::parallel_map(
       pops.probed_pops.size(), options.threads, [&](std::size_t i) {
@@ -253,6 +302,9 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
             }
           }
           shard.assigned += assigned.size();
+          shard.metrics.observe(
+              CampaignMetrics::get().assigned_per_pop_domain,
+              static_cast<double>(assigned.size()));
           if (assigned.empty()) continue;
 
           const double cycle_seconds =
@@ -309,6 +361,7 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
     result.probes_sent += shard.probes_sent;
     result.rate_limited += shard.rate_limited;
     total_assigned += shard.assigned;
+    shard.metrics.merge();
     for (CacheHit& hit : shard.hits) {
       const net::Prefix active_prefix(
           hit.query_scope.base(),
@@ -323,6 +376,11 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
     result.average_assigned_per_pop = mean_assigned_per_pop(
         total_assigned, pops.probed_pops.size(), env.domains.size());
   }
+  CampaignMetrics& metrics = CampaignMetrics::get();
+  metrics.campaign_hits.add(result.hits.size());
+  metrics.campaign_probes.add(result.probes_sent);
+  metrics.campaign_rate_limited.add(result.rate_limited);
+  metrics.campaign_assigned.add(total_assigned);
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/chromium/sketch.h"
 #include "core/exec/exec.h"
+#include "core/obs/obs.h"
 #include "net/rng.h"
 #include "net/sim_time.h"
 
@@ -101,6 +102,7 @@ ChromiumResult ChromiumCounter::process(const ReplayFn& replay) const {
   CountMinSketch sketch(options_.sketch_width, options_.sketch_depth,
                         options_.seed);
   {
+    obs::StageSpan span("chromium.pass1_sketch");
     ChunkedScatter<std::uint64_t> scatter(
         options_.chunk_records, options_.threads,
         [&](std::size_t, const std::vector<std::uint64_t>& keys) {
@@ -120,6 +122,7 @@ ChromiumResult ChromiumCounter::process(const ReplayFn& replay) const {
   std::unordered_map<std::uint32_t, std::uint64_t> counts;
   std::uint64_t rejected = 0;
   {
+    obs::StageSpan span("chromium.pass2_attribute");
     struct Match {
       std::uint64_t key;
       std::uint32_t source;
@@ -156,6 +159,15 @@ ChromiumResult ChromiumCounter::process(const ReplayFn& replay) const {
   for (const auto& [source, count] : counts) {
     result.probes_by_resolver[source] = static_cast<double>(count) * scale;
   }
+  // Scan telemetry from the merged (already deterministic) totals.
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("chromium.records_scanned").add(result.records_scanned);
+  registry.counter("chromium.signature_matches")
+      .add(result.signature_matches);
+  registry.counter("chromium.sketch.rejected_collisions")
+      .add(result.rejected_collisions);
+  registry.gauge("chromium.resolvers")
+      .set(static_cast<double>(result.probes_by_resolver.size()));
   return result;
 }
 

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/obs/obs.h"
 #include "net/rng.h"
 
 namespace netclients::core::exec {
@@ -94,6 +95,14 @@ template <typename Fn>
 auto parallel_map(std::size_t n, int threads, Fn&& fn)
     -> std::vector<decltype(fn(std::size_t{0}))> {
   using R = decltype(fn(std::size_t{0}));
+  // Fan-out telemetry. Only the total shard count is recorded: it depends
+  // on the input size alone. Neither the worker split nor the number of
+  // parallel_map *calls* qualifies — batching callers (ChunkedScatter)
+  // legally flush in thread-count-sized groups — and recording either
+  // would break the byte-identical-export-at-any-REPRO_THREADS contract.
+  static obs::Counter& shards_metric =
+      obs::Registry::global().counter("exec.parallel_map.shards");
+  shards_metric.add(n);
   std::vector<R> results(n);
   if (n == 0) return results;
   if (threads <= 0) threads = thread_count();

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "core/obs/obs.h"
 #include "net/sim_time.h"
 
 namespace netclients::dnssrv {
@@ -31,13 +32,21 @@ class TokenBucket {
   /// times. The bucket state is thread-confined to the flow's shard;
   /// only the diagnostic counters are safe to read from elsewhere.
   bool allow(net::SimTime now) {
+    // Fleet-wide limiter telemetry across every flow's bucket (integer
+    // counters: deterministic in total from concurrent shards).
+    static obs::Counter& allowed_total =
+        obs::Registry::global().counter("dnssrv.ratelimiter.allowed");
+    static obs::Counter& dropped_total =
+        obs::Registry::global().counter("dnssrv.ratelimiter.dropped");
     refill(now);
     if (tokens_ >= 1.0) {
       tokens_ -= 1.0;
       allowed_.fetch_add(1, std::memory_order_relaxed);
+      allowed_total.add();
       return true;
     }
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    dropped_total.add();
     return false;
   }
 

@@ -3,9 +3,45 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/obs/obs.h"
+
 namespace netclients::googledns {
 
 using anycast::PopId;
+
+namespace {
+
+// Per-probe outcome telemetry. Counters only (integer-commutative, so
+// concurrent PoP shards stay deterministic in total); every counter is
+// bumped exactly once per probe/client_query call, never on memo fills or
+// other interleaving-dependent events.
+struct ProbeMetrics {
+  obs::Counter& sent = obs::Registry::global().counter("googledns.probe.sent");
+  obs::Counter& rate_limited =
+      obs::Registry::global().counter("googledns.probe.rate_limited");
+  obs::Counter& unknown_zone =
+      obs::Registry::global().counter("googledns.probe.unknown_zone");
+  obs::Counter& scope_zero =
+      obs::Registry::global().counter("googledns.probe.scope_zero");
+  obs::Counter& scope_drift_miss =
+      obs::Registry::global().counter("googledns.probe.scope_drift_miss");
+  obs::Counter& hit_explicit =
+      obs::Registry::global().counter("googledns.probe.hit_explicit");
+  obs::Counter& hit_analytic =
+      obs::Registry::global().counter("googledns.probe.hit_analytic");
+  obs::Counter& miss = obs::Registry::global().counter("googledns.probe.miss");
+  obs::Counter& client_queries =
+      obs::Registry::global().counter("googledns.client_query.sent");
+  obs::Counter& client_cached =
+      obs::Registry::global().counter("googledns.client_query.cached");
+
+  static ProbeMetrics& get() {
+    static ProbeMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 GooglePublicDns::GooglePublicDns(const anycast::PopTable* pops,
                                  const anycast::CatchmentModel* catchment,
@@ -68,8 +104,10 @@ void GooglePublicDns::client_query(PopId pop, const dns::DnsName& domain,
   // specific, per [34]) and caches under the scope the authoritative
   // returns.
   const net::Prefix source = net::Prefix::slash24_of(client);
+  ProbeMetrics::get().client_queries.add();
   auto answer = upstream_->resolve(domain, source, config_.epoch);
   if (!answer) return;
+  ProbeMetrics::get().client_cached.add();
   const net::Prefix scope_block = source.widen_to(answer->scope_length);
   const int pool_index = static_cast<int>(net::stable_seed(
                              config_.seed ^ 0xC11E27u, client.value(),
@@ -141,7 +179,9 @@ ProbeResult GooglePublicDns::probe(PopId pop, const dns::DnsName& domain,
                                    int attempt) {
   ProbeResult result;
   result.pop = pop;
+  ProbeMetrics::get().sent.add();
   if (!limiter(vp_id, transport, domain).allow(now)) {
+    ProbeMetrics::get().rate_limited.add();
     result.rate_limited = true;
     return result;
   }
@@ -156,7 +196,10 @@ ProbeResult GooglePublicDns::probe(PopId pop, const dns::DnsName& domain,
       static_cast<std::uint64_t>(config_.pools_per_pop));
 
   const dnssrv::ZoneConfig* zone = upstream_->zone(domain);
-  if (!zone) return result;  // unknown zone: nothing could be cached
+  if (!zone) {
+    ProbeMetrics::get().unknown_zone.add();
+    return result;  // unknown zone: nothing could be cached
+  }
 
   // The scope the authoritative *currently* assigns to this block. Client
   // queries landing here were cached under that scope's block. RFC 7871:
@@ -187,12 +230,17 @@ ProbeResult GooglePublicDns::probe(PopId pop, const dns::DnsName& domain,
       scope_memo_.emplace(memo_key, entry_scope);
     }
   }
-  if (entry_scope > query_scope.length()) return result;
+  if (entry_scope == 0) ProbeMetrics::get().scope_zero.add();
+  if (entry_scope > query_scope.length()) {
+    ProbeMetrics::get().scope_drift_miss.add();
+    return result;
+  }
   const net::Prefix entry_block = query_scope.widen_to(entry_scope);
 
   // Explicit (event-driven) pool contents take precedence: exact state.
   dnssrv::CacheKey key{domain, dns::RecordType::kA, entry_block};
   if (const dnssrv::CacheEntry* entry = pool(pop, pool_index).lookup(key, now)) {
+    ProbeMetrics::get().hit_explicit.add();
     result.cache_hit = true;
     result.return_scope = entry->scope_length;
     result.remaining_ttl = entry->remaining_ttl(now);
@@ -209,12 +257,14 @@ ProbeResult GooglePublicDns::probe(PopId pop, const dns::DnsName& domain,
     double age = 0;
     if (analytic_present(pop, pool_index, domain, entry_block,
                          zone->ttl_seconds, rate, now, &age)) {
+      ProbeMetrics::get().hit_analytic.add();
       result.cache_hit = true;
       result.return_scope = entry_scope;
       result.remaining_ttl = static_cast<std::uint32_t>(
           std::max(0.0, zone->ttl_seconds - age));
     }
   }
+  if (!result.cache_hit) ProbeMetrics::get().miss.add();
   return result;
 }
 

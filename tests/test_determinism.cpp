@@ -16,6 +16,8 @@
 #include "core/cacheprobe/cacheprobe.h"
 #include "core/chromium/chromium.h"
 #include "core/exec/exec.h"
+#include "core/obs/export.h"
+#include "core/obs/obs.h"
 #include "roots/root_server.h"
 #include "sim/activity.h"
 #include "sim/ditl.h"
@@ -209,6 +211,55 @@ TEST(Determinism, DifferentSeedsDiffer) {
   const RunArtifacts a = run_pipeline(0xCAFE, 8);
   const RunArtifacts b = run_pipeline(0xBEEF, 8);
   EXPECT_NE(a.hit_distances, b.hit_distances);
+}
+
+// ------------------------------------------------- metrics thread-count
+
+TEST(Determinism, MetricsJsonIdenticalAcrossThreadCounts) {
+  // The observability layer follows the same discipline as the pipelines:
+  // for a fixed seed, the exported metrics JSON (timings excluded — span
+  // wall-clock is the one intentionally nondeterministic field) is
+  // byte-identical between a serial and an 8-way run. The Chromium scan is
+  // included via its streaming replay path on purpose: its ChunkedScatter
+  // flushes in thread-count-sized batches, so any metric keyed to fan-out
+  // *calls* (rather than shards) would diverge here.
+  sim::WorldConfig config;
+  config.scale = 1.0 / 2048;
+  const sim::World world = sim::World::generate(config);
+  const roots::RootSystem roots = roots::RootSystem::ditl_2020(config.seed);
+  sim::DitlOptions ditl;
+  ditl.sample_rate = 1.0 / 16;
+  std::vector<roots::TraceRecord> trace;
+  sim::generate_ditl(world, roots, ditl,
+                     [&](const roots::TraceRecord& r) { trace.push_back(r); });
+  ASSERT_FALSE(trace.empty());
+
+  const auto metrics_json_for = [&](int threads) {
+    obs::Registry::global().reset();
+    run_pipeline(0xCAFE, threads);
+    ChromiumOptions chromium;
+    chromium.sample_rate = ditl.sample_rate;
+    chromium.chunk_records = 1 << 10;
+    chromium.threads = threads;
+    ChromiumCounter(chromium).process(
+        [&](const std::function<void(const roots::TraceRecord&)>& emit) {
+          for (const roots::TraceRecord& r : trace) emit(r);
+        });
+    obs::ExportOptions options;
+    options.include_timings = false;
+    return obs::to_json(obs::Registry::global().snapshot(), options);
+  };
+  const std::string serial = metrics_json_for(1);
+  const std::string parallel = metrics_json_for(8);
+  EXPECT_EQ(serial, parallel);
+  // The export actually covers the instrumented subsystems.
+  for (const char* metric :
+       {"googledns.probe.sent", "dnssrv.ratelimiter.allowed",
+        "cacheprobe.campaign.probes_sent",
+        "cacheprobe.calibration.hit_distance_km", "cacheprobe.run_campaign",
+        "chromium.records_scanned"}) {
+    EXPECT_NE(serial.find(metric), std::string::npos) << metric;
+  }
 }
 
 // --------------------------------------------------- chromium thread-count

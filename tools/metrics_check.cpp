@@ -1,0 +1,63 @@
+// Schema gate for exported metrics files (CI's bench-smoke job):
+//
+//   metrics_check <metrics.json> [required-metric-name...]
+//
+// Exits 0 when the file parses as netclients.metrics.v1 and every
+// required metric name (counter, gauge, histogram, or span) is present;
+// prints the first problem and exits 1 otherwise.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/obs/export.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: metrics_check <metrics.json> "
+                 "[required-metric-name...]\n");
+    return 1;
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "metrics_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const std::string problem = netclients::obs::validate_metrics_json(text);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "metrics_check: %s: %s\n", argv[1], problem.c_str());
+    return 1;
+  }
+
+  const auto snapshot = netclients::obs::parse_json(text);
+  std::vector<std::string> names;
+  for (const auto& [name, value] : snapshot->counters) names.push_back(name);
+  for (const auto& [name, value] : snapshot->gauges) names.push_back(name);
+  for (const auto& h : snapshot->histograms) names.push_back(h.name);
+  for (const auto& s : snapshot->spans) names.push_back(s.name);
+
+  bool ok = true;
+  for (int i = 2; i < argc; ++i) {
+    if (std::find(names.begin(), names.end(), argv[i]) == names.end()) {
+      std::fprintf(stderr, "metrics_check: %s: missing required metric %s\n",
+                   argv[1], argv[i]);
+      ok = false;
+    }
+  }
+  if (!ok) return 1;
+
+  std::printf(
+      "%s: ok (%zu counters, %zu gauges, %zu histograms, %zu spans)\n",
+      argv[1], snapshot->counters.size(), snapshot->gauges.size(),
+      snapshot->histograms.size(), snapshot->spans.size());
+  return 0;
+}
