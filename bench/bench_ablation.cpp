@@ -5,50 +5,18 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 
-#include "anycast/vantage.h"
 #include "common.h"
-#include "sim/activity.h"
+#include "core/scenario/scenario.h"
 
 using namespace netclients;
 
 namespace {
 
-struct Setup {
-  sim::World world;
-  std::unique_ptr<sim::WorldActivityModel> activity;
-  std::unique_ptr<googledns::GooglePublicDns> gdns;
-};
-
-Setup make_setup() {
-  Setup s;
-  sim::WorldConfig config;
-  const char* env = std::getenv("REPRO_SCALE");
-  config.scale = 1.0 / (env ? std::atof(env) : 256.0);
-  s.world = sim::World::generate(config);
-  s.activity = std::make_unique<sim::WorldActivityModel>(&s.world);
-  s.gdns = std::make_unique<googledns::GooglePublicDns>(
-      &s.world.pops(), &s.world.catchment(), &s.world.authoritative(),
-      googledns::GoogleDnsConfig{}, s.activity.get());
-  return s;
-}
-
-core::ProbeEnvironment make_env(Setup& s) {
-  core::ProbeEnvironment env;
-  env.authoritative = &s.world.authoritative();
-  env.google_dns = s.gdns.get();
-  env.geodb = &s.world.geodb();
-  env.vantage_points = anycast::default_vantage_fleet();
-  env.domains = s.world.domains();
-  env.slash24_begin = 1u << 16;
-  env.slash24_end = s.world.address_space_end();
-  return env;
-}
-
-core::CampaignResult run_with(Setup& s, const core::CacheProbeOptions& opts,
+core::CampaignResult run_with(const core::Scenario& s,
+                              const core::CacheProbeOptions& opts,
                               double* assigned = nullptr) {
-  core::CacheProbeCampaign campaign(make_env(s), opts);
+  core::CacheProbeCampaign campaign(s.env, opts);
   const auto pops = campaign.discover_pops();
   const auto calibration = campaign.calibrate(pops);
   auto result = campaign.run(pops, calibration);
@@ -56,9 +24,10 @@ core::CampaignResult run_with(Setup& s, const core::CacheProbeOptions& opts,
   return result;
 }
 
-double truth_coverage(const Setup& s, const core::CampaignResult& r) {
+double truth_coverage(const core::Scenario& s,
+                      const core::CampaignResult& r) {
   double covered = 0, total = 0;
-  for (const sim::Slash24Block& block : s.world.blocks()) {
+  for (const sim::Slash24Block& block : s.world().blocks()) {
     if (block.clients() <= 0) continue;
     total += block.clients();
     if (r.active.covers(net::Prefix::from_slash24_index(block.index))) {
@@ -72,8 +41,12 @@ double truth_coverage(const Setup& s, const core::CampaignResult& r) {
 
 int main(int argc, char** argv) {
   obs::MetricsOutGuard metrics_out(&argc, argv);
-  Setup s = make_setup();
-  std::fprintf(stderr, "[ablation] world: %zu /24s\n", s.world.blocks().size());
+  const char* env = std::getenv("REPRO_SCALE");
+  const core::Scenario s = core::ScenarioBuilder()
+                               .scale_denominator(env ? std::atof(env) : 256.0)
+                               .build();
+  std::fprintf(stderr, "[ablation] world: %zu /24s\n",
+               s.world().blocks().size());
 
   // ---- 1. Redundant queries (the paper uses 5 to cover cache pools) ----
   std::printf("Ablation 1 — redundant queries per (PoP, prefix, domain)\n");
@@ -81,7 +54,7 @@ int main(int argc, char** argv) {
               "upper bound");
   for (int redundant : {1, 2, 3, 5, 8}) {
     core::CacheProbeOptions opts;
-    opts.redundant_queries = redundant;
+    opts.probe.redundant_queries = redundant;
     opts.max_loops = 3;
     const auto result = run_with(s, opts);
     std::printf("  %-10d %12llu %13.1f%% %12llu\n", redundant,
@@ -125,7 +98,7 @@ int main(int argc, char** argv) {
   for (auto transport :
        {googledns::Transport::kTcp, googledns::Transport::kUdp}) {
     core::CacheProbeOptions opts;
-    opts.transport = transport;
+    opts.probe.transport = transport;
     opts.max_loops = 3;
     const auto result = run_with(s, opts);
     std::printf("  %-6s %12llu %14llu %13.1f%%\n",

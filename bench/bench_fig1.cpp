@@ -21,13 +21,13 @@ int main(int argc, char** argv) {
 
   // Bin active /24s by MaxMind geolocation.
   std::map<std::pair<int, int>, std::uint64_t> bins;  // (lat5, lon5)
-  std::vector<double> region_counts(p.world.countries().size(), 0);
+  std::vector<double> region_counts(p.world().countries().size(), 0);
   p.probing.active.for_each([&](net::Prefix prefix) {
     const std::uint32_t first = prefix.first_slash24_index();
     const std::uint64_t count = prefix.slash24_count();
     for (std::uint64_t k = 0; k < count; ++k) {
       const auto rec =
-          p.world.geodb().lookup(first + static_cast<std::uint32_t>(k));
+          p.world().geodb().lookup(first + static_cast<std::uint32_t>(k));
       if (!rec) continue;
       const int lat = static_cast<int>(rec->location.lat_deg / 5.0);
       const int lon = static_cast<int>(rec->location.lon_deg / 5.0);
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
         mark;
   }
   for (const auto& [pop, vp] : p.pops.probed_pops) {
-    const auto loc = p.world.pops().site(pop).location;
+    const auto loc = p.world().pops().site(pop).location;
     const int row = 17 - (static_cast<int>(loc.lat_deg / 5.0) + 18) / 2;
     const int col = (static_cast<int>(loc.lon_deg / 5.0) + 36) / 2;
     if (row >= 0 && row <= 17 && col >= 0 && col <= 35) {
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<double, std::string>> ranked;
   for (std::size_t c = 0; c < region_counts.size(); ++c) {
     if (region_counts[c] > 0) {
-      ranked.emplace_back(region_counts[c], p.world.countries()[c].name);
+      ranked.emplace_back(region_counts[c], p.world().countries()[c].name);
     }
   }
   std::sort(ranked.rbegin(), ranked.rend());

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<std::string>> csv;
   for (const std::string& city : focus) {
-    const auto pop = p.world.pops().find_by_city(city);
+    const auto pop = p.world().pops().find_by_city(city);
     if (!pop || !p.calibration.hit_distances_km.contains(*pop)) {
       std::printf("  %-12s (no calibration hits)\n", city.c_str());
       continue;
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   std::printf("\nall probed PoPs (90th-percentile service radius):\n");
   std::vector<std::pair<double, std::string>> radii;
   for (const auto& [pop, radius] : p.calibration.service_radius_km) {
-    radii.emplace_back(radius, p.world.pops().site(pop).city);
+    radii.emplace_back(radius, p.world().pops().site(pop).city);
   }
   std::sort(radii.begin(), radii.end());
   double assigned_with_radii = 0;

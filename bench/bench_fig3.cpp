@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
                             .with_validation()
                             .build();
 
-  const auto rows = core::country_coverage(p.world, p.apnic.users_by_as,
+  const auto rows = core::country_coverage(p.world(), p.apnic.users_by_as,
                                            p.probing_as);
 
   std::printf("Figure 3 — fraction of APNIC population in ASes detected by "
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   core::TextTable table;
   table.set_header({"country", "region", "APNIC users", "covered"});
   std::unordered_map<std::string, std::string> region_of;
-  for (const auto& c : p.world.countries()) region_of[c.code] = c.region;
+  for (const auto& c : p.world().countries()) region_of[c.code] = c.region;
   std::vector<std::vector<std::string>> csv;
   for (const auto& row : rows) {
     table.add_row({row.name, region_of[row.code],

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   bench::Pipelines p =
       bench::PipelineBuilder().with_cache_probing().build();
 
-  const auto bounds = core::per_as_active_fraction(p.world, p.probing.active);
+  const auto bounds = core::per_as_active_fraction(p.world(), p.probing.active);
 
   std::vector<double> lower, upper;
   lower.reserve(bounds.size());

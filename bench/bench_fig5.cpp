@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   double probed_clients = 0, unprobed_clients = 0;
   core::TextTable table;
   table.set_header({"PoP", "country", "class", "CDN-observed clients"});
-  for (const auto& site : p.world.pops().sites()) {
+  for (const auto& site : p.world().pops().sites()) {
     const bool is_probed = probed.contains(site.id);
     const auto it = p.ms.google_pop_clients.find(site.id);
     const double clients = it == p.ms.google_pop_clients.end() ? 0

@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
 
   // --- ground-truth ECS recovery (the Microsoft CDN domain) -------------
   int ms_domain = -1;
-  for (std::size_t d = 0; d < p.world.domains().size(); ++d) {
-    if (p.world.domains()[d].is_microsoft_cdn) ms_domain = static_cast<int>(d);
+  for (std::size_t d = 0; d < p.world().domains().size(); ++d) {
+    if (p.world().domains()[d].is_microsoft_cdn) ms_domain = static_cast<int>(d);
   }
   std::uint64_t recovered = 0;
   for (std::uint32_t idx : p.ms.ecs_prefixes) {
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
   std::size_t categorized = 0;
   std::unordered_map<asdb::AsCategory, std::size_t> by_category;
   for (std::uint32_t asn : missed) {
-    if (auto category = p.world.asdb().lookup(asn)) {
+    if (auto category = p.world().asdb().lookup(asn)) {
       ++categorized;
       ++by_category[*category];
     }

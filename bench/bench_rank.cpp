@@ -15,10 +15,10 @@ namespace {
 
 double true_rate(const bench::Pipelines& p, net::Prefix prefix) {
   double rate = 0;
-  const auto [first, last] = p.world.block_range(prefix);
+  const auto [first, last] = p.world().block_range(prefix);
   for (std::size_t b = first; b < last; ++b) {
-    for (std::size_t d = 0; d < p.world.domains().size(); ++d) {
-      rate += p.world.gdns_rate(p.world.blocks()[b], static_cast<int>(d));
+    for (std::size_t d = 0; d < p.world().domains().size(); ++d) {
+      rate += p.world().gdns_rate(p.world().blocks()[b], static_cast<int>(d));
     }
   }
   return rate;
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   bench::Pipelines p =
       bench::PipelineBuilder().with_cache_probing().build();
 
-  core::ActivityRanker ranker(p.google_dns.get(), p.world.domains());
+  core::ActivityRanker ranker(p.google_dns(), p.world().domains());
   std::fprintf(stderr, "[bench] ranking %zu active prefixes...\n",
                p.probing.active.size());
   const auto ranked = ranker.rank(p.probing, p.pops);

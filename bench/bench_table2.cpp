@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   bench::Pipelines p =
       bench::PipelineBuilder().with_cache_probing().build();
 
-  const std::size_t domains = p.world.domains().size();
+  const std::size_t domains = p.world().domains().size();
   std::vector<std::uint64_t> total(domains, 0), exact(domains, 0),
       within2(domains, 0), within4(domains, 0);
   for (const core::CacheHit& hit : p.probing.hits) {
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
 
   core::TextTable table;
   std::vector<std::string> header{"Scope difference"};
-  for (const auto& domain : p.world.domains()) {
+  for (const auto& domain : p.world().domains()) {
     header.push_back(domain.name.to_string());
   }
   header.push_back("Overall");
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<std::string>> rows;
   for (std::size_t d = 0; d < domains; ++d) {
-    rows.push_back({p.world.domains()[d].name.to_string(),
+    rows.push_back({p.world().domains()[d].name.to_string(),
                     std::to_string(total[d]), std::to_string(exact[d]),
                     std::to_string(within2[d]), std::to_string(within4[d])});
   }

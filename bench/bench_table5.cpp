@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   bench::Pipelines p =
       bench::PipelineBuilder().with_cache_probing().build();
 
-  const auto& domains = p.world.domains();
+  const auto& domains = p.world().domains();
   const std::size_t n = domains.size();
   const auto& by_domain = p.probing.active_by_domain;
 
@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
   std::vector<std::unordered_set<std::uint32_t>> as_sets(n);
   for (std::size_t d = 0; d < n; ++d) {
     by_domain[d].for_each([&](net::Prefix prefix) {
-      if (auto match = p.world.prefix2as().longest_match(prefix.base())) {
-        as_sets[d].insert(p.world.ases()[*match->second].asn);
+      if (auto match = p.world().prefix2as().longest_match(prefix.base())) {
+        as_sets[d].insert(p.world().ases()[*match->second].asn);
       }
     });
   }

@@ -6,7 +6,6 @@
 #include <mutex>
 #include <string>
 
-#include "anycast/vantage.h"
 #include "core/exec/exec.h"
 #include "core/obs/obs.h"
 
@@ -52,41 +51,28 @@ Pipelines PipelineBuilder::build() const {
   install_span_narrator();
   obs::Registry& registry = obs::Registry::global();
   Pipelines p;
-  sim::WorldConfig config;
-  config.scale = 1.0 / scale_denominator();
   const int threads = threads_ > 0 ? threads_ : core::exec::thread_count();
   registry.gauge("bench.scale_denominator").set(scale_denominator());
   {
     obs::StageSpan span("bench.world_generation");
     std::fprintf(stderr, "[bench] scale 1/%.0f, %d threads\n",
                  scale_denominator(), threads);
-    p.world = sim::World::generate(config);
+    p.scenario = core::ScenarioBuilder()
+                     .scale_denominator(scale_denominator())
+                     .threads(threads)
+                     .build();
     std::fprintf(stderr, "[bench] %zu ASes, %zu /24s, %.0f users\n",
-                 p.world.ases().size(), p.world.blocks().size(),
-                 p.world.total_users());
+                 p.world().ases().size(), p.world().blocks().size(),
+                 p.world().total_users());
     registry.gauge("bench.world.ases")
-        .set(static_cast<double>(p.world.ases().size()));
+        .set(static_cast<double>(p.world().ases().size()));
     registry.gauge("bench.world.slash24s")
-        .set(static_cast<double>(p.world.blocks().size()));
-    registry.gauge("bench.world.users").set(p.world.total_users());
+        .set(static_cast<double>(p.world().blocks().size()));
+    registry.gauge("bench.world.users").set(p.world().total_users());
   }
 
-  p.activity = std::make_unique<sim::WorldActivityModel>(&p.world);
-  p.google_dns = std::make_unique<googledns::GooglePublicDns>(
-      &p.world.pops(), &p.world.catchment(), &p.world.authoritative(),
-      googledns::GoogleDnsConfig{}, p.activity.get());
-  core::ProbeEnvironment env;
-  env.authoritative = &p.world.authoritative();
-  env.google_dns = p.google_dns.get();
-  env.geodb = &p.world.geodb();
-  env.vantage_points = anycast::default_vantage_fleet();
-  env.domains = p.world.domains();
-  env.slash24_begin = 1u << 16;
-  env.slash24_end = p.world.address_space_end();
-  core::CacheProbeOptions probe_options;
-  probe_options.threads = threads;
-  p.campaign = std::make_unique<core::CacheProbeCampaign>(std::move(env),
-                                                          probe_options);
+  p.campaign = std::make_unique<core::CacheProbeCampaign>(
+      p.scenario.env, p.scenario.options);
 
   if (cache_probing_) {
     obs::StageSpan span("bench.cache_probing_campaign");
@@ -102,7 +88,7 @@ Pipelines PipelineBuilder::build() const {
   if (chromium_) {
     obs::StageSpan span("bench.ditl_crawl");
     const roots::RootSystem root_system =
-        roots::RootSystem::ditl_2020(config.seed);
+        roots::RootSystem::ditl_2020(p.world().config().seed);
     sim::DitlOptions ditl;
     ditl.sample_rate = 1.0 / ditl_sample_denominator();
     core::ChromiumOptions chromium_options;
@@ -111,15 +97,15 @@ Pipelines PipelineBuilder::build() const {
     core::ChromiumCounter counter(chromium_options);
     p.chromium = counter.process(
         [&](const std::function<void(const roots::TraceRecord&)>& emit) {
-          sim::generate_ditl(p.world, root_system, ditl, emit);
+          sim::generate_ditl(p.world(), root_system, ditl, emit);
         });
     p.logs_prefixes = p.chromium.to_prefix_dataset("DNS logs");
   }
 
   if (validation_) {
     obs::StageSpan span("bench.cdn_apnic_observation");
-    p.ms = cdn::observe_cdn(p.world, {});
-    p.apnic = apnic::estimate_population(p.world, {});
+    p.ms = cdn::observe_cdn(p.world(), {});
+    p.apnic = apnic::estimate_population(p.world(), {});
     for (const auto& [idx, volume] : p.ms.client_volume) {
       p.clients_prefixes.add(idx, volume);
     }
@@ -135,14 +121,14 @@ Pipelines PipelineBuilder::build() const {
   p.union_prefixes = core::PrefixDataset::union_of(
       "cache probing + DNS logs", p.probing_prefixes, p.logs_prefixes);
   p.probing_as = core::to_as_dataset("cache probing", p.probing_prefixes,
-                                     p.world);
-  p.logs_as = core::to_as_dataset("DNS logs", p.logs_prefixes, p.world);
+                                     p.world());
+  p.logs_as = core::to_as_dataset("DNS logs", p.logs_prefixes, p.world());
   p.union_as = core::AsDataset::union_of("cache probing + DNS logs",
                                          p.probing_as, p.logs_as);
   p.clients_as =
-      core::to_as_dataset("Microsoft clients", p.clients_prefixes, p.world);
+      core::to_as_dataset("Microsoft clients", p.clients_prefixes, p.world());
   p.resolvers_as = core::to_as_dataset("Microsoft resolvers",
-                                       p.resolvers_prefixes, p.world);
+                                       p.resolvers_prefixes, p.world());
   return p;
 }
 

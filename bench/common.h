@@ -22,6 +22,7 @@
 #include "core/datasets/datasets.h"
 #include "core/obs/export.h"
 #include "core/report/report.h"
+#include "core/scenario/scenario.h"
 #include "googledns/google_dns.h"
 #include "roots/root_server.h"
 #include "sim/activity.h"
@@ -37,10 +38,15 @@ double scale_denominator();
 double ditl_sample_denominator();
 
 struct Pipelines {
-  sim::World world;
-  std::unique_ptr<sim::WorldActivityModel> activity;
-  std::unique_ptr<googledns::GooglePublicDns> google_dns;
+  /// The wired world + probe substrate (core::ScenarioBuilder output).
+  core::Scenario scenario;
   std::unique_ptr<core::CacheProbeCampaign> campaign;
+
+  sim::World& world() { return scenario.world(); }
+  const sim::World& world() const { return scenario.world(); }
+  googledns::GooglePublicDns* google_dns() const {
+    return scenario.google_dns.get();
+  }
 
   core::PopDiscoveryResult pops;
   core::CalibrationResult calibration;

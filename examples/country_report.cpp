@@ -12,14 +12,12 @@
 
 #include "core/obs/export.h"
 #include "apnic/apnic.h"
-#include "core/cacheprobe/cacheprobe.h"
 #include "core/chromium/chromium.h"
 #include "core/compare/compare.h"
 #include "core/report/report.h"
+#include "core/scenario/scenario.h"
 #include "roots/root_server.h"
-#include "sim/activity.h"
 #include "sim/ditl.h"
-#include "sim/world.h"
 
 using namespace netclients;
 
@@ -29,28 +27,17 @@ int main(int argc, char** argv) {
   if (argc > 1) denominator = std::atof(argv[1]);
   const char* focus = argc > 2 ? argv[2] : nullptr;
 
-  sim::WorldConfig config;
-  config.scale = 1.0 / denominator;
-  const sim::World world = sim::World::generate(config);
+  const core::Scenario scenario =
+      core::ScenarioBuilder().scale_denominator(denominator).build();
+  const sim::World& world = scenario.world();
 
-  sim::WorldActivityModel activity(&world);
-  googledns::GooglePublicDns google_dns(&world.pops(), &world.catchment(),
-                                        &world.authoritative(), {},
-                                        &activity);
-  core::ProbeEnvironment probe_env;
-  probe_env.authoritative = &world.authoritative();
-  probe_env.google_dns = &google_dns;
-  probe_env.geodb = &world.geodb();
-  probe_env.vantage_points = anycast::default_vantage_fleet();
-  probe_env.domains = world.domains();
-  probe_env.slash24_begin = 1u << 16;
-  probe_env.slash24_end = world.address_space_end();
-  core::CacheProbeCampaign campaign(std::move(probe_env));
+  core::CacheProbeCampaign campaign = scenario.campaign();
   const auto probing = campaign.run_full();
   const auto probing_as = core::to_as_dataset(
       "cache probing", probing.to_prefix_dataset("p"), world);
 
-  const roots::RootSystem roots = roots::RootSystem::ditl_2020(config.seed);
+  const roots::RootSystem roots =
+      roots::RootSystem::ditl_2020(world.config().seed);
   sim::DitlOptions ditl;
   ditl.sample_rate = 1.0 / 64;
   core::ChromiumOptions chromium_options;

@@ -19,10 +19,8 @@
 #include <unordered_set>
 
 #include "core/obs/export.h"
-#include "core/cacheprobe/cacheprobe.h"
+#include "core/scenario/scenario.h"
 #include "net/geo.h"
-#include "sim/activity.h"
-#include "sim/world.h"
 
 using namespace netclients;
 
@@ -30,23 +28,11 @@ int main(int argc, char** argv) {
   obs::MetricsOutGuard metrics_out(&argc, argv);
   double denominator = 256;
   if (argc > 1) denominator = std::atof(argv[1]);
-  sim::WorldConfig config;
-  config.scale = 1.0 / denominator;
-  const sim::World world = sim::World::generate(config);
+  const core::Scenario scenario =
+      core::ScenarioBuilder().scale_denominator(denominator).build();
+  const sim::World& world = scenario.world();
 
-  sim::WorldActivityModel activity(&world);
-  googledns::GooglePublicDns google_dns(&world.pops(), &world.catchment(),
-                                        &world.authoritative(), {},
-                                        &activity);
-  core::ProbeEnvironment probe_env;
-  probe_env.authoritative = &world.authoritative();
-  probe_env.google_dns = &google_dns;
-  probe_env.geodb = &world.geodb();
-  probe_env.vantage_points = anycast::default_vantage_fleet();
-  probe_env.domains = world.domains();
-  probe_env.slash24_begin = 1u << 16;
-  probe_env.slash24_end = world.address_space_end();
-  core::CacheProbeCampaign campaign(std::move(probe_env));
+  core::CacheProbeCampaign campaign = scenario.campaign();
   const auto pops = campaign.discover_pops();
   const auto calibration = campaign.calibrate(pops);
   const auto result = campaign.run(pops, calibration);

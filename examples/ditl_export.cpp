@@ -44,20 +44,23 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", path.c_str());
 
-  // Re-import and analyze, as a separate consumer would.
-  std::vector<roots::TraceRecord> loaded;
-  if (!roots::TraceFile::read(path, &loaded)) {
-    std::fprintf(stderr, "cannot read back %s\n", path.c_str());
-    return 1;
-  }
+  // Re-import and analyze, as a separate consumer would. process_file
+  // reads tolerantly: a capture damaged in transit still yields every
+  // record before the corruption, with the rest counted as skipped.
   core::ChromiumOptions options;
   options.sample_rate = ditl.sample_rate;
   const core::ChromiumCounter counter(options);
-  const auto result = counter.process(loaded);
-  std::printf("re-analyzed from disk: %llu records, %llu signature matches, "
-              "%llu collision-rejected, %zu resolvers with Chromium "
-              "activity\n",
+  const auto maybe_result = counter.process_file(path);
+  if (!maybe_result) {
+    std::fprintf(stderr, "cannot read back %s\n", path.c_str());
+    return 1;
+  }
+  const core::ChromiumResult& result = *maybe_result;
+  std::printf("re-analyzed from disk: %llu records (%llu skipped), "
+              "%llu signature matches, %llu collision-rejected, "
+              "%zu resolvers with Chromium activity\n",
               static_cast<unsigned long long>(result.records_scanned),
+              static_cast<unsigned long long>(result.records_skipped),
               static_cast<unsigned long long>(result.signature_matches),
               static_cast<unsigned long long>(result.rejected_collisions),
               result.probes_by_resolver.size());

@@ -111,8 +111,10 @@ int main(int argc, char** argv) {
              1.0 + attempt * 0.1, 0.01);
   }
   bus.run_until(10.0);
+  bus.stats().publish();  // netsim.bus.* counters into the metrics export
   std::printf("\nbus: %llu datagrams delivered, snoop hits: %d "
               "(the client's activity is visible without its cooperation)\n",
-              static_cast<unsigned long long>(bus.delivered()), snoop_hits);
+              static_cast<unsigned long long>(bus.stats().delivered),
+              snoop_hits);
   return snoop_hits > 0 ? 0 : 1;
 }

@@ -12,14 +12,12 @@
 #include "core/obs/export.h"
 #include "apnic/apnic.h"
 #include "cdn/cdn.h"
-#include "core/cacheprobe/cacheprobe.h"
 #include "core/chromium/chromium.h"
 #include "core/compare/compare.h"
 #include "core/report/report.h"
+#include "core/scenario/scenario.h"
 #include "roots/root_server.h"
-#include "sim/activity.h"
 #include "sim/ditl.h"
-#include "sim/world.h"
 
 using namespace netclients;
 
@@ -28,29 +26,16 @@ int main(int argc, char** argv) {
   double denominator = 256;
   if (argc > 1) denominator = std::atof(argv[1]);
 
-  // 1. A synthetic Internet.
-  sim::WorldConfig config;
-  config.scale = 1.0 / denominator;
-  const sim::World world = sim::World::generate(config);
+  // 1. A synthetic Internet plus the probe substrate, wired once.
+  const core::Scenario scenario =
+      core::ScenarioBuilder().scale_denominator(denominator).build();
+  const sim::World& world = scenario.world();
   std::printf("world: %zu ASes, %zu allocated /24s, %.0f users\n",
               world.ases().size(), world.blocks().size(),
               world.total_users());
 
   // 2. Technique 1 — cache probing Google Public DNS.
-  sim::WorldActivityModel activity(&world);
-  googledns::GoogleDnsConfig gdns_config;
-  googledns::GooglePublicDns google_dns(&world.pops(), &world.catchment(),
-                                        &world.authoritative(), gdns_config,
-                                        &activity);
-  core::ProbeEnvironment probe_env;
-  probe_env.authoritative = &world.authoritative();
-  probe_env.google_dns = &google_dns;
-  probe_env.geodb = &world.geodb();
-  probe_env.vantage_points = anycast::default_vantage_fleet();
-  probe_env.domains = world.domains();
-  probe_env.slash24_begin = 1u << 16;
-  probe_env.slash24_end = world.address_space_end();
-  core::CacheProbeCampaign campaign(std::move(probe_env));
+  core::CacheProbeCampaign campaign = scenario.campaign();
   const auto pops = campaign.discover_pops();
   std::printf("cache probing: %zu vantage points reach %zu PoPs\n",
               pops.vp_pop.size(), pops.probed_pops.size());
@@ -65,7 +50,7 @@ int main(int argc, char** argv) {
 
   // 3. Technique 2 — Chromium probes in root DITL traces.
   const roots::RootSystem root_system =
-      roots::RootSystem::ditl_2020(config.seed);
+      roots::RootSystem::ditl_2020(world.config().seed);
   sim::DitlOptions ditl;
   // DITL is processed streaming with uniform sampling (the pipeline scales
   // counts back up); see DESIGN.md on laptop-scale trace handling.

@@ -47,6 +47,15 @@ struct CampaignMetrics {
 
 }  // namespace
 
+ProbePolicy CacheProbeOptions::effective_policy() const {
+  ProbePolicy policy = probe;
+  // The deprecated loose fields win when a caller moved them off their
+  // defaults — pre-ProbePolicy call sites keep their meaning unchanged.
+  if (redundant_queries != 5) policy.redundant_queries = redundant_queries;
+  if (transport != googledns::Transport::kTcp) policy.transport = transport;
+  return policy;
+}
+
 PrefixDataset CampaignResult::to_prefix_dataset(std::string name) const {
   PrefixDataset out(std::move(name));
   active.for_each([&](net::Prefix p) {
@@ -72,6 +81,122 @@ namespace {
 /// list — is identical for every REPRO_THREADS value.
 constexpr std::size_t kScopeScanChunk = 1 << 14;
 
+/// Drives every probe of one PoP shard through the retry/timeout/breaker
+/// policy. Thread-confined to its shard; every extra decision (backoff
+/// jitter, retry pool choice) is keyed by query identity, so results are
+/// independent of interleaving. On a fault-free substrate it issues
+/// exactly one probe per call, with exactly the pre-resilience arguments.
+class ResilientProber {
+ public:
+  ResilientProber(const ProbeEnvironment& env, const ProbePolicy& policy)
+      : env_(env),
+        policy_(policy),
+        breaker_(policy.breaker),
+        transport_(policy.transport) {}
+
+  /// Breaker gate, checked once per (prefix, loop). While the PoP's
+  /// breaker is open the caller skips the prefix — it stays un-hit, so a
+  /// later loop re-queues it within the loop budget.
+  bool admit(double t) {
+    if (breaker_.allow(t)) return true;
+    ++stats_.breaker_skipped;
+    return false;
+  }
+
+  /// One redundancy attempt (original timing and attempt id); injected
+  /// timeouts/SERVFAILs are retried with per-transport timeout plus
+  /// jittered exponential backoff, up to the policy's attempt budget.
+  googledns::ProbeResult probe(anycast::PopId pop,
+                               const dns::DnsName& domain, net::Prefix scope,
+                               double t, int vp_id, int attempt_id) {
+    const int max_attempts = std::max(1, policy_.retry.max_attempts);
+    googledns::ProbeResult result;
+    for (int try_index = 0;; ++try_index) {
+      ++probes_sent_;
+      // Retries keep the attempt id AND the timestamp: the flow hashes to
+      // the same cache pool (5-tuple stickiness) and samples the same
+      // cache snapshot, so a retry can only recover the answer the fault
+      // masked — it never probes extra pools or a newer cache, either of
+      // which would let injected loss *increase* recall. The timeout +
+      // backoff the VP actually waits out is pure wall clock, tallied in
+      // waited_ms below; the fault oracle re-rolls via `try_index`.
+      result = env_.google_dns->probe(pop, domain, scope, t, transport_,
+                                      vp_id, attempt_id, try_index);
+      if (result.status == googledns::ProbeStatus::kOk) {
+        consecutive_soft_failures_ = 0;
+        breaker_.record_success();
+        return result;
+      }
+      if (result.status == googledns::ProbeStatus::kRateLimited) {
+        // Normal operation (the token buckets), not a fault: no retry —
+        // the paper's answer to rate limiting was transport choice, so it
+        // only feeds the optional UDP→TCP escalation.
+        note_soft_failure();
+        return result;
+      }
+      // Hard failure: timeout or SERVFAIL.
+      if (result.status == googledns::ProbeStatus::kTimeout) {
+        ++stats_.timeouts;
+        note_soft_failure();
+      } else {
+        ++stats_.servfails;
+      }
+      if (try_index + 1 >= max_attempts) {
+        ++stats_.exhausted;
+        // Only an exhausted chain counts against the breaker: a probe
+        // that eventually succeeds is healthy, and per-attempt accounting
+        // would make a bigger retry budget trip the breaker *more* often
+        // under uniform loss.
+        breaker_.record_failure(t);
+        return result;
+      }
+      ++stats_.retries;
+      const std::uint64_t key = net::stable_seed(
+          domain.hash(), std::uint64_t{scope.base().value()},
+          std::uint64_t{scope.length()}, static_cast<std::uint64_t>(pop),
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt_id)));
+      stats_.waited_ms += static_cast<std::uint64_t>(
+          (policy_.retry.timeout_for(transport_) +
+           policy_.retry.backoff_before(try_index + 1, key)) *
+          1000.0);
+    }
+  }
+
+  /// A prefix whose attempts all failed this loop but which a later loop
+  /// will revisit (skip-and-count bookkeeping).
+  void note_requeued() { ++stats_.requeued; }
+
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+  /// Shard tallies with the breaker's trip count folded in.
+  resilience::RetryStats stats() const {
+    resilience::RetryStats out = stats_;
+    out.breaker_opened = breaker_.opened();
+    return out;
+  }
+
+ private:
+  void note_soft_failure() {
+    if (transport_ != googledns::Transport::kUdp ||
+        !policy_.retry.escalate_udp_to_tcp) {
+      return;
+    }
+    if (++consecutive_soft_failures_ >= policy_.retry.escalation_threshold) {
+      transport_ = googledns::Transport::kTcp;
+      ++stats_.escalations;
+      consecutive_soft_failures_ = 0;
+    }
+  }
+
+  const ProbeEnvironment& env_;
+  const ProbePolicy& policy_;
+  resilience::CircuitBreaker breaker_;
+  googledns::Transport transport_;
+  int consecutive_soft_failures_ = 0;
+  std::uint64_t probes_sent_ = 0;
+  resilience::RetryStats stats_;
+};
+
 }  // namespace
 
 std::vector<ProbeCandidate> discover_scopes(const ProbeEnvironment& env,
@@ -80,19 +205,54 @@ std::vector<ProbeCandidate> discover_scopes(const ProbeEnvironment& env,
   obs::StageSpan span("cacheprobe.discover_scopes");
   const sim::DomainInfo& domain =
       env.domains[static_cast<std::size_t>(domain_index)];
+  const ProbePolicy policy = options.effective_policy();
+  const int max_attempts = std::max(1, policy.retry.max_attempts);
 
   // Each shard runs the serial scan over its own /24 range. A shard's
   // first candidate may also be covered by the previous shard's final
   // candidate (scopes are not aligned to shard seams) — the ordered merge
   // below drops those, mirroring the slight overlaps real unaligned
   // authoritative scopes produce anyway.
+  struct ChunkScan {
+    std::vector<ProbeCandidate> out;
+    resilience::RetryStats stats;
+    std::uint64_t skipped = 0;  // /24s abandoned after exhausted retries
+  };
   const auto chunks = exec::parallel_for_chunks(
       env.slash24_begin, env.slash24_end, kScopeScanChunk, options.threads,
       [&](exec::ChunkRange range) {
-        std::vector<ProbeCandidate> out;
+        ChunkScan scan;
         std::uint32_t idx = static_cast<std::uint32_t>(range.begin);
         while (idx < range.end) {
           const net::Prefix slash24 = net::Prefix::from_slash24_index(idx);
+          // The authoritative edge can SERVFAIL or time out under injected
+          // faults; retry within the attempt budget, then skip-and-count
+          // the /24 (a fault-free server answers the first attempt, with
+          // no extra calls and no RNG draws).
+          bool answered = true;
+          for (int attempt = 0;; ++attempt) {
+            const dnssrv::QueryOutcome outcome = env.authoritative->query_outcome(
+                domain.name, slash24, /*epoch=*/0,
+                static_cast<std::uint64_t>(attempt));
+            if (outcome == dnssrv::QueryOutcome::kOk) break;
+            ++scan.stats.upstream_failures;
+            if (outcome == dnssrv::QueryOutcome::kTimeout) {
+              ++scan.stats.timeouts;
+            } else {
+              ++scan.stats.servfails;
+            }
+            if (attempt + 1 >= max_attempts) {
+              ++scan.stats.exhausted;
+              answered = false;
+              break;
+            }
+            ++scan.stats.retries;
+          }
+          if (!answered) {
+            ++scan.skipped;
+            ++idx;
+            continue;
+          }
           const auto scope = env.authoritative->scope_for(domain.name, slash24,
                                                           /*epoch=*/0);
           if (!scope || *scope == 0) {
@@ -104,18 +264,22 @@ std::vector<ProbeCandidate> discover_scopes(const ProbeEnvironment& env,
           }
           const std::uint8_t scope_len = std::min<std::uint8_t>(*scope, 24);
           const net::Prefix candidate = slash24.widen_to(scope_len);
-          out.push_back(ProbeCandidate{candidate});
+          scan.out.push_back(ProbeCandidate{candidate});
           // All /24s inside the returned scope share the cache entry.
           idx = candidate.first_slash24_index() +
                 static_cast<std::uint32_t>(candidate.slash24_count());
         }
-        return out;
+        return scan;
       });
 
   std::vector<ProbeCandidate> candidates;
+  resilience::RetryStats edge_stats;
+  std::uint64_t skipped = 0;
   std::uint32_t covered_to = 0;
-  for (const auto& chunk : chunks) {
-    for (const ProbeCandidate& candidate : chunk) {
+  for (const ChunkScan& chunk : chunks) {
+    edge_stats.merge(chunk.stats);
+    skipped += chunk.skipped;
+    for (const ProbeCandidate& candidate : chunk.out) {
       const std::uint32_t end =
           candidate.scope.first_slash24_index() +
           static_cast<std::uint32_t>(candidate.scope.slash24_count());
@@ -125,6 +289,10 @@ std::vector<ProbeCandidate> discover_scopes(const ProbeEnvironment& env,
     }
   }
   CampaignMetrics::get().scope_candidates.add(candidates.size());
+  edge_stats.publish();
+  if (skipped) {
+    obs::Registry::global().counter("cacheprobe.scopes.skipped").add(skipped);
+  }
   return candidates;
 }
 
@@ -193,29 +361,33 @@ CalibrationResult calibrate(const ProbeEnvironment& env,
 
   // One shard per PoP: each shard drives its own vantage point's flows and
   // its own PoP's cache pools, so shards never contend on substrate state.
+  const ProbePolicy policy = options.effective_policy();
   struct PopCalibration {
     std::vector<double> distances;
     double radius = 0;
+    resilience::RetryStats retry_stats;
     obs::ShardDelta metrics;  // merged in PoP order below
   };
   std::vector<PopCalibration> shards = exec::parallel_map(
       pops.probed_pops.size(), options.threads, [&](std::size_t i) {
         const auto& [pop, vp_id] = pops.probed_pops[i];
         PopCalibration shard;
+        ResilientProber prober(env, policy);
         double t = 0;
         for (const auto& [idx, location] : sample) {
           const net::Prefix query = net::Prefix::from_slash24_index(idx);
           bool hit = false;
-          for (int d : calibration_domains) {
-            for (int attempt = 0;
-                 attempt < options.redundant_queries && !hit; ++attempt) {
-              auto probe =
-                  env.google_dns->probe(pop, env.domains[static_cast<std::size_t>(d)].name,
-                                        query, t, options.transport, vp_id,
-                                        attempt);
-              hit = probe.cache_hit && probe.return_scope > 0;
+          if (prober.admit(t)) {
+            for (int d : calibration_domains) {
+              for (int attempt = 0;
+                   attempt < policy.redundant_queries && !hit; ++attempt) {
+                auto probe = prober.probe(
+                    pop, env.domains[static_cast<std::size_t>(d)].name, query,
+                    t, vp_id, attempt);
+                hit = probe.cache_hit && probe.return_scope > 0;
+              }
+              if (hit) break;
             }
-            if (hit) break;
           }
           t += 1.0 / options.prefixes_per_second_per_domain;
           if (hit) {
@@ -225,6 +397,7 @@ CalibrationResult calibrate(const ProbeEnvironment& env,
                                   shard.distances.back());
           }
         }
+        shard.retry_stats = prober.stats();
         if (shard.distances.size() >= 10) {
           std::vector<double> sorted = shard.distances;
           std::sort(sorted.begin(), sorted.end());
@@ -239,12 +412,15 @@ CalibrationResult calibrate(const ProbeEnvironment& env,
       });
 
   // Ordered merge in PoP order (probed_pops is sorted).
+  resilience::RetryStats calibration_stats;
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const PopId pop = pops.probed_pops[i].first;
     result.hit_distances_km[pop] = std::move(shards[i].distances);
     result.service_radius_km[pop] = shards[i].radius;
+    calibration_stats.merge(shards[i].retry_stats);
     shards[i].metrics.merge();
   }
+  calibration_stats.publish();
   return result;
 }
 
@@ -270,17 +446,20 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
   // once). Probe outcomes are pure functions of (entry, time) oracles, a
   // PoP's cache pools and its VP's rate-limiter flows are confined to its
   // shard, so shard results are independent of interleaving.
+  const ProbePolicy policy = options.effective_policy();
   struct PopShard {
     std::vector<CacheHit> hits;
     std::uint64_t probes_sent = 0;
     std::uint64_t rate_limited = 0;
     std::uint64_t assigned = 0;
+    resilience::RetryStats retry_stats;
     obs::ShardDelta metrics;  // merged in PoP order below
   };
   std::vector<PopShard> shards = exec::parallel_map(
       pops.probed_pops.size(), options.threads, [&](std::size_t i) {
         const auto& [pop, vp_id] = pops.probed_pops[i];
         PopShard shard;
+        ResilientProber prober(env, policy);
         const net::LatLon pop_location =
             env.google_dns->pops().site(pop).location;
         const double radius =
@@ -321,18 +500,25 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
                   loop * cycle_seconds +
                   static_cast<double>(j) /
                       options.prefixes_per_second_per_domain;
-              for (int attempt = 0; attempt < options.redundant_queries;
+              // Breaker gate: while the PoP's breaker is open the prefix
+              // is skipped-and-counted; it stays un-hit, so a later loop
+              // re-queues it within the loop budget.
+              if (!prober.admit(t)) continue;
+              bool hard_failure = false;
+              for (int attempt = 0; attempt < policy.redundant_queries;
                    ++attempt) {
-                ++shard.probes_sent;
                 // Redundant queries go out back-to-back (2 ms apart),
                 // keeping the flow's timestamps monotone within the 20 ms
                 // per-prefix budget of the 50 pps loop.
-                auto probe = env.google_dns->probe(
-                    pop, env.domains[d].name, assigned[j],
-                    t + attempt * 0.002, options.transport, vp_id,
-                    loop * 131 + attempt);
+                auto probe = prober.probe(pop, env.domains[d].name,
+                                          assigned[j], t + attempt * 0.002,
+                                          vp_id, loop * 131 + attempt);
                 if (probe.rate_limited) {
                   ++shard.rate_limited;
+                  continue;
+                }
+                if (probe.failed()) {
+                  hard_failure = true;
                   continue;
                 }
                 if (probe.cache_hit && probe.return_scope > 0) {
@@ -347,9 +533,14 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
                   break;
                 }
               }
+              if (hard_failure && !already_hit[j] && loop + 1 < loops) {
+                prober.note_requeued();
+              }
             }
           }
         }
+        shard.probes_sent = prober.probes_sent();
+        shard.retry_stats = prober.stats();
         return shard;
       });
 
@@ -361,6 +552,7 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
     result.probes_sent += shard.probes_sent;
     result.rate_limited += shard.rate_limited;
     total_assigned += shard.assigned;
+    result.retry_stats.merge(shard.retry_stats);
     shard.metrics.merge();
     for (CacheHit& hit : shard.hits) {
       const net::Prefix active_prefix(
@@ -381,6 +573,7 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
   metrics.campaign_probes.add(result.probes_sent);
   metrics.campaign_rate_limited.add(result.rate_limited);
   metrics.campaign_assigned.add(total_assigned);
+  result.retry_stats.publish();
   return result;
 }
 

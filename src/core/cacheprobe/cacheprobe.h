@@ -8,6 +8,7 @@
 #include "anycast/pop.h"
 #include "anycast/vantage.h"
 #include "core/datasets/datasets.h"
+#include "core/resilience/resilience.h"
 #include "dnssrv/authoritative.h"
 #include "geo/geodb.h"
 #include "googledns/google_dns.h"
@@ -33,15 +34,34 @@ struct ProbeEnvironment {
   std::uint32_t slash24_end = 0;
 };
 
+/// Everything about how a single probe goes out: transport, redundancy,
+/// per-transport timeouts with retry/backoff, and circuit breaking. The
+/// consolidated replacement for the loose `transport`/`redundant_queries`
+/// fields that used to sit directly in CacheProbeOptions (§3.1.1 defaults).
+struct ProbePolicy {
+  googledns::Transport transport = googledns::Transport::kTcp;
+  int redundant_queries = 5;  // cover multiple independent cache pools
+  resilience::RetryPolicy retry;
+  resilience::BreakerPolicy breaker;
+};
+
 /// Tuning of the cache-probing campaign; defaults are the paper's (§3.1.1).
 struct CacheProbeOptions {
   double duration_hours = 120;
   double prefixes_per_second_per_domain = 50;
-  int redundant_queries = 5;  // cover multiple independent cache pools
+  /// Probe-level policy. Stage code reads this through effective_policy(),
+  /// which also honours the deprecated loose fields below.
+  ProbePolicy probe;
+  /// Deprecated: pre-ProbePolicy alias of probe.redundant_queries, honoured
+  /// (and winning) when moved off its default so existing call sites keep
+  /// their meaning. Prefer probe.redundant_queries.
+  int redundant_queries = 5;
   /// Cap on how many times the campaign loops over a PoP's assigned list
   /// (the paper loops continuously for 120h; the cap bounds simulation
   /// cost for small candidate lists).
   int max_loops = 6;
+  /// Deprecated: pre-ProbePolicy alias of probe.transport (same contract
+  /// as redundant_queries above). Prefer probe.transport.
   googledns::Transport transport = googledns::Transport::kTcp;
 
   // Calibration (service-radius estimation).
@@ -61,6 +81,10 @@ struct CacheProbeOptions {
   /// 0 = exec::thread_count() (the REPRO_THREADS env var); 1 = serial.
   /// Same seed ⇒ byte-identical results for every value.
   int threads = 0;
+
+  /// The policy stage code actually runs: `probe`, overridden by whichever
+  /// deprecated loose field a caller moved off its default.
+  ProbePolicy effective_policy() const;
 };
 
 /// A candidate probe target discovered by the scope pre-pass: one query per
@@ -103,6 +127,9 @@ struct CampaignResult {
   std::uint64_t probes_sent = 0;
   std::uint64_t rate_limited = 0;
   double average_assigned_per_pop = 0;
+  /// Resilience tallies (retries, timeouts, breaker trips, requeues)
+  /// merged across PoP shards; all-zero on a fault-free substrate.
+  resilience::RetryStats retry_stats;
 
   /// Lower bound on active /24s: one per disjoint hit prefix (§4).
   std::uint64_t slash24_lower_bound() const { return active.size(); }

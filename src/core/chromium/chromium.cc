@@ -179,6 +179,23 @@ ChromiumResult ChromiumCounter::process(
   });
 }
 
+std::optional<ChromiumResult> ChromiumCounter::process_file(
+    const std::string& path) const {
+  std::vector<roots::TraceRecord> trace;
+  roots::TraceFile::ReadStats stats;
+  if (!roots::TraceFile::read_tolerant(path, &trace, &stats)) {
+    return std::nullopt;
+  }
+  ChromiumResult result = process(trace);
+  result.records_skipped = stats.records_skipped;
+  if (stats.records_skipped > 0) {
+    obs::Registry::global()
+        .counter("chromium.trace.records_skipped")
+        .add(stats.records_skipped);
+  }
+  return result;
+}
+
 PrefixDataset ChromiumResult::to_prefix_dataset(std::string name) const {
   PrefixDataset out(std::move(name));
   for (const auto& [addr, count] : probes_by_resolver) {

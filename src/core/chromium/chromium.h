@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -48,6 +49,9 @@ struct ChromiumResult {
   std::uint64_t records_scanned = 0;
   std::uint64_t signature_matches = 0;
   std::uint64_t rejected_collisions = 0;
+  /// Trace records declared by the file header but unparseable (only set
+  /// by process_file, which reads tolerantly: skip-and-count, never crash).
+  std::uint64_t records_skipped = 0;
 
   /// Aggregates resolvers by /24 into a dataset (volume = probe count).
   PrefixDataset to_prefix_dataset(std::string name) const;
@@ -79,6 +83,12 @@ class ChromiumCounter {
 
   /// Single-shot convenience over an in-memory trace.
   ChromiumResult process(const std::vector<roots::TraceRecord>& trace) const;
+
+  /// Scans a binary trace file via TraceFile::read_tolerant: damaged or
+  /// truncated records are skipped and counted (result.records_skipped),
+  /// never fatal. Returns nullopt only if the file itself is unreadable
+  /// (missing, bad magic, bad header).
+  std::optional<ChromiumResult> process_file(const std::string& path) const;
 
   const ChromiumOptions& options() const { return options_; }
 

@@ -1,0 +1,87 @@
+#include "core/resilience/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/obs/obs.h"
+#include "net/rng.h"
+
+namespace netclients::core::resilience {
+
+double RetryPolicy::backoff_before(int retry, std::uint64_t key) const {
+  const int exponent = std::max(0, retry - 1);
+  double backoff = initial_backoff_seconds *
+                   std::pow(backoff_multiplier, static_cast<double>(exponent));
+  backoff = std::min(backoff, max_backoff_seconds);
+  const double f = std::clamp(jitter_fraction, 0.0, 1.0);
+  if (f <= 0 || backoff <= 0) return backoff;
+  net::Rng rng(
+      net::stable_seed(seed, key, static_cast<std::uint64_t>(retry)));
+  return backoff * (1.0 - f + f * rng.uniform());
+}
+
+bool CircuitBreaker::allow(net::SimTime now) {
+  if (policy_.failure_threshold <= 0 || !open_) return true;
+  if (now >= open_until_) return true;  // half-open: admit a trial probe
+  ++skipped_;
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  consecutive_failures_ = 0;
+  open_ = false;
+}
+
+void CircuitBreaker::record_failure(net::SimTime now) {
+  if (policy_.failure_threshold <= 0) return;
+  ++consecutive_failures_;
+  if (open_) {
+    if (now >= open_until_) {
+      // The trial probe failed: re-open for a fresh window.
+      open_until_ = now + policy_.open_seconds;
+      ++opened_;
+    }
+    return;
+  }
+  if (consecutive_failures_ >= policy_.failure_threshold) {
+    open_ = true;
+    open_until_ = now + policy_.open_seconds;
+    ++opened_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(net::SimTime now) const {
+  if (!open_) return State::kClosed;
+  return now >= open_until_ ? State::kHalfOpen : State::kOpen;
+}
+
+void RetryStats::merge(const RetryStats& other) {
+  retries += other.retries;
+  timeouts += other.timeouts;
+  servfails += other.servfails;
+  exhausted += other.exhausted;
+  escalations += other.escalations;
+  breaker_opened += other.breaker_opened;
+  breaker_skipped += other.breaker_skipped;
+  requeued += other.requeued;
+  upstream_failures += other.upstream_failures;
+  waited_ms += other.waited_ms;
+}
+
+void RetryStats::publish() const {
+  const auto bump = [](const char* name, std::uint64_t value) {
+    if (value) obs::Registry::global().counter(name).add(value);
+  };
+  bump("resilience.retry.retries", retries);
+  bump("resilience.retry.timeouts", timeouts);
+  bump("resilience.retry.servfails", servfails);
+  bump("resilience.retry.exhausted", exhausted);
+  bump("resilience.escalations.udp_to_tcp", escalations);
+  bump("resilience.breaker.opened", breaker_opened);
+  bump("resilience.breaker.skipped", breaker_skipped);
+  bump("resilience.campaign.requeued", requeued);
+  bump("resilience.upstream.failures", upstream_failures);
+  bump("resilience.retry.waited_ms", waited_ms);
+}
+
+}  // namespace netclients::core::resilience

@@ -1,0 +1,35 @@
+#include "core/scenario/scenario.h"
+
+#include "anycast/vantage.h"
+
+namespace netclients::core {
+
+Scenario ScenarioBuilder::build() const {
+  Scenario scenario;
+  sim::WorldConfig config = config_;
+  if (!config_set_) config.scale = 1.0 / scale_denominator_;
+  scenario.world_ptr =
+      std::make_unique<sim::World>(sim::World::generate(config));
+  sim::World& world = *scenario.world_ptr;
+  if (auth_faults_) {
+    world.authoritative_mutable().set_faults(*auth_faults_);
+  }
+  if (with_activity_) {
+    scenario.activity = std::make_unique<sim::WorldActivityModel>(&world);
+  }
+  scenario.google_dns = std::make_unique<googledns::GooglePublicDns>(
+      &world.pops(), &world.catchment(), &world.authoritative(),
+      google_config_, scenario.activity.get());
+  scenario.env.authoritative = &world.authoritative();
+  scenario.env.google_dns = scenario.google_dns.get();
+  scenario.env.geodb = &world.geodb();
+  scenario.env.vantage_points = anycast::default_vantage_fleet();
+  scenario.env.domains = world.domains();
+  scenario.env.slash24_begin = 1u << 16;
+  scenario.env.slash24_end = world.address_space_end();
+  scenario.options = options_;
+  if (threads_ >= 0) scenario.options.threads = threads_;
+  return scenario;
+}
+
+}  // namespace netclients::core

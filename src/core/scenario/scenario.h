@@ -1,0 +1,92 @@
+#pragma once
+
+// One-stop wiring of a measurement scenario: the synthetic world plus the
+// substrate a campaign probes (activity model, Google Public DNS front
+// end, probe environment). bench/common.cc and every example used to
+// duplicate this fifteen-line block; the builder owns it once, with
+// paper-parameter defaults.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/cacheprobe/cacheprobe.h"
+#include "dnssrv/authoritative.h"
+#include "googledns/google_dns.h"
+#include "sim/activity.h"
+#include "sim/config.h"
+#include "sim/world.h"
+
+namespace netclients::core {
+
+/// A fully wired scenario. The world lives on the heap so the raw
+/// pointers inside `env` stay valid when the Scenario itself is moved.
+struct Scenario {
+  std::unique_ptr<sim::World> world_ptr;
+  std::unique_ptr<sim::WorldActivityModel> activity;
+  std::unique_ptr<googledns::GooglePublicDns> google_dns;
+  ProbeEnvironment env;
+  CacheProbeOptions options;
+
+  sim::World& world() { return *world_ptr; }
+  const sim::World& world() const { return *world_ptr; }
+
+  /// A campaign handle over this scenario's environment and options.
+  CacheProbeCampaign campaign() const {
+    return CacheProbeCampaign(env, options);
+  }
+};
+
+/// Fluent assembly of a Scenario. Defaults are the paper's parameters at
+/// the examples' 1/256 world scale; benches pass their REPRO_SCALE.
+class ScenarioBuilder {
+ public:
+  /// World size as the denominator of the scale fraction.
+  ScenarioBuilder& scale_denominator(double denominator) {
+    scale_denominator_ = denominator;
+    return *this;
+  }
+  /// Full world-config override (wins over scale_denominator).
+  ScenarioBuilder& world_config(const sim::WorldConfig& config) {
+    config_ = config;
+    config_set_ = true;
+    return *this;
+  }
+  ScenarioBuilder& probe_options(const CacheProbeOptions& options) {
+    options_ = options;
+    return *this;
+  }
+  /// Parallelism for the sharded stages; overrides probe_options.threads.
+  ScenarioBuilder& threads(int n) {
+    threads_ = n;
+    return *this;
+  }
+  ScenarioBuilder& google_config(const googledns::GoogleDnsConfig& config) {
+    google_config_ = config;
+    return *this;
+  }
+  /// Deterministic fault injection on the scope-discovery edge.
+  ScenarioBuilder& authoritative_faults(const dnssrv::UpstreamFaults& faults) {
+    auth_faults_ = faults;
+    return *this;
+  }
+  /// Skip the analytic activity model (explicit-cache-only scenarios).
+  ScenarioBuilder& without_activity_model() {
+    with_activity_ = false;
+    return *this;
+  }
+
+  Scenario build() const;
+
+ private:
+  sim::WorldConfig config_{};
+  bool config_set_ = false;
+  double scale_denominator_ = 256;
+  CacheProbeOptions options_{};
+  googledns::GoogleDnsConfig google_config_{};
+  std::optional<dnssrv::UpstreamFaults> auth_faults_;
+  bool with_activity_ = true;
+  int threads_ = -1;  // < 0: leave options.threads as given
+};
+
+}  // namespace netclients::core

@@ -17,6 +17,22 @@ const ZoneConfig* AuthoritativeServer::zone(const dns::DnsName& name) const {
   return it == zones_.end() ? nullptr : &it->second;
 }
 
+QueryOutcome AuthoritativeServer::query_outcome(const dns::DnsName& name,
+                                                net::Prefix client_prefix,
+                                                std::uint32_t epoch,
+                                                std::uint64_t attempt) const {
+  if (!faults_.enabled()) return QueryOutcome::kOk;
+  net::Rng rng(net::stable_seed(
+      faults_.seed, name.hash(), std::uint64_t{client_prefix.base().value()},
+      std::uint64_t{client_prefix.length()}, std::uint64_t{epoch}, attempt));
+  const double draw = rng.uniform();
+  if (draw < faults_.timeout_probability) return QueryOutcome::kTimeout;
+  if (draw < faults_.timeout_probability + faults_.servfail_probability) {
+    return QueryOutcome::kServfail;
+  }
+  return QueryOutcome::kOk;
+}
+
 std::uint8_t AuthoritativeServer::base_scope(const ZoneConfig& zone,
                                              net::Prefix prefix) const {
   // Hierarchical stop-walk: starting at the least specific scope the zone

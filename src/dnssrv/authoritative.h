@@ -40,6 +40,25 @@ struct EcsAnswer {
   std::uint32_t ttl;
 };
 
+/// Outcome of one query attempt against the server's front end.
+enum class QueryOutcome : std::uint8_t { kOk, kServfail, kTimeout };
+
+/// Deterministic failure injection at the server's query edge. Outcomes
+/// are pure functions of (seed, zone, prefix, epoch, attempt) — the zone
+/// data and the scope computation stay untouched, so a retry (a new
+/// attempt number) can deterministically succeed where the first try
+/// failed, and runs stay byte-identical at any REPRO_THREADS. All-zero
+/// defaults mean every query succeeds, exactly as before.
+struct UpstreamFaults {
+  double servfail_probability = 0;
+  double timeout_probability = 0;
+  std::uint64_t seed = 0x5EFA11;
+
+  bool enabled() const {
+    return servfail_probability > 0 || timeout_probability > 0;
+  }
+};
+
 /// An ECS-enabled authoritative DNS server for a set of zones.
 ///
 /// Deterministic: the scope returned for a given (zone, prefix, epoch) is a
@@ -51,6 +70,18 @@ class AuthoritativeServer {
   void add_zone(ZoneConfig config);
   bool serves(const dns::DnsName& name) const;
   const ZoneConfig* zone(const dns::DnsName& name) const;
+
+  /// Injectable failure modes (SERVFAIL / timeout) applied at the query
+  /// edge. Consumers ask `query_outcome` before resolve/scope_for; a
+  /// default-constructed UpstreamFaults restores perfect service.
+  void set_faults(UpstreamFaults faults) { faults_ = faults; }
+  const UpstreamFaults& faults() const { return faults_; }
+
+  /// The fate of attempt `attempt` of a query for (name, prefix) in
+  /// `epoch`. Pure function of the fault seed and its arguments.
+  QueryOutcome query_outcome(const dns::DnsName& name,
+                             net::Prefix client_prefix, std::uint32_t epoch,
+                             std::uint64_t attempt) const;
 
   /// Optional BGP topology (announced prefix → opaque value). Real CDN
   /// mapping systems derive ECS scopes from routing aggregates, so a scope
@@ -90,6 +121,7 @@ class AuthoritativeServer {
 
   std::unordered_map<dns::DnsName, ZoneConfig> zones_;
   const net::PrefixTrie<std::uint32_t>* topology_ = nullptr;
+  UpstreamFaults faults_;
 };
 
 }  // namespace netclients::dnssrv

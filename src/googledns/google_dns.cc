@@ -41,6 +41,20 @@ struct ProbeMetrics {
   }
 };
 
+// Injected-fault telemetry. Looked up (and therefore registered) only on
+// the failure paths, so a fault-free run's exported metric name set is
+// byte-identical to a build without fault injection.
+obs::Counter& fault_counter(const char* name) {
+  return obs::Registry::global().counter(name);
+}
+
+bool in_window(const std::vector<TimeWindow>& windows, net::SimTime now) {
+  for (const TimeWindow& w : windows) {
+    if (w.contains(now)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 GooglePublicDns::GooglePublicDns(const anycast::PopTable* pops,
@@ -176,14 +190,56 @@ bool GooglePublicDns::analytic_present(PopId pop, int pool_index,
 ProbeResult GooglePublicDns::probe(PopId pop, const dns::DnsName& domain,
                                    net::Prefix query_scope, net::SimTime now,
                                    Transport transport, int vp_id,
-                                   int attempt) {
+                                   int attempt, int retry) {
   ProbeResult result;
   result.pop = pop;
   ProbeMetrics::get().sent.add();
   if (!limiter(vp_id, transport, domain).allow(now)) {
     ProbeMetrics::get().rate_limited.add();
+    result.status = ProbeStatus::kRateLimited;
     result.rate_limited = true;
     return result;
+  }
+  // Injected faults, decided by a per-probe oracle keyed on the probe's
+  // identity (time quantized to the millisecond — finer than any two
+  // distinct probes of one flow ever get). The draws happen in a fixed
+  // order so enabling one fault class never perturbs another's stream.
+  bool evicted = false;
+  if (config_.faults.enabled()) {
+    const FailureInjection& faults = config_.faults;
+    net::Rng rng(net::stable_seed(
+        faults.seed, static_cast<std::uint64_t>(pop),
+        static_cast<std::uint64_t>(vp_id),
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt)),
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(retry)),
+        domain.hash(), std::uint64_t{query_scope.base().value()},
+        std::uint64_t{query_scope.length()},
+        static_cast<std::uint64_t>(now * 1000.0)));
+    const double failure_draw = rng.uniform();
+    const double surge_draw = rng.uniform();
+    const double evict_draw = rng.uniform();
+    if (failure_draw < faults.timeout_probability) {
+      fault_counter("googledns.fault.timeout").add();
+      result.status = ProbeStatus::kTimeout;
+      return result;
+    }
+    if (failure_draw <
+        faults.timeout_probability + faults.servfail_probability) {
+      fault_counter("googledns.fault.servfail").add();
+      result.status = ProbeStatus::kServfail;
+      return result;
+    }
+    if (faults.surge_refusal_probability > 0 &&
+        in_window(faults.surge_windows, now) &&
+        surge_draw < faults.surge_refusal_probability) {
+      fault_counter("googledns.fault.surge_refused").add();
+      result.status = ProbeStatus::kRateLimited;
+      result.rate_limited = true;
+      return result;
+    }
+    evicted = faults.eviction_probability > 0 &&
+              in_window(faults.eviction_windows, now) &&
+              evict_draw < faults.eviction_probability;
   }
   // The prober cannot choose the pool its query lands in; redundant
   // attempts hash to (possibly repeated) pools.
@@ -236,6 +292,14 @@ ProbeResult GooglePublicDns::probe(PopId pop, const dns::DnsName& domain,
     return result;
   }
   const net::Prefix entry_block = query_scope.widen_to(entry_scope);
+
+  // Eviction storm: the entry this probe would have found is gone from its
+  // pool, whatever either occupancy source says.
+  if (evicted) {
+    fault_counter("googledns.fault.evicted").add();
+    ProbeMetrics::get().miss.add();
+    return result;
+  }
 
   // Explicit (event-driven) pool contents take precedence: exact state.
   dnssrv::CacheKey key{domain, dns::RecordType::kA, entry_block};
@@ -328,6 +392,14 @@ dns::DnsMessage GooglePublicDns::handle(const dns::DnsMessage& query,
   ProbeResult pr = probe(pop, q.name, query_scope, now, transport, vp_id,
                          query.header.id);
   if (pr.rate_limited) return dns::make_response(query, dns::RCode::kRefused);
+  if (pr.status == ProbeStatus::kServfail) {
+    return dns::make_response(query, dns::RCode::kServFail);
+  }
+  // An injected timeout has no wire answer at all; the closest in-band
+  // signal for the synchronous front end is SERVFAIL after the wait.
+  if (pr.status == ProbeStatus::kTimeout) {
+    return dns::make_response(query, dns::RCode::kServFail);
+  }
   dns::DnsMessage response = dns::make_response(query, dns::RCode::kNoError);
   response.header.ra = true;
   if (pr.cache_hit) {

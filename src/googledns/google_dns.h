@@ -22,6 +22,41 @@ namespace netclients::googledns {
 
 enum class Transport { kUdp, kTcp };
 
+/// A half-open window of simulation time.
+struct TimeWindow {
+  net::SimTime begin = 0;
+  net::SimTime end = 0;
+  bool contains(net::SimTime t) const { return t >= begin && t < end; }
+};
+
+/// Deterministic failure injection for the resolver front end. Every
+/// verdict is a pure function of the probe's identity (pop, vantage,
+/// domain, scope, attempt, retry, quantized time), so faulty runs stay
+/// byte-identical at any REPRO_THREADS. All-zero defaults leave behaviour
+/// — and the exported metric name set — exactly as a fault-free build.
+struct FailureInjection {
+  std::uint64_t seed = 0xFA0117;
+  /// Probe unanswered within its timeout (loss anywhere on the path).
+  double timeout_probability = 0;
+  /// Front end answers SERVFAIL.
+  double servfail_probability = 0;
+  /// Transient rate-limit surges: inside each surge window, probes are
+  /// refused with this probability on top of the token buckets.
+  double surge_refusal_probability = 0;
+  std::vector<TimeWindow> surge_windows;
+  /// Cache-eviction storms: inside each window, the entry a probe would
+  /// have found has this probability of having been evicted from its pool
+  /// (both the explicit pools and the analytic occupancy are suppressed).
+  double eviction_probability = 0;
+  std::vector<TimeWindow> eviction_windows;
+
+  bool enabled() const {
+    return timeout_probability > 0 || servfail_probability > 0 ||
+           (surge_refusal_probability > 0 && !surge_windows.empty()) ||
+           (eviction_probability > 0 && !eviction_windows.empty());
+  }
+};
+
 struct GoogleDnsConfig {
   int pools_per_pop = 4;
   std::size_t pool_capacity = 1 << 18;
@@ -34,15 +69,28 @@ struct GoogleDnsConfig {
   // driven entries; the probing campaign runs in a later epoch than scope
   // discovery, producing Table 2's drift.
   std::uint32_t epoch = 1;
+  // Injectable failure modes; all-zero by default (perfect substrate).
+  FailureInjection faults;
 };
+
+/// How one cache-snooping probe ended.
+enum class ProbeStatus : std::uint8_t { kOk, kRateLimited, kServfail, kTimeout };
 
 /// Outcome of one cache-snooping probe (RD=0, ECS-tagged).
 struct ProbeResult {
+  ProbeStatus status = ProbeStatus::kOk;
+  /// Kept in sync with status == kRateLimited for pre-ProbeStatus callers.
   bool rate_limited = false;
   bool cache_hit = false;
   std::uint8_t return_scope = 0;    // valid when cache_hit
   std::uint32_t remaining_ttl = 0;  // valid when cache_hit
   anycast::PopId pop = anycast::kNoPop;
+
+  /// Hard failures the retry policy acts on (rate limiting is normal
+  /// operation: the paper's answer to it was transport choice, not retry).
+  bool failed() const {
+    return status == ProbeStatus::kServfail || status == ProbeStatus::kTimeout;
+  }
 };
 
 /// Model of Google Public DNS: an anycast fleet of PoPs, each with several
@@ -85,10 +133,14 @@ class GooglePublicDns {
   /// A cache-snooping probe: RD=0, ECS = `query_scope`, sent over
   /// `transport` by vantage `vp_id` to PoP `pop`. `attempt` selects which
   /// cache pool the query lands in (the paper sends 5 redundant queries to
-  /// cover multiple pools).
+  /// cover multiple pools). `retry` is the resilience layer's retry index
+  /// for this attempt: it re-rolls the fault oracle (loss is transient)
+  /// but NOT the pool hash — a retried flow keeps its 5-tuple and lands
+  /// in the same pool, so retries can only recover masked answers.
   ProbeResult probe(anycast::PopId pop, const dns::DnsName& domain,
                     net::Prefix query_scope, net::SimTime now,
-                    Transport transport, int vp_id, int attempt);
+                    Transport transport, int vp_id, int attempt,
+                    int retry = 0);
 
   /// Full wire-format front end for packet-level tests and examples:
   /// decodes nothing (caller passes the message), applies anycast routing,

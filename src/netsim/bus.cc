@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "core/obs/obs.h"
+
 namespace netclients::netsim {
+
+void BusStats::publish() const {
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("netsim.bus.sent").add(sent);
+  registry.counter("netsim.bus.delivered").add(delivered);
+  registry.counter("netsim.bus.dropped").add(dropped);
+  registry.counter("netsim.bus.truncated").add(truncated);
+  registry.counter("netsim.bus.lost").add(lost);
+  registry.counter("netsim.bus.blackholed").add(blackholed);
+  registry.counter("netsim.bus.outage_dropped").add(outage_dropped);
+  registry.counter("netsim.bus.reordered").add(reordered);
+}
 
 void MessageBus::attach(net::Ipv4Addr address, Handler handler) {
   handlers_.insert_or_assign(address, std::move(handler));
@@ -13,13 +27,36 @@ void MessageBus::detach(net::Ipv4Addr address) { handlers_.erase(address); }
 void MessageBus::send(net::Ipv4Addr src, net::Ipv4Addr dst, Proto proto,
                       std::vector<std::uint8_t> payload, net::SimTime now,
                       double latency) {
+  ++stats_.sent;
+  // The sequence number is consumed before the fault verdict so a dropped
+  // datagram still advances the stream: verdicts stay keyed to the same
+  // identities whether or not earlier datagrams survived.
+  const std::uint64_t sequence = sequence_++;
+  const net::SimTime send_time = std::max(now, now_);
+  double extra_latency = 0;
+  if (faults_.enabled()) {
+    const FaultDecision verdict =
+        faults_.decide(src, dst, sequence, send_time);
+    if (verdict.drop) {
+      switch (verdict.cause) {
+        case FaultDecision::Cause::kLoss: ++stats_.lost; break;
+        case FaultDecision::Cause::kBlackhole: ++stats_.blackholed; break;
+        case FaultDecision::Cause::kOutage: ++stats_.outage_dropped; break;
+        case FaultDecision::Cause::kNone: break;
+      }
+      return;
+    }
+    if (verdict.reordered) ++stats_.reordered;
+    extra_latency = verdict.extra_latency;
+  }
   Event event;
   event.datagram.src = src;
   event.datagram.dst = dst;
   event.datagram.proto = proto;
   event.datagram.payload = std::move(payload);
-  event.datagram.deliver_at = std::max(now, now_) + std::max(0.0, latency);
-  event.sequence = sequence_++;
+  event.datagram.deliver_at =
+      send_time + std::max(0.0, latency) + extra_latency;
+  event.sequence = sequence;
   queue_.push(std::move(event));
 }
 
@@ -32,7 +69,7 @@ std::size_t MessageBus::run_until(net::SimTime deadline) {
     now_ = event.datagram.deliver_at;
     auto it = handlers_.find(event.datagram.dst);
     if (it == handlers_.end()) {
-      ++dropped_;
+      ++stats_.dropped;
       continue;
     }
     // DNS-over-UDP truncation: keep the 12-byte header, set TC (bit 9 of
@@ -44,9 +81,9 @@ std::size_t MessageBus::run_until(net::SimTime deadline) {
       event.datagram.payload[2] |= 0x02;  // TC
       // Zero the section counts: the records were dropped.
       for (std::size_t i = 4; i < 12; ++i) event.datagram.payload[i] = 0;
-      ++truncated_;
+      ++stats_.truncated;
     }
-    ++delivered_;
+    ++stats_.delivered;
     ++count;
     it->second(event.datagram, now_);
   }

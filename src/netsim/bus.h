@@ -11,6 +11,7 @@
 
 #include "net/ipv4.h"
 #include "net/sim_time.h"
+#include "netsim/fault.h"
 
 namespace netclients::netsim {
 
@@ -29,6 +30,26 @@ struct Datagram {
   net::SimTime deliver_at = 0;
 };
 
+/// One snapshot of everything the bus has counted. Replaces the old
+/// delivered()/dropped()/truncated() getters: a single struct callers can
+/// diff across run_until calls and publish to the metrics registry.
+struct BusStats {
+  std::uint64_t sent = 0;        // send() calls, faulted or not
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;     // no handler attached at the destination
+  std::uint64_t truncated = 0;   // UDP > MTU, TC bit set
+  std::uint64_t lost = 0;        // FaultPlane packet loss
+  std::uint64_t blackholed = 0;  // FaultPlane endpoint blackhole
+  std::uint64_t outage_dropped = 0;  // FaultPlane scheduled outage
+  std::uint64_t reordered = 0;   // held back by a reorder window
+
+  /// Registers the snapshot's values as `netsim.bus.*` counters in the
+  /// global obs registry. Opt-in (the bus never touches the registry
+  /// itself) so pipelines that don't use the bus keep their exported
+  /// metric name set unchanged. Call once per run.
+  void publish() const;
+};
+
 /// A discrete-event message bus connecting endpoints by IPv4 address.
 ///
 /// Endpoints register a handler; `send` enqueues a datagram with a caller-
@@ -37,6 +58,10 @@ struct Datagram {
 /// semantics are applied on delivery: payloads over `udp_mtu` bytes are
 /// truncated to the 12-byte header with the TC bit set, signalling the
 /// sender to retry over TCP — exactly the dance a real stub performs.
+///
+/// An optional FaultPlane sits at the send edge: loss, jitter, reordering,
+/// blackholes and outage windows, each verdict keyed by (seed, src, dst,
+/// sequence) so a faulty run replays byte-identically.
 class MessageBus {
  public:
   using Handler = std::function<void(const Datagram&, net::SimTime now)>;
@@ -46,6 +71,11 @@ class MessageBus {
   /// Registers (or replaces) the handler for an address.
   void attach(net::Ipv4Addr address, Handler handler);
   void detach(net::Ipv4Addr address);
+
+  /// Installs (or replaces) the fault plane. A default FaultConfig — all
+  /// rates zero — restores perfect delivery.
+  void set_faults(FaultConfig config) { faults_ = FaultPlane(std::move(config)); }
+  const FaultPlane& faults() const { return faults_; }
 
   /// Enqueues a datagram for delivery `latency` seconds from `now`.
   void send(net::Ipv4Addr src, net::Ipv4Addr dst, Proto proto,
@@ -59,9 +89,7 @@ class MessageBus {
   /// True when no events remain queued.
   bool idle() const { return queue_.empty(); }
   net::SimTime now() const { return now_; }
-  std::uint64_t delivered() const { return delivered_; }
-  std::uint64_t dropped() const { return dropped_; }
-  std::uint64_t truncated() const { return truncated_; }
+  const BusStats& stats() const { return stats_; }
 
  private:
   struct Event {
@@ -80,11 +108,10 @@ class MessageBus {
   std::size_t udp_mtu_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_map<net::Ipv4Addr, Handler> handlers_;
+  FaultPlane faults_;
   net::SimTime now_ = 0;
   std::uint64_t sequence_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t truncated_ = 0;
+  BusStats stats_;
 };
 
 }  // namespace netclients::netsim

@@ -1,0 +1,55 @@
+#include "netsim/fault.h"
+
+#include "net/rng.h"
+
+namespace netclients::netsim {
+
+FaultDecision FaultPlane::decide(net::Ipv4Addr src, net::Ipv4Addr dst,
+                                 std::uint64_t sequence,
+                                 net::SimTime send_time) const {
+  FaultDecision decision;
+  if (!enabled()) return decision;
+
+  for (net::Ipv4Addr hole : config_.blackholes) {
+    if (hole == src || hole == dst) {
+      decision.drop = true;
+      decision.cause = FaultDecision::Cause::kBlackhole;
+      return decision;
+    }
+  }
+  for (const OutageWindow& outage : config_.outages) {
+    if (outage.contains(send_time) && outage.matches(src, dst)) {
+      decision.drop = true;
+      decision.cause = FaultDecision::Cause::kOutage;
+      return decision;
+    }
+  }
+
+  // One RNG per datagram, keyed by its identity. Draws happen in a fixed
+  // order regardless of which fault classes are enabled, so turning one
+  // knob never perturbs another knob's stream.
+  net::Rng rng(net::stable_seed(config_.seed, std::uint64_t{src.value()},
+                                std::uint64_t{dst.value()}, sequence));
+  const double loss_draw = rng.uniform();
+  const double jitter_draw = rng.uniform();
+  const double reorder_draw = rng.uniform();
+  const double hold_draw = rng.uniform();
+
+  if (config_.loss_probability > 0 &&
+      loss_draw < config_.loss_probability) {
+    decision.drop = true;
+    decision.cause = FaultDecision::Cause::kLoss;
+    return decision;
+  }
+  if (config_.jitter_max_seconds > 0) {
+    decision.extra_latency += config_.jitter_max_seconds * jitter_draw;
+  }
+  if (config_.reorder_probability > 0 &&
+      reorder_draw < config_.reorder_probability) {
+    decision.reordered = true;
+    decision.extra_latency += config_.reorder_window_seconds * hold_draw;
+  }
+  return decision;
+}
+
+}  // namespace netclients::netsim

@@ -1,0 +1,85 @@
+#pragma once
+
+// Deterministic fault-injection plane for the message bus.
+//
+// Every decision is a pure function of (seed, src, dst, sequence) — never
+// of wall clock, thread identity, or delivery order — so a faulty run is
+// byte-identical at any REPRO_THREADS, composing with the exec engine's
+// shard-RNG discipline (DESIGN.md "Concurrency model").
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/sim_time.h"
+
+namespace netclients::netsim {
+
+/// A scheduled window of total failure on matching traffic. With a zero
+/// address the outage is global; otherwise it applies to datagrams whose
+/// source or destination equals the address (a link/endpoint outage).
+struct OutageWindow {
+  net::SimTime begin = 0;
+  net::SimTime end = 0;
+  net::Ipv4Addr address{0};
+
+  bool contains(net::SimTime t) const { return t >= begin && t < end; }
+  bool matches(net::Ipv4Addr src, net::Ipv4Addr dst) const {
+    return address.value() == 0 || address == src || address == dst;
+  }
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 0xFA17;
+  /// Independent per-datagram drop probability.
+  double loss_probability = 0;
+  /// Extra delivery latency, uniform in [0, jitter_max_seconds).
+  double jitter_max_seconds = 0;
+  /// Chance a datagram is additionally held back — delivered up to
+  /// `reorder_window_seconds` late, letting later sends overtake it.
+  double reorder_probability = 0;
+  double reorder_window_seconds = 0;
+  /// Endpoints that silently eat all traffic to or from them.
+  std::vector<net::Ipv4Addr> blackholes;
+  std::vector<OutageWindow> outages;
+
+  bool enabled() const {
+    return loss_probability > 0 || jitter_max_seconds > 0 ||
+           reorder_probability > 0 || !blackholes.empty() ||
+           !outages.empty();
+  }
+};
+
+/// Verdict for one datagram.
+struct FaultDecision {
+  enum class Cause : std::uint8_t { kNone, kLoss, kBlackhole, kOutage };
+
+  bool drop = false;
+  Cause cause = Cause::kNone;
+  double extra_latency = 0;  // jitter plus any reorder hold-back
+  bool reordered = false;
+};
+
+/// The fault oracle the bus consults once per send. Stateless beyond its
+/// config: two planes with the same config give identical verdicts, and a
+/// datagram's verdict never depends on any other datagram.
+class FaultPlane {
+ public:
+  FaultPlane() = default;
+  explicit FaultPlane(FaultConfig config) : config_(std::move(config)) {}
+
+  const FaultConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  /// Decides the fate of datagram `sequence` from `src` to `dst` entering
+  /// the network at `send_time` (outage windows are tested against the
+  /// send time: a datagram sent into an outage is lost).
+  FaultDecision decide(net::Ipv4Addr src, net::Ipv4Addr dst,
+                       std::uint64_t sequence,
+                       net::SimTime send_time) const;
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace netclients::netsim

@@ -41,6 +41,38 @@ bool TraceFile::write(const std::string& path,
   return static_cast<bool>(out);
 }
 
+namespace {
+
+/// Parses one record; false on any structural error (stream exhausted,
+/// bad label data, label set no DnsName accepts).
+bool read_record(std::ifstream& in, TraceRecord* rec) {
+  std::uint32_t source = 0;
+  std::uint16_t qtype = 0;
+  std::uint8_t label_count = 0;
+  if (!get(in, &source) || !get(in, &rec->root_letter) || !get(in, &qtype) ||
+      !get(in, &rec->timestamp) || !get(in, &label_count)) {
+    return false;
+  }
+  rec->source = net::Ipv4Addr(source);
+  rec->qtype = static_cast<dns::RecordType>(qtype);
+  std::vector<std::string> labels;
+  labels.reserve(label_count);
+  for (std::uint8_t l = 0; l < label_count; ++l) {
+    std::uint8_t len = 0;
+    if (!get(in, &len)) return false;
+    std::string label(len, '\0');
+    in.read(label.data(), len);
+    if (!in) return false;
+    labels.push_back(std::move(label));
+  }
+  auto name = dns::DnsName::from_labels(std::move(labels));
+  if (!name) return false;
+  rec->qname = std::move(*name);
+  return true;
+}
+
+}  // namespace
+
 bool TraceFile::read(const std::string& path,
                      std::vector<TraceRecord>* out_records) {
   out_records->clear();
@@ -51,33 +83,47 @@ bool TraceFile::read(const std::string& path,
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
   std::uint64_t count = 0;
   if (!get(in, &count)) return false;
-  out_records->reserve(count);
+  // Clamp the speculative reservation: the count field is untrusted input
+  // and a corrupt value must fail parse, not exhaust memory.
+  out_records->reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 20)));
   for (std::uint64_t i = 0; i < count; ++i) {
     TraceRecord rec;
-    std::uint32_t source = 0;
-    std::uint16_t qtype = 0;
-    std::uint8_t label_count = 0;
-    if (!get(in, &source) || !get(in, &rec.root_letter) || !get(in, &qtype) ||
-        !get(in, &rec.timestamp) || !get(in, &label_count)) {
-      return false;
-    }
-    rec.source = net::Ipv4Addr(source);
-    rec.qtype = static_cast<dns::RecordType>(qtype);
-    std::vector<std::string> labels;
-    labels.reserve(label_count);
-    for (std::uint8_t l = 0; l < label_count; ++l) {
-      std::uint8_t len = 0;
-      if (!get(in, &len)) return false;
-      std::string label(len, '\0');
-      in.read(label.data(), len);
-      if (!in) return false;
-      labels.push_back(std::move(label));
-    }
-    auto name = dns::DnsName::from_labels(std::move(labels));
-    if (!name) return false;
-    rec.qname = std::move(*name);
+    if (!read_record(in, &rec)) return false;
     out_records->push_back(std::move(rec));
   }
+  return true;
+}
+
+bool TraceFile::read_tolerant(const std::string& path,
+                              std::vector<TraceRecord>* out_records,
+                              ReadStats* stats) {
+  out_records->clear();
+  if (stats) *stats = ReadStats{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint64_t count = 0;
+  if (!get(in, &count)) return false;
+  // The count is attacker/corruption-controlled: cap the speculative
+  // reservation (the vector still grows past it if the records are real).
+  out_records->reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 20)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord rec;
+    if (!read_record(in, &rec)) {
+      if (stats) {
+        stats->records_read = out_records->size();
+        stats->records_skipped = count - i;
+        stats->truncated = true;
+      }
+      return true;  // keep what parsed; the damaged tail is skip-and-count
+    }
+    out_records->push_back(std::move(rec));
+  }
+  if (stats) stats->records_read = out_records->size();
   return true;
 }
 

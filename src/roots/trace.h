@@ -38,6 +38,21 @@ class TraceFile {
                     const std::vector<TraceRecord>& records);
   /// Returns empty + ok=false on any structural error.
   static bool read(const std::string& path, std::vector<TraceRecord>* out);
+
+  struct ReadStats {
+    std::uint64_t records_read = 0;
+    std::uint64_t records_skipped = 0;  // declared but unparseable
+    bool truncated = false;             // stream ended mid-record
+  };
+  /// Tolerant variant for scans that must survive corrupt captures: keeps
+  /// every record parsed before the first structural error and counts the
+  /// remainder as skipped — never throws, never crashes. The format has
+  /// no record framing, so parsing cannot resync past a damaged record.
+  /// Returns false only when the file cannot be opened or the magic/count
+  /// header itself is invalid.
+  static bool read_tolerant(const std::string& path,
+                            std::vector<TraceRecord>* out,
+                            ReadStats* stats = nullptr);
 };
 
 }  // namespace netclients::roots

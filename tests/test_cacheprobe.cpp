@@ -247,9 +247,36 @@ TEST(Campaign, ExpandedDatasetMatchesUpperBound) {
   EXPECT_EQ(ds.size(), result.slash24_upper_bound());
 }
 
+TEST(ProbePolicy, DeprecatedFieldsAliasIntoNestedPolicy) {
+  // Back-compat: the loose transport/redundant_queries fields are
+  // deprecated aliases of ProbePolicy; when a caller moves one off its
+  // default it wins over the nested struct.
+  CacheProbeOptions defaults;
+  EXPECT_EQ(defaults.effective_policy().transport,
+            googledns::Transport::kTcp);
+  EXPECT_EQ(defaults.effective_policy().redundant_queries, 5);
+
+  CacheProbeOptions legacy;
+  legacy.transport = googledns::Transport::kUdp;
+  legacy.redundant_queries = 2;
+  EXPECT_EQ(legacy.effective_policy().transport,
+            googledns::Transport::kUdp);
+  EXPECT_EQ(legacy.effective_policy().redundant_queries, 2);
+
+  CacheProbeOptions modern;
+  modern.probe.transport = googledns::Transport::kUdp;
+  modern.probe.redundant_queries = 3;
+  modern.probe.retry.max_attempts = 7;
+  EXPECT_EQ(modern.effective_policy().transport,
+            googledns::Transport::kUdp);
+  EXPECT_EQ(modern.effective_policy().redundant_queries, 3);
+  EXPECT_EQ(modern.effective_policy().retry.max_attempts, 7);
+}
+
 TEST(Campaign, UdpCampaignIsRateLimited) {
   // §3.1.1: probing over UDP trips a limit far below 1,500 qps — the
-  // reason the real campaign uses TCP.
+  // reason the real campaign uses TCP. Exercises the deprecated loose
+  // `transport` field on purpose (alias regression coverage).
   Pipeline p(4096);
   CacheProbeOptions options;
   options.transport = googledns::Transport::kUdp;

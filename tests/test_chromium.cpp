@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 
 #include "core/chromium/chromium.h"
 #include "core/chromium/sketch.h"
@@ -222,6 +223,46 @@ TEST(Counter, ProcessFromTraceFileRoundTrip) {
   const auto via_file = counter.process(loaded);
   EXPECT_EQ(direct.probes_by_resolver, via_file.probes_by_resolver);
   std::remove(path.c_str());
+}
+
+TEST(Counter, ProcessFileMatchesInMemoryAndReportsNoSkips) {
+  std::vector<roots::TraceRecord> trace = {
+      record(1, "qpwoeiruty", 0),
+      record(2, "mznxbcvlak", 5),
+  };
+  const std::string path = "chromium_process_file_test.bin";
+  ASSERT_TRUE(roots::TraceFile::write(path, trace));
+  const ChromiumCounter counter;
+  const auto direct = counter.process(trace);
+  const auto via_file = counter.process_file(path);
+  ASSERT_TRUE(via_file.has_value());
+  EXPECT_EQ(direct.probes_by_resolver, via_file->probes_by_resolver);
+  EXPECT_EQ(via_file->records_skipped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Counter, ProcessFileSkipsAndCountsCorruptTail) {
+  std::vector<roots::TraceRecord> trace = {
+      record(1, "qpwoeiruty", 0),
+      record(2, "mznxbcvlak", 5),
+      record(3, "alskdjfhgq", 9),
+  };
+  const std::string path = "chromium_corrupt_tail_test.bin";
+  ASSERT_TRUE(roots::TraceFile::write(path, trace));
+  // Chop into the last record: the scan must keep the intact prefix.
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 3);
+  const ChromiumCounter counter;
+  const auto result = counter.process_file(path);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->records_scanned, 2u);
+  EXPECT_EQ(result->records_skipped, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Counter, ProcessFileRejectsUnreadableFile) {
+  const ChromiumCounter counter;
+  EXPECT_FALSE(counter.process_file("no_such_trace.bin").has_value());
 }
 
 // -------------------------------------------------------- collision study

@@ -293,5 +293,79 @@ TEST(TokenBucket, ClockResetStartsNewEpoch) {
   EXPECT_GT(allowed, 1900);
 }
 
+TEST(TokenBucket, RefillExactlyAtTokenBoundary) {
+  // Draining the burst then asking again exactly when one token's worth of
+  // time has elapsed must admit exactly one query — no off-by-one at the
+  // refill boundary in either direction.
+  TokenBucket bucket(10, 1);
+  EXPECT_TRUE(bucket.allow(0.0));
+  EXPECT_FALSE(bucket.allow(0.0999));  // 1 µs early: still empty
+  EXPECT_TRUE(bucket.allow(0.1));      // exactly one token accrued
+  EXPECT_FALSE(bucket.allow(0.1));     // and only one
+}
+
+TEST(TokenBucket, RefillCapsAtBurstAcrossLongIdle) {
+  TokenBucket bucket(100, 5);
+  for (int i = 0; i < 5; ++i) bucket.allow(0.0);
+  // An hour idle refills to the burst cap, not rate × elapsed.
+  EXPECT_NEAR(bucket.tokens(3600.0), 5.0, 1e-9);
+  int allowed = 0;
+  for (int i = 0; i < 50; ++i) allowed += bucket.allow(3600.0);
+  EXPECT_EQ(allowed, 5);
+}
+
+TEST(TokenBucket, SameTimestampWindowSharesOneRefill) {
+  // Many queries carrying an identical timestamp (one campaign scheduling
+  // window) draw from a single refill, not one refill each.
+  TokenBucket bucket(10, 2);
+  for (int i = 0; i < 2; ++i) EXPECT_TRUE(bucket.allow(5.0));
+  EXPECT_FALSE(bucket.allow(5.0));
+  EXPECT_FALSE(bucket.allow(5.0));
+  EXPECT_EQ(bucket.rejected(), 2u);
+}
+
+// ------------------------------------------------------- upstream faults
+
+TEST(UpstreamFaults, DisabledMeansAlwaysOk) {
+  AuthoritativeServer auth;
+  ZoneConfig zone;
+  zone.name = *dns::DnsName::parse("www.example.com");
+  auth.add_zone(zone);
+  const auto prefix = *net::Prefix::parse("100.64.5.0/24");
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(auth.query_outcome(zone.name, prefix, 0, attempt),
+              QueryOutcome::kOk);
+  }
+}
+
+TEST(UpstreamFaults, OutcomeIsDeterministicPerKey) {
+  AuthoritativeServer auth;
+  ZoneConfig zone;
+  zone.name = *dns::DnsName::parse("www.example.com");
+  auth.add_zone(zone);
+  UpstreamFaults faults;
+  faults.servfail_probability = 0.3;
+  faults.timeout_probability = 0.3;
+  auth.set_faults(faults);
+  const auto prefix = *net::Prefix::parse("100.64.5.0/24");
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    const auto first = auth.query_outcome(zone.name, prefix, 0, attempt);
+    EXPECT_EQ(first, auth.query_outcome(zone.name, prefix, 0, attempt));
+  }
+  // A different attempt index re-rolls: over many attempts all three
+  // outcomes appear at these rates.
+  int ok = 0, servfail = 0, timeout = 0;
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    switch (auth.query_outcome(zone.name, prefix, 0, attempt)) {
+      case QueryOutcome::kOk: ++ok; break;
+      case QueryOutcome::kServfail: ++servfail; break;
+      case QueryOutcome::kTimeout: ++timeout; break;
+    }
+  }
+  EXPECT_GT(ok, 60);
+  EXPECT_GT(servfail, 30);
+  EXPECT_GT(timeout, 30);
+}
+
 }  // namespace
 }  // namespace netclients::dnssrv

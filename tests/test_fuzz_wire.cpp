@@ -5,8 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
 #include "dns/wire.h"
 #include "net/rng.h"
+#include "roots/trace.h"
 
 namespace netclients::dns {
 namespace {
@@ -68,7 +73,9 @@ TEST_P(WireFuzz, MutatedMessagesNeverCrashAndStayIdempotent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,
                          ::testing::Values(0xF1, 0xF2, 0xF3, 0xF4, 0xF5,
-                                           0xF6, 0xF7, 0xF8));
+                                           0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+                                           0xFB, 0xFC, 0xABCD, 0x5EED,
+                                           0xC0FFEE, 0xB16B00B5));
 
 TEST(WireFuzz, PureGarbageNeverCrashes) {
   net::Rng rng(0xDEAD);
@@ -120,6 +127,62 @@ TEST(WireFuzz, DeepPointerChainRejected) {
   const DecodeResult result = decode(wire);
   EXPECT_FALSE(result.ok);
 }
+
+// ------------------------------------------------- trace-file corruption
+
+class TraceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceFuzz, MutatedTraceFilesNeverCrashTolerantReader) {
+  net::Rng rng(GetParam());
+  const std::string path =
+      "trace_fuzz_" + std::to_string(GetParam()) + ".bin";
+  for (int iter = 0; iter < 60; ++iter) {
+    // A small valid trace...
+    std::vector<roots::TraceRecord> records(1 + rng.below(6));
+    for (auto& rec : records) {
+      rec.source = net::Ipv4Addr(static_cast<std::uint32_t>(rng()));
+      rec.qname = *DnsName::parse(rng.bernoulli(0.5) ? "qpwoeiruty"
+                                                     : "www.example.com");
+      rec.timestamp = static_cast<double>(rng.below(1000));
+    }
+    ASSERT_TRUE(roots::TraceFile::write(path, records));
+    // ...then random byte flips / truncation applied to the raw file.
+    std::vector<std::uint8_t> bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    const int mutations = 1 + static_cast<int>(rng.below(5));
+    for (int m = 0; m < mutations && !bytes.empty(); ++m) {
+      if (rng.bernoulli(0.3)) {
+        bytes.resize(rng.below(bytes.size() + 1));
+      } else if (!bytes.empty()) {
+        bytes[rng.below(bytes.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+      }
+    }
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    // Tolerant read must terminate without crashing, and its stats must
+    // agree with what it actually kept.
+    std::vector<roots::TraceRecord> loaded;
+    roots::TraceFile::ReadStats stats;
+    if (roots::TraceFile::read_tolerant(path, &loaded, &stats)) {
+      EXPECT_EQ(stats.records_read, loaded.size());
+      if (stats.records_skipped > 0) EXPECT_TRUE(stats.truncated);
+    }
+    // The strict reader must also never crash on the same mutant.
+    std::vector<roots::TraceRecord> strict;
+    (void)roots::TraceFile::read(path, &strict);
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzz,
+                         ::testing::Values(0x71, 0x72, 0x73, 0x74));
 
 }  // namespace
 }  // namespace netclients::dns

@@ -59,7 +59,7 @@ TEST(Bus, DropsToUnattachedAddress) {
   MessageBus bus;
   bus.send(kClient, kServer, Proto::kUdp, {1}, 0.0, 0.1);
   EXPECT_EQ(bus.run_until(1.0), 0u);
-  EXPECT_EQ(bus.dropped(), 1u);
+  EXPECT_EQ(bus.stats().dropped, 1u);
 }
 
 TEST(Bus, HandlersCanReply) {
@@ -97,7 +97,7 @@ TEST(Bus, UdpTruncationSetsTcBit) {
   bus.send(kServer, kClient, Proto::kUdp, dns::encode(big), 0.0, 0.1);
   bus.run_until(1.0);
   EXPECT_TRUE(saw_tc);
-  EXPECT_EQ(bus.truncated(), 1u);
+  EXPECT_EQ(bus.stats().truncated, 1u);
 }
 
 TEST(Bus, TcpCarriesLargePayloads) {
@@ -110,7 +110,7 @@ TEST(Bus, TcpCarriesLargePayloads) {
            0.0, 0.1);
   bus.run_until(1.0);
   EXPECT_EQ(received_size, 900u);
-  EXPECT_EQ(bus.truncated(), 0u);
+  EXPECT_EQ(bus.stats().truncated, 0u);
 }
 
 TEST(Bus, FullDnsExchangeWithTcpFallback) {
@@ -149,6 +149,122 @@ TEST(Bus, FullDnsExchangeWithTcpFallback) {
   bus.run_until(10.0);
   EXPECT_TRUE(retried_tcp);
   EXPECT_EQ(answers_received, 1);
+}
+
+TEST(FaultPlane, DisabledByDefault) {
+  FaultPlane plane{FaultConfig{}};
+  EXPECT_FALSE(plane.enabled());
+  const auto d = plane.decide(kClient, kServer, 7, 1.0);
+  EXPECT_FALSE(d.drop);
+  EXPECT_EQ(d.extra_latency, 0.0);
+}
+
+TEST(FaultPlane, DecisionsAreKeyedAndRepeatable) {
+  FaultConfig config;
+  config.loss_probability = 0.5;
+  config.jitter_max_seconds = 0.1;
+  FaultPlane plane{config};
+  // Same (src, dst, sequence) ⇒ same verdict, independent of call order.
+  const auto first = plane.decide(kClient, kServer, 3, 1.0);
+  plane.decide(kServer, kClient, 4, 2.0);
+  const auto again = plane.decide(kClient, kServer, 3, 1.0);
+  EXPECT_EQ(first.drop, again.drop);
+  EXPECT_EQ(first.extra_latency, again.extra_latency);
+  // ...and the loss rate is roughly honored over many sequences.
+  int dropped = 0;
+  for (std::uint64_t seq = 0; seq < 1000; ++seq) {
+    dropped += plane.decide(kClient, kServer, seq, 1.0).drop;
+  }
+  EXPECT_GT(dropped, 350);
+  EXPECT_LT(dropped, 650);
+}
+
+TEST(FaultPlane, BlackholeDropsOnlyMatchingEndpoint) {
+  FaultConfig config;
+  config.blackholes.push_back(kServer);
+  FaultPlane plane{config};
+  EXPECT_TRUE(plane.decide(kClient, kServer, 0, 0.0).drop);
+  EXPECT_EQ(plane.decide(kClient, kServer, 0, 0.0).cause,
+            FaultDecision::Cause::kBlackhole);
+  EXPECT_FALSE(plane.decide(kClient, kClient, 0, 0.0).drop);
+}
+
+TEST(FaultPlane, OutageWindowDropsInsideWindowOnly) {
+  FaultConfig config;
+  config.outages.push_back({2.0, 4.0, net::Ipv4Addr(0)});
+  FaultPlane plane{config};
+  EXPECT_FALSE(plane.decide(kClient, kServer, 0, 1.9).drop);
+  EXPECT_TRUE(plane.decide(kClient, kServer, 0, 2.0).drop);
+  EXPECT_EQ(plane.decide(kClient, kServer, 0, 3.0).cause,
+            FaultDecision::Cause::kOutage);
+  EXPECT_FALSE(plane.decide(kClient, kServer, 0, 4.0).drop);
+}
+
+TEST(Bus, FaultPlaneDropsAndCounts) {
+  MessageBus bus;
+  FaultConfig config;
+  config.loss_probability = 1.0;
+  bus.set_faults(config);
+  int received = 0;
+  bus.attach(kServer, [&](const Datagram&, net::SimTime) { ++received; });
+  for (int i = 0; i < 10; ++i) {
+    bus.send(kClient, kServer, Proto::kUdp, {1}, 0.0, 0.1);
+  }
+  bus.run_until(1.0);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(bus.stats().sent, 10u);
+  EXPECT_EQ(bus.stats().lost, 10u);
+  EXPECT_EQ(bus.stats().delivered, 0u);
+}
+
+TEST(Bus, JitterDelaysButDelivers) {
+  MessageBus bus;
+  FaultConfig config;
+  config.jitter_max_seconds = 0.5;
+  bus.set_faults(config);
+  std::vector<double> arrivals;
+  bus.attach(kServer, [&](const Datagram&, net::SimTime now) {
+    arrivals.push_back(now);
+  });
+  for (int i = 0; i < 20; ++i) {
+    bus.send(kClient, kServer, Proto::kUdp,
+             {static_cast<std::uint8_t>(i)}, 0.0, 0.1);
+  }
+  bus.run_until(5.0);
+  ASSERT_EQ(arrivals.size(), 20u);
+  bool any_jittered = false;
+  for (double t : arrivals) {
+    EXPECT_GE(t, 0.1 - 1e-12);
+    EXPECT_LE(t, 0.6 + 1e-12);
+    any_jittered |= t > 0.1 + 1e-12;
+  }
+  EXPECT_TRUE(any_jittered);
+}
+
+TEST(Bus, FaultedRunIsRepeatable) {
+  FaultConfig config;
+  config.loss_probability = 0.3;
+  config.jitter_max_seconds = 0.2;
+  config.reorder_probability = 0.2;
+  config.reorder_window_seconds = 0.3;
+  auto run = [&] {
+    MessageBus bus;
+    bus.set_faults(config);
+    std::vector<int> order;
+    bus.attach(kServer, [&](const Datagram& d, net::SimTime) {
+      order.push_back(d.payload[0]);
+    });
+    for (int i = 0; i < 50; ++i) {
+      bus.send(kClient, kServer, Proto::kUdp,
+               {static_cast<std::uint8_t>(i)}, 0.01 * i, 0.1);
+    }
+    bus.run_until(10.0);
+    return order;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a.size(), 50u);  // p=0.3 over 50 sends: some loss, surely
 }
 
 }  // namespace

@@ -156,5 +156,90 @@ TEST(TraceFile, RejectsTruncatedBody) {
   std::filesystem::remove(path);
 }
 
+TEST(TraceFile, TolerantReadKeepsRecordsBeforeTruncation) {
+  std::vector<TraceRecord> records(3);
+  records[0].qname = *dns::DnsName::parse("aaaa");
+  records[1].qname = *dns::DnsName::parse("bbbb");
+  records[2].qname = *dns::DnsName::parse("cccc");
+  const std::string path = "trace_tolerant_trunc_test.bin";
+  ASSERT_TRUE(TraceFile::write(path, records));
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 4);
+  std::vector<TraceRecord> loaded;
+  TraceFile::ReadStats stats;
+  ASSERT_TRUE(TraceFile::read_tolerant(path, &loaded, &stats));
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0], records[0]);
+  EXPECT_EQ(loaded[1], records[1]);
+  EXPECT_EQ(stats.records_read, 2u);
+  EXPECT_EQ(stats.records_skipped, 1u);
+  EXPECT_TRUE(stats.truncated);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceFile, TolerantReadStillRejectsBadHeader) {
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(TraceFile::read_tolerant("does_not_exist.bin", &loaded));
+  const std::string path = "trace_tolerant_badmagic_test.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("NOPE", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(TraceFile::read_tolerant(path, &loaded));
+  std::filesystem::remove(path);
+}
+
+TEST(TraceFile, TolerantReadSurvivesOverdeclaredCount) {
+  // A header claiming far more records than the body holds (the classic
+  // corrupt-length-field failure) must neither crash nor over-allocate.
+  std::vector<TraceRecord> records(2);
+  records[0].qname = *dns::DnsName::parse("aaaa");
+  records[1].qname = *dns::DnsName::parse("bbbb");
+  const std::string path = "trace_tolerant_count_test.bin";
+  ASSERT_TRUE(TraceFile::write(path, records));
+  {
+    // Overwrite the u64 count at offset 4 with a huge value.
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 4, SEEK_SET);
+    const std::uint64_t bogus = ~0ull;
+    std::fwrite(&bogus, sizeof(bogus), 1, f);
+    std::fclose(f);
+  }
+  std::vector<TraceRecord> loaded;
+  TraceFile::ReadStats stats;
+  ASSERT_TRUE(TraceFile::read_tolerant(path, &loaded, &stats));
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.records_skipped, ~0ull - 2);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceFile, TolerantReadSurvivesCorruptLabelLength) {
+  std::vector<TraceRecord> records(3);
+  records[0].qname = *dns::DnsName::parse("aaaa");
+  records[1].qname = *dns::DnsName::parse("bbbb");
+  records[2].qname = *dns::DnsName::parse("cccc");
+  const std::string path = "trace_tolerant_label_test.bin";
+  ASSERT_TRUE(TraceFile::write(path, records));
+  {
+    // Flip the second record's label-length byte to run past end-of-file.
+    // Record layout: 4+8 header, then per record 4+1+2+8+1 fixed + labels.
+    const long offset = 12 + (16 + 1 + 4) + 16;
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, offset, SEEK_SET);
+    std::fputc(0xFF, f);
+    std::fclose(f);
+  }
+  std::vector<TraceRecord> loaded;
+  TraceFile::ReadStats stats;
+  ASSERT_TRUE(TraceFile::read_tolerant(path, &loaded, &stats));
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0], records[0]);
+  EXPECT_EQ(stats.records_skipped, 2u);
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace netclients::roots
