@@ -1,0 +1,251 @@
+// Serving-index benchmark: persist a multi-epoch campaign to a
+// netclients.snap.v1 snapshot, load it back, build the ClientIndex, and
+// measure lookup throughput — the single-query trie path versus the
+// batched sorted-merge path (`lookup_many`).
+//
+// The bench also *checks* the serving determinism contract before it
+// times anything: lookup_many answers must be identical at threads=1 and
+// threads=8 and elementwise-equal to per-query lookup(); any mismatch is
+// a hard failure (exit 1). Epoch churn between the first and last epoch
+// is reported via core/serve's diff analytics.
+//
+// Output: a throughput table on stdout, rows appended to
+// bench_out/serve_qps.csv, the snapshot left at bench_out/serve.snap
+// (CI uploads + gates both), and gauges `serve.bench.single_qps` /
+// `serve.bench.batched_qps` / `serve.bench.speedup` via --metrics-out.
+//
+// Run:  build/bench/bench_serve [--queries=1048576] [--epochs=2]
+//                               [--snap-out=bench_out/serve.snap]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/serve/serve.h"
+#include "core/snapshot/snapshot.h"
+#include "net/rng.h"
+
+using namespace netclients;
+namespace snapshot = core::snapshot;
+namespace serve = core::serve;
+
+namespace {
+
+double flag_value(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+std::string flag_string(int argc, char** argv, const char* name,
+                        const std::string& fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Query mix: half the addresses land inside known-active prefixes (the
+/// hot serving case), half are uniform over the probed address range.
+std::vector<net::Ipv4Addr> make_queries(
+    std::size_t count, const std::vector<snapshot::EpochRecord>& epochs,
+    std::uint32_t space_begin, std::uint32_t space_end,
+    std::uint64_t seed) {
+  std::vector<net::Prefix> actives;
+  for (const auto& epoch : epochs) {
+    for (const auto& entry : epoch.prefixes) actives.push_back(entry.prefix);
+  }
+  net::Rng rng(seed);
+  std::vector<net::Ipv4Addr> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!actives.empty() && (i & 1)) {
+      const net::Prefix p = actives[rng() % actives.size()];
+      const std::uint32_t span =
+          ~net::Prefix::mask(p.length());  // host bits
+      queries.push_back(net::Ipv4Addr(
+          p.base().value() + static_cast<std::uint32_t>(rng()) % (span + 1u)));
+    } else {
+      const std::uint64_t span =
+          (std::uint64_t{space_end} << 8) - (std::uint64_t{space_begin} << 8);
+      queries.push_back(net::Ipv4Addr(static_cast<std::uint32_t>(
+          (std::uint64_t{space_begin} << 8) + rng() % span)));
+    }
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
+  const std::size_t queries_n = static_cast<std::size_t>(
+      flag_value(argc, argv, "--queries", 1 << 20));
+  const int epochs_n =
+      static_cast<int>(flag_value(argc, argv, "--epochs", 2));
+  const std::string snap_path = flag_string(
+      argc, argv, "--snap-out", bench::out_path("serve.snap"));
+
+  // ---- 1. Multi-epoch campaign -> snapshot -----------------------------
+  const core::Scenario scenario = core::ScenarioBuilder()
+                                      .scale_denominator(
+                                          bench::scale_denominator())
+                                      .epochs(epochs_n)
+                                      .build();
+  std::fprintf(stderr, "[serve] world: %zu /24s, %d epoch(s)\n",
+               scenario.world().blocks().size(), epochs_n);
+
+  std::vector<snapshot::EpochRecord> records;
+  {
+    obs::StageSpan span("serve.bench.campaign_epochs");
+    records = scenario.run_epochs();
+  }
+  {
+    obs::StageSpan span("serve.bench.snapshot_write");
+    if (!snapshot::write(snap_path, records)) return 1;
+  }
+  std::optional<snapshot::SnapshotFile> loaded;
+  {
+    obs::StageSpan span("serve.bench.snapshot_read");
+    loaded = snapshot::read(snap_path);
+  }
+  if (!loaded || loaded->epochs.size() != records.size()) {
+    std::fprintf(stderr, "[serve] snapshot round-trip failed\n");
+    return 1;
+  }
+  std::printf("snapshot: %zu epoch(s) at %s\n", loaded->epochs.size(),
+              snap_path.c_str());
+  for (const auto& epoch : loaded->epochs) {
+    std::printf("  epoch %u: %zu active prefixes, /24s in [%llu, %llu]\n",
+                epoch.epoch_id, epoch.prefixes.size(),
+                static_cast<unsigned long long>(epoch.totals.slash24_lower),
+                static_cast<unsigned long long>(epoch.totals.slash24_upper));
+  }
+
+  if (loaded->epochs.size() >= 2) {
+    const serve::EpochDiff diff =
+        serve::diff_epochs(loaded->epochs.front(), loaded->epochs.back());
+    std::printf("churn %u -> %u: +%zu gained, -%zu lost, %llu persisting, "
+                "rank drift %.2f\n",
+                diff.from_epoch, diff.to_epoch, diff.gained.size(),
+                diff.lost.size(),
+                static_cast<unsigned long long>(diff.persisting),
+                diff.mean_rank_drift);
+  }
+
+  // ---- 2. Build the serving index --------------------------------------
+  const auto build_start = std::chrono::steady_clock::now();
+  serve::ClientIndex index;
+  {
+    obs::StageSpan span("serve.bench.index_build");
+    index = serve::ClientIndex::build(loaded->epochs);
+  }
+  const double build_seconds = seconds_since(build_start);
+  std::printf("index: %zu prefixes, %zu intervals, %zu ASes, "
+              "built in %.1f ms\n",
+              index.prefix_count(), index.interval_count(),
+              index.as_aggregates().size(), build_seconds * 1e3);
+
+  const auto queries =
+      make_queries(queries_n, loaded->epochs, scenario.env.slash24_begin,
+                   scenario.env.slash24_end, 0x5E27E);
+
+  // ---- 3. Determinism checks (before timing) ---------------------------
+  const auto serial = index.lookup_many(queries, 1);
+  const auto parallel = index.lookup_many(queries, 8);
+  if (serial != parallel) {
+    std::fprintf(stderr,
+                 "[serve] FAIL: lookup_many differs between threads=1 "
+                 "and threads=8\n");
+    return 1;
+  }
+  for (std::size_t i = 0; i < queries.size(); i += 997) {
+    if (index.lookup(queries[i]) != serial[i]) {
+      std::fprintf(stderr,
+                   "[serve] FAIL: lookup() and lookup_many() disagree at "
+                   "query %zu\n",
+                   i);
+      return 1;
+    }
+  }
+
+  // ---- 4. Throughput ----------------------------------------------------
+  std::uint64_t hits = 0;
+  const auto single_start = std::chrono::steady_clock::now();
+  for (const net::Ipv4Addr addr : queries) {
+    hits += index.lookup(addr).active ? 1 : 0;
+  }
+  const double single_seconds = seconds_since(single_start);
+
+  // Steady-state serving: the output buffer is reused across batches, so
+  // it is allocated (and its pages faulted in by the warm-up pass) before
+  // the timer starts.
+  std::vector<serve::LookupResult> batched(queries.size());
+  index.lookup_many(queries.data(), queries.size(), batched.data(), 0);
+  const auto batched_start = std::chrono::steady_clock::now();
+  index.lookup_many(queries.data(), queries.size(), batched.data(), 0);
+  const double batched_seconds = seconds_since(batched_start);
+
+  const double single_qps =
+      single_seconds > 0 ? static_cast<double>(queries.size()) / single_seconds
+                         : 0;
+  const double batched_qps =
+      batched_seconds > 0
+          ? static_cast<double>(queries.size()) / batched_seconds
+          : 0;
+  const double speedup = single_qps > 0 ? batched_qps / single_qps : 0;
+
+  std::printf("\nlookup throughput (%zu queries, %.1f%% active)\n",
+              queries.size(),
+              100.0 * static_cast<double>(hits) /
+                  static_cast<double>(queries.size()));
+  std::printf("  %-10s %10s %14s\n", "mode", "seconds", "qps");
+  std::printf("  %-10s %10.3f %14.0f\n", "single", single_seconds,
+              single_qps);
+  std::printf("  %-10s %10.3f %14.0f\n", "batched", batched_seconds,
+              batched_qps);
+  std::printf("  batched/single speedup: %.1fx\n", speedup);
+
+  obs::Registry::global().gauge("serve.bench.single_qps").set(single_qps);
+  obs::Registry::global().gauge("serve.bench.batched_qps").set(batched_qps);
+  obs::Registry::global().gauge("serve.bench.speedup").set(speedup);
+  obs::Registry::global()
+      .gauge("serve.bench.index_build_ms")
+      .set(build_seconds * 1e3);
+
+  if (std::FILE* csv =
+          std::fopen(bench::out_path("serve_qps.csv").c_str(), "w")) {
+    std::fprintf(csv, "mode,queries,seconds,qps\n");
+    std::fprintf(csv, "single,%zu,%.6f,%.0f\n", queries.size(),
+                 single_seconds, single_qps);
+    std::fprintf(csv, "batched,%zu,%.6f,%.0f\n", queries.size(),
+                 batched_seconds, batched_qps);
+    std::fclose(csv);
+  }
+
+  // Post-timing integrity: the timed batched pass must agree with the
+  // pre-timing serial pass (also keeps `batched` alive so the compiler
+  // cannot elide the timed work).
+  if (batched != serial) {
+    std::fprintf(stderr, "[serve] FAIL: timed batched pass diverged\n");
+    return 1;
+  }
+  return 0;
+}

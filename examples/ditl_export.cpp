@@ -1,7 +1,8 @@
 // DITL export / re-import: materializes a sampled DITL capture to the
-// library's binary trace format, then re-runs the Chromium pipeline from
-// the file — the workflow a researcher with DNS-OARC access would use
-// (collect once, analyze many times).
+// library's binary trace format, re-runs the Chromium pipeline from the
+// file, then persists the analysis as a netclients.snap.v1 snapshot —
+// the workflow a researcher with DNS-OARC access would use (collect
+// once, analyze many times, serve the result).
 //
 // Run:  build/examples/ditl_export [scale-denominator] [out.trace]
 
@@ -10,10 +11,12 @@
 
 #include "core/obs/export.h"
 #include "core/chromium/chromium.h"
+#include "core/scenario/scenario.h"
+#include "core/serve/serve.h"
+#include "core/snapshot/snapshot.h"
 #include "roots/root_server.h"
 #include "roots/trace.h"
 #include "sim/ditl.h"
-#include "sim/world.h"
 
 using namespace netclients;
 
@@ -23,10 +26,11 @@ int main(int argc, char** argv) {
   if (argc > 1) denominator = std::atof(argv[1]);
   const std::string path = argc > 2 ? argv[2] : "ditl_sample.trace";
 
-  sim::WorldConfig config;
-  config.scale = 1.0 / denominator;
-  const sim::World world = sim::World::generate(config);
-  const roots::RootSystem roots = roots::RootSystem::ditl_2020(config.seed);
+  const core::Scenario scenario =
+      core::ScenarioBuilder().scale_denominator(denominator).build();
+  const sim::World& world = scenario.world();
+  const roots::RootSystem roots =
+      roots::RootSystem::ditl_2020(world.config().seed);
 
   sim::DitlOptions ditl;
   ditl.sample_rate = 1.0 / 64;
@@ -77,6 +81,30 @@ int main(int argc, char** argv) {
                 net::Ipv4Addr(top[i].second).to_string().c_str(),
                 top[i].first);
   }
+
+  // Persist the analysis as a serving-ready snapshot epoch and read it
+  // back — the "analyze many times" half of the workflow keeps the
+  // (small) snapshot, not the (large) raw trace.
+  const std::string snap_path = path + ".snap";
+  const core::snapshot::EpochRecord epoch = core::snapshot::make_epoch(
+      result, world, 0, core::snapshot::options_digest(options));
+  if (!core::snapshot::write(snap_path, {epoch})) {
+    std::fprintf(stderr, "cannot write %s\n", snap_path.c_str());
+    return 1;
+  }
+  const auto snap = core::snapshot::read(snap_path);
+  if (!snap || snap->epochs.size() != 1) {
+    std::fprintf(stderr, "cannot read back %s\n", snap_path.c_str());
+    return 1;
+  }
+  const core::serve::ClientIndex index =
+      core::serve::ClientIndex::build(snap->epochs);
+  std::printf("\nsnapshot %s: %zu resolver /24s, %zu ASes, "
+              "total volume %.0f\n",
+              snap_path.c_str(), index.prefix_count(),
+              index.as_aggregates().size(), index.total_volume());
+
   std::remove(path.c_str());
+  std::remove(snap_path.c_str());
   return 0;
 }

@@ -1,8 +1,45 @@
 #include "core/scenario/scenario.h"
 
+#include <algorithm>
+
 #include "anycast/vantage.h"
+#include "net/rng.h"
 
 namespace netclients::core {
+
+std::vector<snapshot::EpochRecord> Scenario::run_epochs(int epochs) const {
+  if (epochs <= 0) epochs = std::max(1, epoch_count);
+  std::vector<snapshot::EpochRecord> records;
+  records.reserve(epochs);
+  for (int e = 0; e < epochs; ++e) {
+    CacheProbeOptions epoch_options = options;
+    ProbeEnvironment epoch_env = env;
+    std::unique_ptr<googledns::GooglePublicDns> epoch_dns;
+    // Epoch 0 keeps the scenario's seed and front end (run_epochs(1) ==
+    // run_full); each later epoch re-keys the probe streams AND stands
+    // up its own Google-DNS front end with a re-keyed cache timeline and
+    // an advanced authoritative epoch. The world's mean activity is
+    // unchanged, but which marginal blocks happen to hold a cache entry
+    // during the window differs — that sampling noise plus scope drift
+    // is the churn diff_epochs measures.
+    if (e > 0) {
+      epoch_options.seed = net::stable_seed(
+          options.seed, 0x45504F43u /* "EPOC" */, static_cast<uint64_t>(e));
+      googledns::GoogleDnsConfig epoch_config = google_config;
+      epoch_config.seed = net::stable_seed(
+          google_config.seed, 0x45504F43u, static_cast<uint64_t>(e));
+      epoch_config.epoch += static_cast<std::uint32_t>(e);
+      epoch_dns = std::make_unique<googledns::GooglePublicDns>(
+          &world().pops(), &world().catchment(), &world().authoritative(),
+          epoch_config, activity.get());
+      epoch_env.google_dns = epoch_dns.get();
+    }
+    const CampaignResult result = run_full_campaign(epoch_env, epoch_options);
+    records.push_back(snapshot::make_epoch(
+        result, world(), static_cast<std::uint32_t>(e), epoch_options));
+  }
+  return records;
+}
 
 Scenario ScenarioBuilder::build() const {
   Scenario scenario;
@@ -29,6 +66,8 @@ Scenario ScenarioBuilder::build() const {
   scenario.env.slash24_end = world.address_space_end();
   scenario.options = options_;
   if (threads_ >= 0) scenario.options.threads = threads_;
+  scenario.google_config = google_config_;
+  scenario.epoch_count = epochs_;
   return scenario;
 }
 

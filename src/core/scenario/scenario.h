@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "core/cacheprobe/cacheprobe.h"
+#include "core/snapshot/snapshot.h"
 #include "dnssrv/authoritative.h"
 #include "googledns/google_dns.h"
 #include "sim/activity.h"
@@ -27,6 +28,11 @@ struct Scenario {
   std::unique_ptr<googledns::GooglePublicDns> google_dns;
   ProbeEnvironment env;
   CacheProbeOptions options;
+  /// The front-end config the builder wired; run_epochs re-keys it per
+  /// epoch to give each measurement window its own cache timeline.
+  googledns::GoogleDnsConfig google_config;
+  /// Default epoch count for run_epochs (ScenarioBuilder::epochs).
+  int epoch_count = 1;
 
   sim::World& world() { return *world_ptr; }
   const sim::World& world() const { return *world_ptr; }
@@ -35,6 +41,19 @@ struct Scenario {
   CacheProbeCampaign campaign() const {
     return CacheProbeCampaign(env, options);
   }
+
+  /// Runs the full campaign `epochs` times (0 = the builder's epoch
+  /// count) and persists each run as a snapshot EpochRecord. Epoch 0
+  /// probes the scenario's own front end with the scenario's seed —
+  /// run_epochs(1) reproduces a plain run_full() — and each later epoch
+  /// re-keys both the probe RNG streams and the Google-DNS cache
+  /// timeline (fresh GooglePublicDns with a re-keyed seed and an
+  /// advanced authoritative epoch), modelling independent measurement
+  /// windows over the same world: marginally active blocks drop in and
+  /// out and scope drift shifts attribution, so the inferred active
+  /// sets overlap heavily but not exactly — exactly the churn the
+  /// analytics in core/serve quantify.
+  std::vector<snapshot::EpochRecord> run_epochs(int epochs = 0) const;
 };
 
 /// Fluent assembly of a Scenario. Defaults are the paper's parameters at
@@ -75,6 +94,11 @@ class ScenarioBuilder {
     with_activity_ = false;
     return *this;
   }
+  /// Default campaign-epoch count for Scenario::run_epochs.
+  ScenarioBuilder& epochs(int count) {
+    epochs_ = count;
+    return *this;
+  }
 
   Scenario build() const;
 
@@ -87,6 +111,7 @@ class ScenarioBuilder {
   std::optional<dnssrv::UpstreamFaults> auth_faults_;
   bool with_activity_ = true;
   int threads_ = -1;  // < 0: leave options.threads as given
+  int epochs_ = 1;
 };
 
 }  // namespace netclients::core

@@ -1,31 +1,53 @@
-// Schema gate for exported metrics files (CI's bench-smoke job):
+// Schema gate for exported measurement artifacts (CI's bench-smoke job):
 //
-//   metrics_check <metrics.json> [required-metric-name...]
+//   metrics_check [--snap <file.snap>]... [<metrics.json>
+//                                          [required-metric-name...]]
 //
-// Exits 0 when the file parses as netclients.metrics.v1 and every
-// required metric name (counter, gauge, histogram, or span) is present;
-// prints the first problem and exits 1 otherwise.
+// Each `--snap` file is strictly validated as netclients.snap.v1
+// (header magic, section framing, CRCs, delta-chain integrity). The
+// metrics JSON, when given, must parse as netclients.metrics.v1 and
+// contain every required metric name (counter, gauge, histogram, or
+// span). Prints the first problem and exits 1 on any failure.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/obs/export.h"
+#include "core/snapshot/snapshot.h"
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  std::vector<const char*> snaps;
+  int arg = 1;
+  while (arg + 1 < argc && std::strcmp(argv[arg], "--snap") == 0) {
+    snaps.push_back(argv[arg + 1]);
+    arg += 2;
+  }
+  if (snaps.empty() && arg >= argc) {
     std::fprintf(stderr,
-                 "usage: metrics_check <metrics.json> "
-                 "[required-metric-name...]\n");
+                 "usage: metrics_check [--snap <file.snap>]... "
+                 "[<metrics.json> [required-metric-name...]]\n");
     return 1;
   }
 
-  std::ifstream in(argv[1]);
+  for (const char* snap : snaps) {
+    const std::string problem =
+        netclients::core::snapshot::validate_file(snap);
+    if (!problem.empty()) {
+      std::fprintf(stderr, "metrics_check: %s: %s\n", snap, problem.c_str());
+      return 1;
+    }
+    std::printf("%s: ok (netclients.snap.v1)\n", snap);
+  }
+  if (arg >= argc) return 0;
+
+  std::ifstream in(argv[arg]);
   if (!in) {
-    std::fprintf(stderr, "metrics_check: cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "metrics_check: cannot open %s\n", argv[arg]);
     return 1;
   }
   std::ostringstream buffer;
@@ -34,7 +56,8 @@ int main(int argc, char** argv) {
 
   const std::string problem = netclients::obs::validate_metrics_json(text);
   if (!problem.empty()) {
-    std::fprintf(stderr, "metrics_check: %s: %s\n", argv[1], problem.c_str());
+    std::fprintf(stderr, "metrics_check: %s: %s\n", argv[arg],
+                 problem.c_str());
     return 1;
   }
 
@@ -46,10 +69,10 @@ int main(int argc, char** argv) {
   for (const auto& s : snapshot->spans) names.push_back(s.name);
 
   bool ok = true;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = arg + 1; i < argc; ++i) {
     if (std::find(names.begin(), names.end(), argv[i]) == names.end()) {
       std::fprintf(stderr, "metrics_check: %s: missing required metric %s\n",
-                   argv[1], argv[i]);
+                   argv[arg], argv[i]);
       ok = false;
     }
   }
@@ -57,7 +80,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "%s: ok (%zu counters, %zu gauges, %zu histograms, %zu spans)\n",
-      argv[1], snapshot->counters.size(), snapshot->gauges.size(),
+      argv[arg], snapshot->counters.size(), snapshot->gauges.size(),
       snapshot->histograms.size(), snapshot->spans.size());
   return 0;
 }

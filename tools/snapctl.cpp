@@ -1,0 +1,156 @@
+// snapctl — inspect, validate, and diff netclients.snap.v1 snapshot files.
+//
+//   snapctl inspect  <file>            per-epoch summary + read stats
+//   snapctl validate <file>            strict framing/CRC/chain check
+//   snapctl diff     <file> [from to]  churn between two epochs
+//                                      (default: the last two)
+//
+// `validate` is the strict gate (exit 1 on the first structural problem —
+// the same check CI applies to snapshot artifacts via metrics_check);
+// `inspect` and `diff` read tolerantly, reporting skipped sections rather
+// than failing, so a damaged capture can still be examined.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/serve/serve.h"
+#include "core/snapshot/snapshot.h"
+
+using namespace netclients;
+namespace snapshot = core::snapshot;
+namespace serve = core::serve;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: snapctl inspect  <file.snap>\n"
+               "       snapctl validate <file.snap>\n"
+               "       snapctl diff     <file.snap> [from-epoch to-epoch]\n");
+  return 2;
+}
+
+std::optional<snapshot::SnapshotFile> load(const char* path) {
+  auto file = snapshot::read(path);
+  if (!file) {
+    std::fprintf(stderr, "snapctl: %s is not a %s file (or unreadable)\n",
+                 path, std::string(snapshot::kSchemaName).c_str());
+  }
+  return file;
+}
+
+void print_stats(const snapshot::ReadStats& stats) {
+  if (stats.sections_skipped == 0 && !stats.truncated) return;
+  std::printf("  warnings: %llu section(s) skipped (%llu CRC failures), "
+              "%llu epoch(s) dropped%s\n",
+              static_cast<unsigned long long>(stats.sections_skipped),
+              static_cast<unsigned long long>(stats.crc_failures),
+              static_cast<unsigned long long>(stats.epochs_skipped),
+              stats.truncated ? ", file truncated" : "");
+}
+
+int run_inspect(const char* path) {
+  const auto file = load(path);
+  if (!file) return 1;
+  std::printf("%s: %s, %zu epoch(s)\n", path,
+              std::string(snapshot::kSchemaName).c_str(),
+              file->epochs.size());
+  print_stats(file->stats);
+  for (const auto& epoch : file->epochs) {
+    std::printf(
+        "  epoch %u: world seed %llu, options digest %016llx\n"
+        "    %zu active prefixes, active /24s in [%llu, %llu]\n"
+        "    %llu probes, %llu hits, %zu ASes, %zu countries, "
+        "%u domain(s)\n",
+        epoch.epoch_id, static_cast<unsigned long long>(epoch.world_seed),
+        static_cast<unsigned long long>(epoch.options_digest),
+        epoch.prefixes.size(),
+        static_cast<unsigned long long>(epoch.totals.slash24_lower),
+        static_cast<unsigned long long>(epoch.totals.slash24_upper),
+        static_cast<unsigned long long>(epoch.totals.probes_sent),
+        static_cast<unsigned long long>(epoch.totals.cache_hits),
+        epoch.as_aggregates.size(), epoch.countries.size(),
+        epoch.domain_count);
+  }
+  return 0;
+}
+
+int run_validate(const char* path) {
+  const std::string problem = snapshot::validate_file(path);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "snapctl: %s: %s\n", path, problem.c_str());
+    return 1;
+  }
+  std::printf("%s: ok (%s)\n", path,
+              std::string(snapshot::kSchemaName).c_str());
+  return 0;
+}
+
+const snapshot::EpochRecord* find_epoch(const snapshot::SnapshotFile& file,
+                                        std::uint32_t id) {
+  for (const auto& epoch : file.epochs) {
+    if (epoch.epoch_id == id) return &epoch;
+  }
+  return nullptr;
+}
+
+int run_diff(const char* path, int argc, char** argv) {
+  const auto file = load(path);
+  if (!file) return 1;
+  print_stats(file->stats);
+  if (file->epochs.size() < 2) {
+    std::fprintf(stderr, "snapctl: %s has %zu epoch(s); diff needs two\n",
+                 path, file->epochs.size());
+    return 1;
+  }
+  const snapshot::EpochRecord* from = nullptr;
+  const snapshot::EpochRecord* to = nullptr;
+  if (argc >= 2) {
+    from = find_epoch(*file, static_cast<std::uint32_t>(std::atoi(argv[0])));
+    to = find_epoch(*file, static_cast<std::uint32_t>(std::atoi(argv[1])));
+    if (!from || !to) {
+      std::fprintf(stderr, "snapctl: no such epoch in %s\n", path);
+      return 1;
+    }
+  } else {
+    from = &file->epochs[file->epochs.size() - 2];
+    to = &file->epochs.back();
+  }
+
+  const serve::EpochDiff diff = serve::diff_epochs(*from, *to);
+  std::printf("epoch %u -> %u:\n", diff.from_epoch, diff.to_epoch);
+  std::printf("  %-12s %8zu prefixes (%.0f volume)\n", "gained",
+              diff.gained.size(), diff.gained_volume);
+  std::printf("  %-12s %8zu prefixes (%.0f volume)\n", "lost",
+              diff.lost.size(), diff.lost_volume);
+  std::printf("  %-12s %8llu prefixes\n", "persisting",
+              static_cast<unsigned long long>(diff.persisting));
+  std::printf("  volume: %.0f -> %.0f\n", diff.volume_from, diff.volume_to);
+  std::printf("  rank drift: mean %.2f positions (normalized %.4f)\n",
+              diff.mean_rank_drift, diff.normalized_rank_drift);
+  const std::size_t show = 5;
+  for (std::size_t i = 0; i < diff.gained.size() && i < show; ++i) {
+    std::printf("    + %s\n", diff.gained[i].to_string().c_str());
+  }
+  for (std::size_t i = 0; i < diff.lost.size() && i < show; ++i) {
+    std::printf("    - %s\n", diff.lost[i].to_string().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const char* command = argv[1];
+  const char* path = argv[2];
+  if (std::strcmp(command, "inspect") == 0) return run_inspect(path);
+  if (std::strcmp(command, "validate") == 0) return run_validate(path);
+  if (std::strcmp(command, "diff") == 0) {
+    return run_diff(path, argc - 3, argv + 3);
+  }
+  return usage();
+}
