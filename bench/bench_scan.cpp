@@ -1,0 +1,195 @@
+// Trace-ingestion benchmark: generate a sampled DITL capture, persist it
+// to the NCD1 binary format, then scan it back through both ingestion
+// paths — the materializing reader (read_tolerant + process) and the
+// zero-copy TraceView (process_view) — and report records/sec for each.
+//
+// The bench *checks* the parity contract before it times anything: the
+// view scan must be byte-identical to the materializing scan at
+// threads=1 and threads=8; any mismatch is a hard failure (exit 1).
+//
+// Output: a throughput table on stdout, rows in
+// bench_out/scan_throughput.csv (CI uploads + gates it), and gauges
+// `chromium.scan.view_records_per_sec` /
+// `chromium.scan.materialize_records_per_sec` / `chromium.scan.speedup`
+// via --metrics-out. `--require-speedup=X` (CI passes 1.0) exits 1 when
+// the view path is less than X times the materializing throughput.
+//
+// Run:  build/bench/bench_scan [--reps=3] [--require-speedup=0]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "roots/trace.h"
+#include "roots/trace_view.h"
+
+using namespace netclients;
+
+namespace {
+
+double flag_value(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool identical(const core::ChromiumResult& a, const core::ChromiumResult& b) {
+  if (a.records_scanned != b.records_scanned ||
+      a.signature_matches != b.signature_matches ||
+      a.rejected_collisions != b.rejected_collisions ||
+      a.probes_by_resolver.size() != b.probes_by_resolver.size()) {
+    return false;
+  }
+  for (const auto& [addr, count] : a.probes_by_resolver) {
+    const auto it = b.probes_by_resolver.find(addr);
+    if (it == b.probes_by_resolver.end() || it->second != count) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
+  const int reps = static_cast<int>(flag_value(argc, argv, "--reps", 3));
+  const double require_speedup =
+      flag_value(argc, argv, "--require-speedup", 0);
+
+  // ---- 1. Capture a sampled DITL to disk -------------------------------
+  const core::Scenario scenario =
+      core::ScenarioBuilder()
+          .scale_denominator(bench::scale_denominator())
+          .build();
+  const sim::World& world = scenario.world();
+  const roots::RootSystem roots =
+      roots::RootSystem::ditl_2020(world.config().seed);
+  sim::DitlOptions ditl;
+  ditl.sample_rate = 1.0 / bench::ditl_sample_denominator();
+
+  std::vector<roots::TraceRecord> records;
+  {
+    obs::StageSpan span("scan.bench.capture");
+    sim::generate_ditl(world, roots, ditl,
+                       [&](const roots::TraceRecord& rec) {
+                         records.push_back(rec);
+                       });
+  }
+  const std::string path = bench::out_path("scan.trace");
+  {
+    obs::StageSpan span("scan.bench.write");
+    if (!roots::TraceFile::write(path, records)) {
+      std::fprintf(stderr, "[scan] cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
+  const auto view = roots::TraceView::open(path);
+  if (!view) {
+    std::fprintf(stderr, "[scan] cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[scan] %zu records, %zu payload bytes (%s)\n",
+               records.size(), view->payload_bytes(),
+               view->mapped() ? "mmap" : "buffered");
+
+  core::ChromiumOptions options;
+  options.sample_rate = ditl.sample_rate;
+
+  // ---- 2. Parity checks (before timing) --------------------------------
+  const core::ChromiumResult reference =
+      core::ChromiumCounter(options).process(records);
+  for (const int threads : {1, 8}) {
+    core::ChromiumOptions check = options;
+    check.threads = threads;
+    if (!identical(core::ChromiumCounter(check).process_view(*view),
+                   reference)) {
+      std::fprintf(stderr,
+                   "[scan] FAIL: process_view differs from process() at "
+                   "threads=%d\n",
+                   threads);
+      return 1;
+    }
+  }
+
+  // ---- 3. Throughput: file -> ChromiumResult through both paths --------
+  const core::ChromiumCounter counter(options);
+  const auto n = static_cast<double>(records.size());
+  double materialize_seconds = 1e30;
+  double view_seconds = 1e30;
+  std::uint64_t sink = 0;  // keeps the timed results observable
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<roots::TraceRecord> loaded;
+      roots::TraceFile::ReadStats stats;
+      if (!roots::TraceFile::read_tolerant(path, &loaded, &stats)) return 1;
+      const core::ChromiumResult result = counter.process(loaded);
+      materialize_seconds = std::min(materialize_seconds,
+                                     seconds_since(start));
+      sink += result.signature_matches;
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      const auto timed_view = roots::TraceView::open(path);
+      if (!timed_view) return 1;
+      const core::ChromiumResult result = counter.process_view(*timed_view);
+      view_seconds = std::min(view_seconds, seconds_since(start));
+      sink += result.signature_matches;
+    }
+  }
+  const double materialize_rps =
+      materialize_seconds > 0 ? n / materialize_seconds : 0;
+  const double view_rps = view_seconds > 0 ? n / view_seconds : 0;
+  const double speedup =
+      materialize_rps > 0 ? view_rps / materialize_rps : 0;
+
+  std::printf("trace scan throughput (%zu records, best of %d)\n",
+              records.size(), reps);
+  std::printf("  %-12s %10s %16s\n", "path", "seconds", "records/sec");
+  std::printf("  %-12s %10.3f %16.0f\n", "materialize", materialize_seconds,
+              materialize_rps);
+  std::printf("  %-12s %10.3f %16.0f\n", "view", view_seconds, view_rps);
+  std::printf("  view/materialize speedup: %.1fx  (checksum %llu)\n",
+              speedup, static_cast<unsigned long long>(sink));
+
+  obs::Registry::global()
+      .gauge("chromium.scan.materialize_records_per_sec")
+      .set(materialize_rps);
+  obs::Registry::global()
+      .gauge("chromium.scan.view_records_per_sec")
+      .set(view_rps);
+  obs::Registry::global().gauge("chromium.scan.speedup").set(speedup);
+
+  if (std::FILE* csv =
+          std::fopen(bench::out_path("scan_throughput.csv").c_str(), "w")) {
+    std::fprintf(csv, "path,records,payload_bytes,seconds,records_per_sec\n");
+    std::fprintf(csv, "materialize,%zu,%zu,%.6f,%.0f\n", records.size(),
+                 view->payload_bytes(), materialize_seconds, materialize_rps);
+    std::fprintf(csv, "view,%zu,%zu,%.6f,%.0f\n", records.size(),
+                 view->payload_bytes(), view_seconds, view_rps);
+    std::fclose(csv);
+  }
+  std::remove(path.c_str());  // the CSV is the artifact, not the capture
+
+  if (require_speedup > 0 && speedup < require_speedup) {
+    std::fprintf(stderr,
+                 "[scan] FAIL: view path %.2fx materializing, below the "
+                 "required %.2fx\n",
+                 speedup, require_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "core/snapshot/snapshot.h"
 #include "roots/root_server.h"
 #include "roots/trace.h"
+#include "roots/trace_view.h"
 #include "sim/ditl.h"
 
 using namespace netclients;
@@ -48,21 +49,25 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", path.c_str());
 
-  // Re-import and analyze, as a separate consumer would. process_file
-  // reads tolerantly: a capture damaged in transit still yields every
-  // record before the corruption, with the rest counted as skipped.
+  // Re-import and analyze, as a separate consumer would — through the
+  // zero-copy view: the capture is mmap-ed (buffered where mapping is
+  // unavailable) and scanned in place, never materialized. The read is
+  // tolerant: a capture damaged in transit still yields every record
+  // before the corruption, with the rest counted as skipped.
   core::ChromiumOptions options;
   options.sample_rate = ditl.sample_rate;
   const core::ChromiumCounter counter(options);
-  const auto maybe_result = counter.process_file(path);
-  if (!maybe_result) {
+  const auto view = roots::TraceView::open(path);
+  if (!view) {
     std::fprintf(stderr, "cannot read back %s\n", path.c_str());
     return 1;
   }
-  const core::ChromiumResult& result = *maybe_result;
-  std::printf("re-analyzed from disk: %llu records (%llu skipped), "
+  const core::ChromiumResult result = counter.process_view(*view);
+  std::printf("re-analyzed from disk (%s, zero-copy): "
+              "%llu records (%llu skipped), "
               "%llu signature matches, %llu collision-rejected, "
               "%zu resolvers with Chromium activity\n",
+              view->mapped() ? "mmap" : "buffered",
               static_cast<unsigned long long>(result.records_scanned),
               static_cast<unsigned long long>(result.records_skipped),
               static_cast<unsigned long long>(result.signature_matches),

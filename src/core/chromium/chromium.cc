@@ -1,25 +1,46 @@
 #include "core/chromium/chromium.h"
 
+#include <array>
 #include <cmath>
 #include <mutex>
 #include <utility>
 
+#include "core/chromium/count_table.h"
 #include "core/chromium/sketch.h"
 #include "core/exec/exec.h"
 #include "core/obs/obs.h"
 #include "net/rng.h"
 #include "net/sim_time.h"
+#include "roots/trace_view.h"
 
 namespace netclients::core {
+namespace {
 
-bool matches_chromium_signature(const dns::DnsName& name) {
-  if (!name.is_single_label()) return false;
-  const std::string& label = name.labels().front();
+/// Byte classes the signature accepts: lowercase ASCII letters, plus
+/// uppercase (raw trace bytes are not canonicalized; materializing
+/// lowercases them, so both matchers must treat 'A' like 'a').
+constexpr std::array<bool, 256> kSignatureByte = [] {
+  std::array<bool, 256> table{};
+  for (int c = 'a'; c <= 'z'; ++c) table[static_cast<std::size_t>(c)] = true;
+  for (int c = 'A'; c <= 'Z'; ++c) table[static_cast<std::size_t>(c)] = true;
+  return table;
+}();
+
+}  // namespace
+
+bool matches_chromium_signature_bytes(std::string_view label) {
   if (label.size() < 7 || label.size() > 15) return false;
   for (char c : label) {
-    if (c < 'a' || c > 'z') return false;
+    if (!kSignatureByte[static_cast<unsigned char>(c)]) return false;
   }
   return true;
+}
+
+bool matches_chromium_signature(const dns::DnsName& name) {
+  // One fetch of the single label, then the shared byte predicate — the
+  // DnsName and zero-copy matchers cannot drift.
+  return name.is_single_label() &&
+         matches_chromium_signature_bytes(name.labels().front());
 }
 
 namespace {
@@ -27,6 +48,48 @@ namespace {
 std::uint64_t name_day_key(const roots::TraceRecord& rec) {
   const auto day = static_cast<std::uint64_t>(rec.timestamp / net::kDay);
   return net::hash_combine(net::stable_hash(rec.qname.labels().front()), day);
+}
+
+/// stable_hash over the lowercased bytes of a raw trace label — equal to
+/// stable_hash of the label's canonical (materialized) form. Only labels
+/// that already matched the signature are hashed, so every byte is an
+/// ASCII letter and the fold is a branchless OR.
+std::uint64_t lower_stable_hash(std::string_view label) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c) | 0x20u;
+    h *= 0x100000001b3ULL;
+  }
+  return net::mix64(h);
+}
+
+std::uint64_t name_day_key(const roots::TraceRecordRef& ref) {
+  const auto day = static_cast<std::uint64_t>(ref.timestamp() / net::kDay);
+  return net::hash_combine(lower_stable_hash(ref.first_label()), day);
+}
+
+/// The collision threshold in the sampled domain: a name with the
+/// full-trace threshold count is expected to appear threshold×rate times
+/// after sampling. Keep at least 2 so single occurrences (the Chromium
+/// common case) always survive. Shared by the materializing and view
+/// scan paths so their filters are identical by construction.
+std::uint32_t effective_threshold(const ChromiumOptions& options) {
+  return std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(std::lround(
+             options.daily_collision_threshold * options.sample_rate)));
+}
+
+/// Scan telemetry from the merged (already deterministic) totals. Shared
+/// by both scan paths so exports stay comparable across them.
+void record_scan_metrics(const ChromiumResult& result) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("chromium.records_scanned").add(result.records_scanned);
+  registry.counter("chromium.signature_matches")
+      .add(result.signature_matches);
+  registry.counter("chromium.sketch.rejected_collisions")
+      .add(result.rejected_collisions);
+  registry.gauge("chromium.resolvers")
+      .set(static_cast<double>(result.probes_by_resolver.size()));
 }
 
 /// Cuts a sequential stream of values into fixed-size chunks and hands
@@ -88,13 +151,7 @@ class ChunkedScatter {
 
 ChromiumResult ChromiumCounter::process(const ReplayFn& replay) const {
   ChromiumResult result;
-  // The effective threshold in the sampled domain: a name with the
-  // full-trace threshold count is expected to appear threshold×rate times
-  // after sampling. Keep at least 2 so single occurrences (the Chromium
-  // common case) always survive.
-  const std::uint32_t threshold = std::max<std::uint32_t>(
-      2, static_cast<std::uint32_t>(std::lround(
-             options_.daily_collision_threshold * options_.sample_rate)));
+  const std::uint32_t threshold = effective_threshold(options_);
 
   // Pass 1: per-(name, day) frequency sketch over signature matches only.
   // The producer extracts keys serially; shards scatter them into the
@@ -159,15 +216,159 @@ ChromiumResult ChromiumCounter::process(const ReplayFn& replay) const {
   for (const auto& [source, count] : counts) {
     result.probes_by_resolver[source] = static_cast<double>(count) * scale;
   }
-  // Scan telemetry from the merged (already deterministic) totals.
+  record_scan_metrics(result);
+  return result;
+}
+
+ChromiumResult ChromiumCounter::process_view(
+    const roots::TraceView& view) const {
+  ChromiumResult result;
+  const std::uint32_t threshold = effective_threshold(options_);
+
+  // Record-aligned partition: one serial boundary walk validates the
+  // declared records (bounds and label arithmetic only — no field decode,
+  // no allocation) and cuts chunk boundaries by byte offset every
+  // chunk_records records. The partition depends on the bytes and the
+  // chunk size alone, so both parallel passes below shard identically at
+  // every thread count; the walk doubles as the tolerant skip-and-count
+  // accounting.
+  std::vector<exec::RecordChunk> chunks;
+  {
+    obs::StageSpan span("chromium.scan.partition");
+    exec::RecordChunker chunker(options_.chunk_records);
+    roots::TraceView::Cursor cursor = view.cursor();
+    roots::TraceRecordRef ref;
+    while (true) {
+      const std::size_t at = cursor.offset();
+      if (!cursor.next(&ref)) break;
+      chunker.note(at);
+    }
+    chunks = chunker.finish(cursor.offset());
+    result.records_scanned = cursor.index();
+    result.records_skipped = view.declared_count() - cursor.index();
+  }
+
+  // Pass 1: per-(name, day) frequency sketch over signature matches.
+  // Sketch cells are atomic integer increments — commutative, so shards
+  // scatter into the shared sketch directly.
+  //
+  // Each shard runs two loops, not one fused loop: first decode the chunk
+  // and collect match keys into a flat buffer (one allocation per chunk),
+  // then scatter the buffer into the sketch. At DITL match rates the
+  // sketch's random row accesses dominate the scan, and the tight scatter
+  // loop lets the core overlap those misses across iterations — fusing
+  // the decode into the same loop measurably serializes them. A short
+  // prefetch distance covers hardware where the hint helps; reordering is
+  // irrelevant either way (commutative adds).
+  CountMinSketch sketch(options_.sketch_width, options_.sketch_depth,
+                        options_.seed);
+  constexpr std::size_t kPrefetchAhead = 8;
+  // At parallelism 1 the shard loops run inline on one thread, so the
+  // sketch scatter can skip the atomic RMW (a full fence per add on x86)
+  // — same cells, same values, fraction of the cost.
+  const bool serial_scan =
+      (options_.threads > 0 ? options_.threads : exec::thread_count()) <= 1;
+  {
+    obs::StageSpan span("chromium.scan.pass1_sketch");
+    exec::parallel_map(chunks.size(), options_.threads, [&](std::size_t i) {
+      roots::TraceView::Cursor cursor =
+          view.cursor_at(chunks[i].begin, chunks[i].first_record);
+      roots::TraceRecordRef ref;
+      std::vector<std::uint64_t> keys;
+      keys.reserve(static_cast<std::size_t>(chunks[i].records));
+      for (std::uint64_t r = 0; r < chunks[i].records; ++r) {
+        if (!cursor.next(&ref)) break;  // unreachable: chunk pre-validated
+        if (ref.is_single_label() &&
+            matches_chromium_signature_bytes(ref.first_label())) {
+          keys.push_back(name_day_key(ref));
+        }
+      }
+      for (std::size_t j = 0; j < keys.size(); ++j) {
+        if (j + kPrefetchAhead < keys.size()) {
+          sketch.prefetch(keys[j + kPrefetchAhead]);
+        }
+        if (serial_scan) {
+          sketch.add_serial(keys[j]);
+        } else {
+          sketch.add(keys[j]);
+        }
+      }
+      return 0;
+    });
+  }
+
+  // Pass 2: attribute surviving matches to their resolver. Each shard
+  // fills a flat open-addressing count table plus integer tallies; the
+  // partials are merged in chunk order, then scaled once — the same
+  // integer-sums-then-scale discipline as the materializing path, so the
+  // result is byte-identical to it at any thread count.
+  struct ChunkPartial {
+    ScanCountTable counts;
+    std::uint64_t matches = 0;
+    std::uint64_t rejected = 0;
+  };
+  std::vector<ChunkPartial> partials;
+  {
+    obs::StageSpan span("chromium.scan.pass2_attribute");
+    partials =
+        exec::parallel_map(chunks.size(), options_.threads, [&](std::size_t i) {
+          ChunkPartial partial;
+          roots::TraceView::Cursor cursor =
+              view.cursor_at(chunks[i].begin, chunks[i].first_record);
+          roots::TraceRecordRef ref;
+          // Same two-loop shape as pass 1 (estimates only read here).
+          struct Match {
+            std::uint64_t key;
+            std::uint32_t source;
+          };
+          std::vector<Match> matches;
+          matches.reserve(static_cast<std::size_t>(chunks[i].records));
+          for (std::uint64_t r = 0; r < chunks[i].records; ++r) {
+            if (!cursor.next(&ref)) break;  // unreachable, as above
+            if (ref.is_single_label() &&
+                matches_chromium_signature_bytes(ref.first_label())) {
+              matches.push_back(Match{name_day_key(ref),
+                                      ref.source().value()});
+            }
+          }
+          partial.matches = matches.size();
+          for (std::size_t j = 0; j < matches.size(); ++j) {
+            if (j + kPrefetchAhead < matches.size()) {
+              sketch.prefetch(matches[j + kPrefetchAhead].key);
+            }
+            if (sketch.below(matches[j].key, threshold)) {
+              partial.counts.add(matches[j].source);
+            } else {
+              ++partial.rejected;
+            }
+          }
+          return partial;
+        });
+  }
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for (const ChunkPartial& partial : partials) {
+    result.signature_matches += partial.matches;
+    result.rejected_collisions += partial.rejected;
+    partial.counts.for_each([&](std::uint32_t source, std::uint64_t count) {
+      counts[source] += count;
+    });
+  }
+  const double scale = 1.0 / options_.sample_rate;
+  for (const auto& [source, count] : counts) {
+    result.probes_by_resolver[source] = static_cast<double>(count) * scale;
+  }
+
+  record_scan_metrics(result);
   obs::Registry& registry = obs::Registry::global();
-  registry.counter("chromium.records_scanned").add(result.records_scanned);
-  registry.counter("chromium.signature_matches")
-      .add(result.signature_matches);
-  registry.counter("chromium.sketch.rejected_collisions")
-      .add(result.rejected_collisions);
-  registry.gauge("chromium.resolvers")
-      .set(static_cast<double>(result.probes_by_resolver.size()));
+  registry.counter("chromium.scan.records").add(result.records_scanned);
+  registry.counter("chromium.scan.chunks").add(chunks.size());
+  registry.counter("chromium.scan.bytes").add(view.payload_bytes());
+  if (result.records_skipped > 0) {
+    // Lazy, like the fault counters: a clean trace's export is identical
+    // to one from a build that predates skip accounting.
+    registry.counter("chromium.trace.records_skipped")
+        .add(result.records_skipped);
+  }
   return result;
 }
 
@@ -181,19 +382,9 @@ ChromiumResult ChromiumCounter::process(
 
 std::optional<ChromiumResult> ChromiumCounter::process_file(
     const std::string& path) const {
-  std::vector<roots::TraceRecord> trace;
-  roots::TraceFile::ReadStats stats;
-  if (!roots::TraceFile::read_tolerant(path, &trace, &stats)) {
-    return std::nullopt;
-  }
-  ChromiumResult result = process(trace);
-  result.records_skipped = stats.records_skipped;
-  if (stats.records_skipped > 0) {
-    obs::Registry::global()
-        .counter("chromium.trace.records_skipped")
-        .add(stats.records_skipped);
-  }
-  return result;
+  const auto view = roots::TraceView::open(path);
+  if (!view) return std::nullopt;
+  return process_view(*view);
 }
 
 PrefixDataset ChromiumResult::to_prefix_dataset(std::string name) const {

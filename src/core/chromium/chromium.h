@@ -4,17 +4,32 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "core/datasets/datasets.h"
 #include "dns/name.h"
 #include "roots/trace.h"
 
+namespace netclients::roots {
+class TraceView;
+}  // namespace netclients::roots
+
 namespace netclients::core {
 
 /// The Chromium DNS-interception-probe signature (§3.2.1): a single label
 /// of 7–15 lowercase ASCII letters, no TLD.
 bool matches_chromium_signature(const dns::DnsName& name);
+
+/// Byte-wise fast path over a single label's raw bytes, for the zero-copy
+/// scan: length 7–15 plus one 256-entry table lookup per byte instead of
+/// the per-char compare chain. The caller has already established the name
+/// is single-label. Accepts ASCII letters of either case — canonical
+/// DnsName labels are always lowercase, but raw trace bytes need not be,
+/// and materializing lowercases them — so the two matchers agree on every
+/// input. `matches_chromium_signature` routes through this predicate; it
+/// is the single source of truth for the label shape.
+bool matches_chromium_signature_bytes(std::string_view label);
 
 struct ChromiumOptions {
   /// Per-day occurrence threshold: names queried at least this often
@@ -84,10 +99,21 @@ class ChromiumCounter {
   /// Single-shot convenience over an in-memory trace.
   ChromiumResult process(const std::vector<roots::TraceRecord>& trace) const;
 
-  /// Scans a binary trace file via TraceFile::read_tolerant: damaged or
-  /// truncated records are skipped and counted (result.records_skipped),
-  /// never fatal. Returns nullopt only if the file itself is unreadable
-  /// (missing, bad magic, bad header).
+  /// Zero-copy streaming scan over an open TraceView: one serial boundary
+  /// walk partitions the mapping into record-aligned chunks by offset
+  /// (thread-count independent), then both passes fan the chunks out via
+  /// exec::parallel_map — byte-wise signature matching on the mapped label
+  /// bytes, per-shard open-addressing count tables merged in shard order.
+  /// No per-record allocation anywhere. Result is byte-identical to
+  /// materializing the same file and calling process(), at any
+  /// REPRO_THREADS; damaged tails are skip-and-count
+  /// (result.records_skipped), mirroring read_tolerant.
+  ChromiumResult process_view(const roots::TraceView& view) const;
+
+  /// Scans a binary trace file via the zero-copy view path (mmap with
+  /// buffered fallback): damaged or truncated records are skipped and
+  /// counted (result.records_skipped), never fatal. Returns nullopt only
+  /// if the file itself is unreadable (missing, bad magic, bad header).
   std::optional<ChromiumResult> process_file(const std::string& path) const;
 
   const ChromiumOptions& options() const { return options_; }

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/rng.h"
+
+namespace netclients::core {
+
+/// Open-addressing (linear-probe) u32 -> u64 count table for per-shard
+/// scan partials. The streaming DITL scan increments one counter per
+/// surviving signature match; std::unordered_map's node-per-key heap
+/// churn dominates that loop, so shards accumulate into this flat table
+/// instead: power-of-two slot array, no per-insert allocation (one
+/// doubling rehash amortized), keys hashed through the library's stable
+/// mixer. Iteration order is slot order — not deterministic across
+/// capacities — so callers fold shard tables into an ordered or
+/// commutative merge (integer sums), exactly like the other per-shard
+/// partials.
+class ScanCountTable {
+ public:
+  explicit ScanCountTable(std::size_t expected = 0) {
+    std::size_t capacity = 16;
+    while (capacity * 7 < expected * 10) capacity <<= 1;
+    slots_.resize(capacity);
+  }
+
+  void add(std::uint32_t key, std::uint64_t n = 1) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) grow();
+    Slot& slot = find(key);
+    if (slot.key_plus1 == 0) {
+      slot.key_plus1 = std::uint64_t{key} + 1;
+      ++size_;
+    }
+    slot.count += n;
+  }
+
+  /// Distinct keys stored.
+  std::size_t size() const { return size_; }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key_plus1 != 0) {
+        fn(static_cast<std::uint32_t>(slot.key_plus1 - 1), slot.count);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key_plus1 = 0;  // 0 = empty (0 is a valid key)
+    std::uint64_t count = 0;
+  };
+
+  Slot& find(std::uint32_t key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(net::mix64(key)) & mask;
+    const std::uint64_t want = std::uint64_t{key} + 1;
+    while (slots_[i].key_plus1 != 0 && slots_[i].key_plus1 != want) {
+      i = (i + 1) & mask;
+    }
+    return slots_[i];
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    for (const Slot& slot : old) {
+      if (slot.key_plus1 != 0) {
+        Slot& dest = find(static_cast<std::uint32_t>(slot.key_plus1 - 1));
+        dest.key_plus1 = slot.key_plus1;
+        dest.count = slot.count;
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace netclients::core

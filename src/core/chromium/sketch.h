@@ -23,7 +23,12 @@ namespace netclients::core {
 class CountMinSketch {
  public:
   CountMinSketch(std::size_t width, int depth, std::uint64_t seed)
-      : width_(width), rows_(static_cast<std::size_t>(depth)) {
+      : width_(width),
+        rows_(static_cast<std::size_t>(depth)),
+        // Power-of-two widths (the default) reduce the per-row slot to a
+        // mask; the 64-bit divide otherwise rivals the cache miss itself
+        // on the scan's hot path. mask_ = 0 selects the modulo fallback.
+        mask_((width & (width - 1)) == 0 ? width - 1 : 0) {
     counters_.assign(width_ * rows_, 0);
     seeds_.reserve(rows_);
     net::Rng rng(seed);
@@ -41,6 +46,29 @@ class CountMinSketch {
     }
   }
 
+  /// Hints `key`'s cells toward cache ahead of an add/estimate. The
+  /// depth row accesses are independent DRAM misses; a scan that batches
+  /// keys and prefetches a window ahead overlaps them instead of paying
+  /// them serially per key. Pure hint: no observable effect on counts.
+  void prefetch(std::uint64_t key) const {
+#if defined(__GNUC__) || defined(__clang__)
+    for (std::size_t r = 0; r < rows_; ++r) {
+      __builtin_prefetch(&counters_[slot(r, key)], 1, 1);
+    }
+#else
+    (void)key;
+#endif
+  }
+
+  /// Serial-phase add: plain increments, no atomic RMW (each locked add
+  /// is a full fence on x86, and the fences dominate a scatter loop).
+  /// Only for callers that know no other thread touches the sketch —
+  /// e.g. a scan shard loop running inline at parallelism 1. The cell
+  /// values are identical to add()'s.
+  void add_serial(std::uint64_t key, std::uint32_t count = 1) {
+    for (std::size_t r = 0; r < rows_; ++r) counters_[slot(r, key)] += count;
+  }
+
   /// Upper bound on the true count of `key`.
   std::uint32_t estimate(std::uint64_t key) const {
     std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
@@ -48,6 +76,17 @@ class CountMinSketch {
       best = std::min(best, counters_[slot(r, key)]);
     }
     return best;
+  }
+
+  /// Exactly `estimate(key) < threshold`, with an early exit: the min
+  /// over rows is below the threshold as soon as any row is, and in an
+  /// under-loaded sketch most non-colliding keys decide on the first row
+  /// — one cache miss instead of depth.
+  bool below(std::uint64_t key, std::uint32_t threshold) const {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (counters_[slot(r, key)] < threshold) return true;
+    }
+    return false;
   }
 
   void clear() { std::fill(counters_.begin(), counters_.end(), 0u); }
@@ -58,13 +97,14 @@ class CountMinSketch {
 
  private:
   std::size_t slot(std::size_t row, std::uint64_t key) const {
+    const std::uint64_t h = net::hash_combine(seeds_[row], key);
     return row * width_ +
-           static_cast<std::size_t>(net::hash_combine(seeds_[row], key) %
-                                    width_);
+           static_cast<std::size_t>(mask_ ? (h & mask_) : (h % width_));
   }
 
   std::size_t width_;
   std::size_t rows_;
+  std::uint64_t mask_;
   std::vector<std::uint32_t> counters_;
   std::vector<std::uint64_t> seeds_;
 };

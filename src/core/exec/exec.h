@@ -21,6 +21,7 @@
 // shards in index order — which is exactly the order the merge replays, so
 // serial and parallel runs are identical by construction).
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -153,6 +154,62 @@ struct ChunkRange {
   std::size_t index = 0;  // shard id — feed this to shard_seed, not a tid
   std::size_t begin = 0;
   std::size_t end = 0;
+};
+
+/// A record-aligned shard of a byte stream: `[begin, end)` are byte
+/// offsets cut exactly at record boundaries, `first_record`/`records` the
+/// corresponding record range. Produced by RecordChunker; consumed by
+/// scans that fan chunks out via parallel_map and merge per-chunk partials
+/// in chunk order.
+struct RecordChunk {
+  std::size_t index = 0;  // shard id — feed this to shard_seed, not a tid
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::uint64_t first_record = 0;
+  std::uint64_t records = 0;
+};
+
+/// Builds a record-aligned chunk partition of a variable-length-record
+/// byte stream during one serial boundary scan: call note() once per
+/// record (in stream order) with the record's begin offset, then finish()
+/// with the end offset of the last record. A boundary is cut every
+/// `records_per_chunk` records, so the partition depends only on the
+/// record stream and the chunk size — never on the thread count — and a
+/// chunk-ordered merge of per-chunk partials is byte-identical at any
+/// REPRO_THREADS. (parallel_for_chunks covers fixed-size elements, where
+/// offsets are index arithmetic; this is its variable-length sibling.)
+class RecordChunker {
+ public:
+  explicit RecordChunker(std::size_t records_per_chunk)
+      : per_chunk_(records_per_chunk == 0 ? 1 : records_per_chunk) {}
+
+  void note(std::size_t begin_offset) {
+    if (records_ % per_chunk_ == 0) starts_.push_back(begin_offset);
+    ++records_;
+  }
+
+  std::uint64_t records() const { return records_; }
+
+  std::vector<RecordChunk> finish(std::size_t end_offset) const {
+    std::vector<RecordChunk> chunks;
+    chunks.reserve(starts_.size());
+    for (std::size_t i = 0; i < starts_.size(); ++i) {
+      RecordChunk chunk;
+      chunk.index = i;
+      chunk.begin = starts_[i];
+      chunk.end = i + 1 < starts_.size() ? starts_[i + 1] : end_offset;
+      chunk.first_record = static_cast<std::uint64_t>(i) * per_chunk_;
+      chunk.records =
+          std::min<std::uint64_t>(per_chunk_, records_ - chunk.first_record);
+      chunks.push_back(chunk);
+    }
+    return chunks;
+  }
+
+ private:
+  std::size_t per_chunk_;
+  std::uint64_t records_ = 0;
+  std::vector<std::size_t> starts_;
 };
 
 /// Splits [begin, end) into chunks of `chunk_size` (the last may be

@@ -1,7 +1,9 @@
 #include "roots/trace.h"
 
-#include <cstring>
+#include <algorithm>
 #include <fstream>
+
+#include "roots/trace_view.h"
 
 namespace netclients::roots {
 namespace {
@@ -11,12 +13,6 @@ constexpr char kMagic[4] = {'N', 'C', 'D', '1'};
 template <typename T>
 void put(std::ofstream& out, T value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
-template <typename T>
-bool get(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(*value));
-  return static_cast<bool>(in);
 }
 
 }  // namespace
@@ -43,31 +39,40 @@ bool TraceFile::write(const std::string& path,
 
 namespace {
 
-/// Parses one record; false on any structural error (stream exhausted,
-/// bad label data, label set no DnsName accepts).
-bool read_record(std::ifstream& in, TraceRecord* rec) {
-  std::uint32_t source = 0;
-  std::uint16_t qtype = 0;
-  std::uint8_t label_count = 0;
-  if (!get(in, &source) || !get(in, &rec->root_letter) || !get(in, &qtype) ||
-      !get(in, &rec->timestamp) || !get(in, &label_count)) {
-    return false;
+/// Shared core of the two readers: one slurp into a buffer-backed
+/// TraceView (no per-field ifstream reads), then a cursor walk that
+/// materializes each validated record. The cursor applies the same
+/// framing and structural rules as the old per-field parser — header
+/// validation, bounds, label/wire limits — so strict and tolerant reads
+/// cannot drift from each other or from the zero-copy scan path.
+bool read_materialized(const std::string& path, bool strict,
+                       std::vector<TraceRecord>* out_records,
+                       TraceFile::ReadStats* stats) {
+  out_records->clear();
+  if (stats) *stats = TraceFile::ReadStats{};
+  const auto view = TraceView::open(path, TraceView::Backing::kBuffer);
+  if (!view) return false;  // unopenable file or bad magic/count header
+  const std::uint64_t count = view->declared_count();
+  // The count is attacker/corruption-controlled: cap the speculative
+  // reservation (the vector still grows past it if the records are real).
+  out_records->reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 20)));
+  TraceView::Cursor cursor = view->cursor();
+  TraceRecordRef ref;
+  while (cursor.next(&ref)) out_records->push_back(ref.materialize());
+  if (cursor.index() < count) {  // structural error before the declared end
+    if (strict) {
+      out_records->clear();
+      return false;
+    }
+    if (stats) {
+      stats->records_read = out_records->size();
+      stats->records_skipped = count - cursor.index();
+      stats->truncated = true;
+    }
+    return true;  // keep what parsed; the damaged tail is skip-and-count
   }
-  rec->source = net::Ipv4Addr(source);
-  rec->qtype = static_cast<dns::RecordType>(qtype);
-  std::vector<std::string> labels;
-  labels.reserve(label_count);
-  for (std::uint8_t l = 0; l < label_count; ++l) {
-    std::uint8_t len = 0;
-    if (!get(in, &len)) return false;
-    std::string label(len, '\0');
-    in.read(label.data(), len);
-    if (!in) return false;
-    labels.push_back(std::move(label));
-  }
-  auto name = dns::DnsName::from_labels(std::move(labels));
-  if (!name) return false;
-  rec->qname = std::move(*name);
+  if (stats) stats->records_read = out_records->size();
   return true;
 }
 
@@ -75,56 +80,13 @@ bool read_record(std::ifstream& in, TraceRecord* rec) {
 
 bool TraceFile::read(const std::string& path,
                      std::vector<TraceRecord>* out_records) {
-  out_records->clear();
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
-  std::uint64_t count = 0;
-  if (!get(in, &count)) return false;
-  // Clamp the speculative reservation: the count field is untrusted input
-  // and a corrupt value must fail parse, not exhaust memory.
-  out_records->reserve(
-      static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 20)));
-  for (std::uint64_t i = 0; i < count; ++i) {
-    TraceRecord rec;
-    if (!read_record(in, &rec)) return false;
-    out_records->push_back(std::move(rec));
-  }
-  return true;
+  return read_materialized(path, /*strict=*/true, out_records, nullptr);
 }
 
 bool TraceFile::read_tolerant(const std::string& path,
                               std::vector<TraceRecord>* out_records,
                               ReadStats* stats) {
-  out_records->clear();
-  if (stats) *stats = ReadStats{};
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
-  std::uint64_t count = 0;
-  if (!get(in, &count)) return false;
-  // The count is attacker/corruption-controlled: cap the speculative
-  // reservation (the vector still grows past it if the records are real).
-  out_records->reserve(
-      static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 20)));
-  for (std::uint64_t i = 0; i < count; ++i) {
-    TraceRecord rec;
-    if (!read_record(in, &rec)) {
-      if (stats) {
-        stats->records_read = out_records->size();
-        stats->records_skipped = count - i;
-        stats->truncated = true;
-      }
-      return true;  // keep what parsed; the damaged tail is skip-and-count
-    }
-    out_records->push_back(std::move(rec));
-  }
-  if (stats) stats->records_read = out_records->size();
-  return true;
+  return read_materialized(path, /*strict=*/false, out_records, stats);
 }
 
 }  // namespace netclients::roots
