@@ -17,9 +17,7 @@ core::CampaignResult run_with(const core::Scenario& s,
                               const core::CacheProbeOptions& opts,
                               double* assigned = nullptr) {
   core::CacheProbeCampaign campaign(s.env, opts);
-  const auto pops = campaign.discover_pops();
-  const auto calibration = campaign.calibrate(pops);
-  auto result = campaign.run(pops, calibration);
+  auto result = campaign.run().result;
   if (assigned) *assigned = result.average_assigned_per_pop;
   return result;
 }

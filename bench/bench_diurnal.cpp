@@ -39,9 +39,9 @@ int main(int argc, char** argv) {
   probe_env.slash24_begin = 1u << 16;
   probe_env.slash24_end = world.address_space_end();
   core::CacheProbeCampaign campaign(std::move(probe_env));
-  const auto pops = campaign.discover_pops();
-  const auto calibration = campaign.calibrate(pops);
-  const auto probing = campaign.run(pops, calibration);
+  const auto artifacts = campaign.run();
+  const auto& pops = artifacts.pops;
+  const auto& probing = artifacts.result;
   std::fprintf(stderr, "[diurnal] %zu active prefixes\n",
                probing.active.size());
 

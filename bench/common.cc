@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "core/exec/exec.h"
 #include "core/obs/obs.h"
@@ -76,9 +77,10 @@ Pipelines PipelineBuilder::build() const {
 
   if (cache_probing_) {
     obs::StageSpan span("bench.cache_probing_campaign");
-    p.pops = p.campaign->discover_pops();
-    p.calibration = p.campaign->calibrate(p.pops);
-    p.probing = p.campaign->run(p.pops, p.calibration);
+    core::CampaignArtifacts artifacts = p.campaign->run();
+    p.pops = std::move(artifacts.pops);
+    p.calibration = std::move(artifacts.calibration);
+    p.probing = std::move(artifacts.result);
     p.probing_prefixes = p.probing.to_prefix_dataset("cache probing");
     std::fprintf(stderr, "[bench] %llu probes, %zu hits\n",
                  static_cast<unsigned long long>(p.probing.probes_sent),

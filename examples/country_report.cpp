@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   const sim::World& world = scenario.world();
 
   core::CacheProbeCampaign campaign = scenario.campaign();
-  const auto probing = campaign.run_full();
+  const auto probing = campaign.run().result;
   const auto probing_as = core::to_as_dataset(
       "cache probing", probing.to_prefix_dataset("p"), world);
 

@@ -33,9 +33,10 @@ int main(int argc, char** argv) {
   const sim::World& world = scenario.world();
 
   core::CacheProbeCampaign campaign = scenario.campaign();
-  const auto pops = campaign.discover_pops();
-  const auto calibration = campaign.calibrate(pops);
-  const auto result = campaign.run(pops, calibration);
+  const auto artifacts = campaign.run();
+  const auto& pops = artifacts.pops;
+  const auto& calibration = artifacts.calibration;
+  const auto& result = artifacts.result;
 
   std::unordered_set<anycast::PopId> probed;
   for (const auto& [pop, vp] : pops.probed_pops) probed.insert(pop);

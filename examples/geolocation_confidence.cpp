@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   const sim::World& world = scenario.world();
 
   core::CacheProbeCampaign campaign = scenario.campaign();
-  const auto result = campaign.run_full();
+  const auto result = campaign.run().result;
 
   std::vector<double> active_errors, inactive_errors;
   for (const sim::Slash24Block& block : world.blocks()) {

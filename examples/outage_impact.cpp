@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   // Build the activity map once (this is what an operator would keep
   // refreshed in production).
   core::CacheProbeCampaign campaign = scenario.campaign();
-  const auto result = campaign.run_full();
+  const auto result = campaign.run().result;
   std::printf("activity map ready: [%llu, %llu] active /24s\n\n",
               static_cast<unsigned long long>(result.slash24_lower_bound()),
               static_cast<unsigned long long>(result.slash24_upper_bound()));

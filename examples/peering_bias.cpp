@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
 
   // The activity map.
   core::CacheProbeCampaign campaign = scenario.campaign();
-  const auto probing = campaign.run_full();
+  const auto probing = campaign.run().result;
   const auto client_ases = core::to_as_dataset(
       "clients", probing.to_prefix_dataset("cache probing"), world);
 

@@ -36,11 +36,11 @@ int main(int argc, char** argv) {
 
   // 2. Technique 1 — cache probing Google Public DNS.
   core::CacheProbeCampaign campaign = scenario.campaign();
-  const auto pops = campaign.discover_pops();
+  const auto artifacts = campaign.run();
+  const auto& pops = artifacts.pops;
+  const auto& probing = artifacts.result;
   std::printf("cache probing: %zu vantage points reach %zu PoPs\n",
               pops.vp_pop.size(), pops.probed_pops.size());
-  const auto calibration = campaign.calibrate(pops);
-  const auto probing = campaign.run(pops, calibration);
   std::printf(
       "cache probing: %llu probes, %zu hits, active /24s in [%llu, %llu]\n",
       static_cast<unsigned long long>(probing.probes_sent),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/engine/engine.h"
 #include "core/exec/exec.h"
 #include "core/obs/obs.h"
 #include "net/rng.h"
@@ -38,6 +39,12 @@ struct CampaignMetrics {
   obs::Histogram& assigned_per_pop_domain = obs::Registry::global().histogram(
       "cacheprobe.campaign.assigned_per_pop_domain",
       {0, 10, 100, 1000, 10000, 100000, 1000000});
+  // Probe-engine telemetry (`engine.*`): per-evaluation chain latencies on
+  // the virtual clock, plus per-stage event-loop counters and gauges
+  // published by publish_engine_stats below.
+  obs::Histogram& engine_latency_ms = obs::Registry::global().histogram(
+      "engine.completion.latency_ms",
+      {50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000});
 
   static CampaignMetrics& get() {
     static CampaignMetrics metrics;
@@ -45,16 +52,46 @@ struct CampaignMetrics {
   }
 };
 
-}  // namespace
-
-ProbePolicy CacheProbeOptions::effective_policy() const {
-  ProbePolicy policy = probe;
-  // The deprecated loose fields win when a caller moved them off their
-  // defaults — pre-ProbePolicy call sites keep their meaning unchanged.
-  if (redundant_queries != 5) policy.redundant_queries = redundant_queries;
-  if (transport != googledns::Transport::kTcp) policy.transport = transport;
-  return policy;
+/// Registers the merged event-loop tallies of one stage. Counter names
+/// register only when nonzero (totals are REPRO_THREADS-independent, so
+/// the exported name set stays deterministic); the virtual-elapsed gauge
+/// is per stage, the in-flight peak a process-wide high-water mark.
+void publish_engine_stats(const engine::EngineStats& merged,
+                          const char* virtual_gauge_name) {
+  auto& registry = obs::Registry::global();
+  const auto bump = [&](const char* name, std::uint64_t value) {
+    if (value) registry.counter(name).add(value);
+  };
+  bump("engine.evaluations", merged.evaluations);
+  bump("engine.window.stalls", merged.window_stalls);
+  bump("engine.breaker.drained", merged.breaker_drained);
+  registry.gauge(virtual_gauge_name).set(merged.virtual_elapsed_seconds);
+  auto& peak = registry.gauge("engine.inflight.peak");
+  peak.set(std::max(peak.value(),
+                    static_cast<double>(merged.peak_in_flight)));
 }
+
+/// The per-shard prober for one (PoP, vantage) pair, built from the probe
+/// policy. All engine state (window, event heap, breaker, escalation) is
+/// confined to the shard.
+std::unique_ptr<engine::Prober> make_shard_prober(
+    const ProbeEnvironment& env, const ProbePolicy& policy, anycast::PopId pop,
+    int vp_id, obs::ShardDelta* metrics,
+    engine::Prober::CompletionFn on_complete) {
+  engine::ProberContext context;
+  context.dns = env.google_dns;
+  context.domains = &env.domains;
+  context.pop = pop;
+  context.vp_id = vp_id;
+  context.transport = policy.transport;
+  context.retry = policy.retry;
+  context.breaker = policy.breaker;
+  context.metrics = metrics;
+  context.completion_latency_ms = &CampaignMetrics::get().engine_latency_ms;
+  return engine::make_prober(context, policy.engine, std::move(on_complete));
+}
+
+}  // namespace
 
 PrefixDataset CampaignResult::to_prefix_dataset(std::string name) const {
   PrefixDataset out(std::move(name));
@@ -81,122 +118,6 @@ namespace {
 /// list — is identical for every REPRO_THREADS value.
 constexpr std::size_t kScopeScanChunk = 1 << 14;
 
-/// Drives every probe of one PoP shard through the retry/timeout/breaker
-/// policy. Thread-confined to its shard; every extra decision (backoff
-/// jitter, retry pool choice) is keyed by query identity, so results are
-/// independent of interleaving. On a fault-free substrate it issues
-/// exactly one probe per call, with exactly the pre-resilience arguments.
-class ResilientProber {
- public:
-  ResilientProber(const ProbeEnvironment& env, const ProbePolicy& policy)
-      : env_(env),
-        policy_(policy),
-        breaker_(policy.breaker),
-        transport_(policy.transport) {}
-
-  /// Breaker gate, checked once per (prefix, loop). While the PoP's
-  /// breaker is open the caller skips the prefix — it stays un-hit, so a
-  /// later loop re-queues it within the loop budget.
-  bool admit(double t) {
-    if (breaker_.allow(t)) return true;
-    ++stats_.breaker_skipped;
-    return false;
-  }
-
-  /// One redundancy attempt (original timing and attempt id); injected
-  /// timeouts/SERVFAILs are retried with per-transport timeout plus
-  /// jittered exponential backoff, up to the policy's attempt budget.
-  googledns::ProbeResult probe(anycast::PopId pop,
-                               const dns::DnsName& domain, net::Prefix scope,
-                               double t, int vp_id, int attempt_id) {
-    const int max_attempts = std::max(1, policy_.retry.max_attempts);
-    googledns::ProbeResult result;
-    for (int try_index = 0;; ++try_index) {
-      ++probes_sent_;
-      // Retries keep the attempt id AND the timestamp: the flow hashes to
-      // the same cache pool (5-tuple stickiness) and samples the same
-      // cache snapshot, so a retry can only recover the answer the fault
-      // masked — it never probes extra pools or a newer cache, either of
-      // which would let injected loss *increase* recall. The timeout +
-      // backoff the VP actually waits out is pure wall clock, tallied in
-      // waited_ms below; the fault oracle re-rolls via `try_index`.
-      result = env_.google_dns->probe(pop, domain, scope, t, transport_,
-                                      vp_id, attempt_id, try_index);
-      if (result.status == googledns::ProbeStatus::kOk) {
-        consecutive_soft_failures_ = 0;
-        breaker_.record_success();
-        return result;
-      }
-      if (result.status == googledns::ProbeStatus::kRateLimited) {
-        // Normal operation (the token buckets), not a fault: no retry —
-        // the paper's answer to rate limiting was transport choice, so it
-        // only feeds the optional UDP→TCP escalation.
-        note_soft_failure();
-        return result;
-      }
-      // Hard failure: timeout or SERVFAIL.
-      if (result.status == googledns::ProbeStatus::kTimeout) {
-        ++stats_.timeouts;
-        note_soft_failure();
-      } else {
-        ++stats_.servfails;
-      }
-      if (try_index + 1 >= max_attempts) {
-        ++stats_.exhausted;
-        // Only an exhausted chain counts against the breaker: a probe
-        // that eventually succeeds is healthy, and per-attempt accounting
-        // would make a bigger retry budget trip the breaker *more* often
-        // under uniform loss.
-        breaker_.record_failure(t);
-        return result;
-      }
-      ++stats_.retries;
-      const std::uint64_t key = net::stable_seed(
-          domain.hash(), std::uint64_t{scope.base().value()},
-          std::uint64_t{scope.length()}, static_cast<std::uint64_t>(pop),
-          static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt_id)));
-      stats_.waited_ms += static_cast<std::uint64_t>(
-          (policy_.retry.timeout_for(transport_) +
-           policy_.retry.backoff_before(try_index + 1, key)) *
-          1000.0);
-    }
-  }
-
-  /// A prefix whose attempts all failed this loop but which a later loop
-  /// will revisit (skip-and-count bookkeeping).
-  void note_requeued() { ++stats_.requeued; }
-
-  std::uint64_t probes_sent() const { return probes_sent_; }
-
-  /// Shard tallies with the breaker's trip count folded in.
-  resilience::RetryStats stats() const {
-    resilience::RetryStats out = stats_;
-    out.breaker_opened = breaker_.opened();
-    return out;
-  }
-
- private:
-  void note_soft_failure() {
-    if (transport_ != googledns::Transport::kUdp ||
-        !policy_.retry.escalate_udp_to_tcp) {
-      return;
-    }
-    if (++consecutive_soft_failures_ >= policy_.retry.escalation_threshold) {
-      transport_ = googledns::Transport::kTcp;
-      ++stats_.escalations;
-      consecutive_soft_failures_ = 0;
-    }
-  }
-
-  const ProbeEnvironment& env_;
-  const ProbePolicy& policy_;
-  resilience::CircuitBreaker breaker_;
-  googledns::Transport transport_;
-  int consecutive_soft_failures_ = 0;
-  std::uint64_t probes_sent_ = 0;
-  resilience::RetryStats stats_;
-};
-
 }  // namespace
 
 std::vector<ProbeCandidate> discover_scopes(const ProbeEnvironment& env,
@@ -205,8 +126,7 @@ std::vector<ProbeCandidate> discover_scopes(const ProbeEnvironment& env,
   obs::StageSpan span("cacheprobe.discover_scopes");
   const sim::DomainInfo& domain =
       env.domains[static_cast<std::size_t>(domain_index)];
-  const ProbePolicy policy = options.effective_policy();
-  const int max_attempts = std::max(1, policy.retry.max_attempts);
+  const int max_attempts = std::max(1, options.probe.retry.max_attempts);
 
   // Each shard runs the serial scan over its own /24 range. A shard's
   // first candidate may also be covered by the previous shard's final
@@ -361,43 +281,49 @@ CalibrationResult calibrate(const ProbeEnvironment& env,
 
   // One shard per PoP: each shard drives its own vantage point's flows and
   // its own PoP's cache pools, so shards never contend on substrate state.
-  const ProbePolicy policy = options.effective_policy();
+  // Every sample becomes one submitted chain (the four domains at one
+  // schedule slot, first hit wins); outcomes land in a tag-indexed slot
+  // array, so the post-drain walk reproduces the serial sample order
+  // whatever order completions fired in.
+  const ProbePolicy& policy = options.probe;
   struct PopCalibration {
     std::vector<double> distances;
     double radius = 0;
     resilience::RetryStats retry_stats;
+    engine::EngineStats engine_stats;
     obs::ShardDelta metrics;  // merged in PoP order below
   };
   std::vector<PopCalibration> shards = exec::parallel_map(
       pops.probed_pops.size(), options.threads, [&](std::size_t i) {
         const auto& [pop, vp_id] = pops.probed_pops[i];
         PopCalibration shard;
-        ResilientProber prober(env, policy);
+        std::vector<engine::ProbeOutcome> outcomes(sample.size());
+        auto prober = make_shard_prober(
+            env, policy, pop, vp_id, &shard.metrics,
+            [&](const engine::ProbeOutcome& outcome) {
+              outcomes[outcome.tag] = outcome;
+            });
+        engine::ProbeRequest request;
+        request.domain_indices = calibration_domains;
+        request.redundancy = policy.redundant_queries;
         double t = 0;
-        for (const auto& [idx, location] : sample) {
-          const net::Prefix query = net::Prefix::from_slash24_index(idx);
-          bool hit = false;
-          if (prober.admit(t)) {
-            for (int d : calibration_domains) {
-              for (int attempt = 0;
-                   attempt < policy.redundant_queries && !hit; ++attempt) {
-                auto probe = prober.probe(
-                    pop, env.domains[static_cast<std::size_t>(d)].name, query,
-                    t, vp_id, attempt);
-                hit = probe.cache_hit && probe.return_scope > 0;
-              }
-              if (hit) break;
-            }
-          }
+        for (std::size_t s = 0; s < sample.size(); ++s) {
+          request.tag = s;
+          request.scope = net::Prefix::from_slash24_index(sample[s].first);
+          request.schedule_time = t;
+          prober->submit(request);
           t += 1.0 / options.prefixes_per_second_per_domain;
-          if (hit) {
-            shard.distances.push_back(net::haversine_km(
-                location, env.google_dns->pops().site(pop).location));
-            shard.metrics.observe(CampaignMetrics::get().hit_distance_km,
-                                  shard.distances.back());
-          }
         }
-        shard.retry_stats = prober.stats();
+        prober->drain();
+        for (std::size_t s = 0; s < sample.size(); ++s) {
+          if (!outcomes[s].hit) continue;
+          shard.distances.push_back(net::haversine_km(
+              sample[s].second, env.google_dns->pops().site(pop).location));
+          shard.metrics.observe(CampaignMetrics::get().hit_distance_km,
+                                shard.distances.back());
+        }
+        shard.retry_stats = prober->stats();
+        shard.engine_stats = prober->engine_stats();
         if (shard.distances.size() >= 10) {
           std::vector<double> sorted = shard.distances;
           std::sort(sorted.begin(), sorted.end());
@@ -412,54 +338,72 @@ CalibrationResult calibrate(const ProbeEnvironment& env,
       });
 
   // Ordered merge in PoP order (probed_pops is sorted).
-  resilience::RetryStats calibration_stats;
+  std::vector<resilience::RetryStats> shard_stats;
+  shard_stats.reserve(shards.size());
+  engine::EngineStats engine_stats;
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const PopId pop = pops.probed_pops[i].first;
     result.hit_distances_km[pop] = std::move(shards[i].distances);
     result.service_radius_km[pop] = shards[i].radius;
-    calibration_stats.merge(shards[i].retry_stats);
+    shard_stats.push_back(shards[i].retry_stats);
+    engine_stats.merge(shards[i].engine_stats);
     shards[i].metrics.merge();
   }
-  calibration_stats.publish();
+  resilience::RetryStats::merge_shards(shard_stats).publish();
+  publish_engine_stats(engine_stats, "engine.calibration.virtual_seconds");
   return result;
 }
 
-CampaignResult run_campaign(const ProbeEnvironment& env,
-                            const CacheProbeOptions& options,
-                            const PopDiscoveryResult& pops,
-                            const CalibrationResult& calibration) {
+CampaignResult run_campaign(
+    const ProbeEnvironment& env, const CacheProbeOptions& options,
+    const PopDiscoveryResult& pops, const CalibrationResult& calibration,
+    const std::vector<std::vector<ProbeCandidate>>* scopes_by_domain) {
   obs::StageSpan span("cacheprobe.run_campaign");
   CampaignResult result;
   result.active_by_domain.resize(env.domains.size());
   const double duration = options.duration_hours * net::kHour;
 
-  // Scope discovery once per domain (itself sharded over /24 ranges);
-  // the per-PoP assignment below reuses the lists read-only.
-  std::vector<std::vector<ProbeCandidate>> candidates_by_domain;
-  candidates_by_domain.reserve(env.domains.size());
-  for (std::size_t d = 0; d < env.domains.size(); ++d) {
-    candidates_by_domain.push_back(
-        discover_scopes(env, options, static_cast<int>(d)));
+  // Scope discovery once per domain (itself sharded over /24 ranges)
+  // unless the caller passed a prior kStageScopes artifact; the per-PoP
+  // assignment below reuses the lists read-only.
+  std::vector<std::vector<ProbeCandidate>> discovered;
+  if (scopes_by_domain == nullptr) {
+    discovered.reserve(env.domains.size());
+    for (std::size_t d = 0; d < env.domains.size(); ++d) {
+      discovered.push_back(discover_scopes(env, options, static_cast<int>(d)));
+    }
+    scopes_by_domain = &discovered;
   }
+  const auto& candidates_by_domain = *scopes_by_domain;
 
   // One shard per PoP — the paper's own fan-out unit (22 PoPs probed at
   // once). Probe outcomes are pure functions of (entry, time) oracles, a
   // PoP's cache pools and its VP's rate-limiter flows are confined to its
-  // shard, so shard results are independent of interleaving.
-  const ProbePolicy policy = options.effective_policy();
+  // shard, so shard results are independent of interleaving. Within a
+  // shard the probe engine pipelines each domain's chain list; outcomes
+  // land in a tag-indexed slot array and the post-drain walk emits hits in
+  // (loop, submission) order — the exact sequence the blocking prober
+  // recorded them in — so results are byte-identical at any window size.
+  const ProbePolicy& policy = options.probe;
   struct PopShard {
     std::vector<CacheHit> hits;
     std::uint64_t probes_sent = 0;
     std::uint64_t rate_limited = 0;
     std::uint64_t assigned = 0;
     resilience::RetryStats retry_stats;
+    engine::EngineStats engine_stats;
     obs::ShardDelta metrics;  // merged in PoP order below
   };
   std::vector<PopShard> shards = exec::parallel_map(
       pops.probed_pops.size(), options.threads, [&](std::size_t i) {
         const auto& [pop, vp_id] = pops.probed_pops[i];
         PopShard shard;
-        ResilientProber prober(env, policy);
+        std::vector<engine::ProbeOutcome> outcomes;
+        auto prober = make_shard_prober(
+            env, policy, pop, vp_id, &shard.metrics,
+            [&](const engine::ProbeOutcome& outcome) {
+              outcomes[outcome.tag] = outcome;
+            });
         const net::LatLon pop_location =
             env.google_dns->pops().site(pop).location;
         const double radius =
@@ -492,67 +436,67 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
           const int loops =
               std::clamp(static_cast<int>(duration / cycle_seconds), 1,
                          options.max_loops);
-          std::vector<bool> already_hit(assigned.size(), false);
+          // One chain per assigned candidate: `redundant_queries` attempts
+          // back-to-back (2 ms apart, keeping the flow's timestamps
+          // monotone within the 20 ms per-prefix budget of the 50 pps
+          // loop), re-queued every cycle until it hits or the loop budget
+          // runs out. The engine owns the loops; drain per domain, since
+          // the serial order probed one domain's list to completion before
+          // the next.
+          outcomes.assign(assigned.size(), {});
+          engine::ProbeRequest request;
+          request.domain_indices = {static_cast<int>(d)};
+          request.redundancy = policy.redundant_queries;
+          request.attempt_spacing_seconds = 0.002;
+          request.attempt_loop_stride = 131;
+          request.max_loops = loops;
+          request.loop_stride_seconds = cycle_seconds;
+          for (std::size_t j = 0; j < assigned.size(); ++j) {
+            request.tag = j;
+            request.scope = assigned[j];
+            request.schedule_time =
+                static_cast<double>(j) /
+                options.prefixes_per_second_per_domain;
+            prober->submit(request);
+          }
+          prober->drain();
           for (int loop = 0; loop < loops; ++loop) {
             for (std::size_t j = 0; j < assigned.size(); ++j) {
-              if (already_hit[j]) continue;
-              const double t =
-                  loop * cycle_seconds +
-                  static_cast<double>(j) /
-                      options.prefixes_per_second_per_domain;
-              // Breaker gate: while the PoP's breaker is open the prefix
-              // is skipped-and-counted; it stays un-hit, so a later loop
-              // re-queues it within the loop budget.
-              if (!prober.admit(t)) continue;
-              bool hard_failure = false;
-              for (int attempt = 0; attempt < policy.redundant_queries;
-                   ++attempt) {
-                // Redundant queries go out back-to-back (2 ms apart),
-                // keeping the flow's timestamps monotone within the 20 ms
-                // per-prefix budget of the 50 pps loop.
-                auto probe = prober.probe(pop, env.domains[d].name,
-                                          assigned[j], t + attempt * 0.002,
-                                          vp_id, loop * 131 + attempt);
-                if (probe.rate_limited) {
-                  ++shard.rate_limited;
-                  continue;
-                }
-                if (probe.failed()) {
-                  hard_failure = true;
-                  continue;
-                }
-                if (probe.cache_hit && probe.return_scope > 0) {
-                  CacheHit hit;
-                  hit.domain_index = static_cast<int>(d);
-                  hit.query_scope = assigned[j];
-                  hit.return_scope = probe.return_scope;
-                  hit.pop = pop;
-                  hit.when = t;
-                  shard.hits.push_back(hit);
-                  already_hit[j] = true;
-                  break;
-                }
-              }
-              if (hard_failure && !already_hit[j] && loop + 1 < loops) {
-                prober.note_requeued();
-              }
+              const engine::ProbeOutcome& outcome = outcomes[j];
+              if (!outcome.hit || outcome.loop != loop) continue;
+              CacheHit hit;
+              hit.domain_index = static_cast<int>(d);
+              hit.query_scope = assigned[j];
+              hit.return_scope = outcome.return_scope;
+              hit.pop = pop;
+              hit.when = outcome.when;
+              shard.hits.push_back(hit);
             }
           }
+          for (const engine::ProbeOutcome& outcome : outcomes) {
+            shard.rate_limited += outcome.rate_limited;
+          }
         }
-        shard.probes_sent = prober.probes_sent();
-        shard.retry_stats = prober.stats();
+        shard.probes_sent = prober->probes_sent();
+        shard.retry_stats = prober->stats();
+        shard.engine_stats = prober->engine_stats();
         return shard;
       });
 
   // Ordered merge in PoP order — the exact sequence a serial run visits,
   // so hit vectors and prefix-set insertions are byte-identical for any
-  // thread count.
+  // thread count. The retry merge is explicitly shard-order independent
+  // (commutative integer sums — see RetryStats::merge_shards).
   std::uint64_t total_assigned = 0;
+  std::vector<resilience::RetryStats> shard_stats;
+  shard_stats.reserve(shards.size());
+  engine::EngineStats engine_stats;
   for (PopShard& shard : shards) {
     result.probes_sent += shard.probes_sent;
     result.rate_limited += shard.rate_limited;
     total_assigned += shard.assigned;
-    result.retry_stats.merge(shard.retry_stats);
+    shard_stats.push_back(shard.retry_stats);
+    engine_stats.merge(shard.engine_stats);
     shard.metrics.merge();
     for (CacheHit& hit : shard.hits) {
       const net::Prefix active_prefix(
@@ -564,6 +508,8 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
       result.hits.push_back(hit);
     }
   }
+  result.retry_stats = resilience::RetryStats::merge_shards(shard_stats);
+  result.virtual_duration_seconds = engine_stats.virtual_elapsed_seconds;
   if (!pops.probed_pops.empty()) {
     result.average_assigned_per_pop = mean_assigned_per_pop(
         total_assigned, pops.probed_pops.size(), env.domains.size());
@@ -574,6 +520,7 @@ CampaignResult run_campaign(const ProbeEnvironment& env,
   metrics.campaign_rate_limited.add(result.rate_limited);
   metrics.campaign_assigned.add(total_assigned);
   result.retry_stats.publish();
+  publish_engine_stats(engine_stats, "engine.campaign.virtual_seconds");
   return result;
 }
 
@@ -582,6 +529,36 @@ CampaignResult run_full_campaign(const ProbeEnvironment& env,
   const PopDiscoveryResult pops = discover_pops(env);
   const CalibrationResult calibration = calibrate(env, options, pops);
   return run_campaign(env, options, pops, calibration);
+}
+
+CampaignArtifacts CacheProbeCampaign::run(unsigned stages,
+                                          CampaignArtifacts reuse) const {
+  CampaignArtifacts artifacts = std::move(reuse);
+  if (stages & kStageScopes) {
+    artifacts.scopes_by_domain.clear();
+    artifacts.scopes_by_domain.reserve(env_.domains.size());
+    for (std::size_t d = 0; d < env_.domains.size(); ++d) {
+      artifacts.scopes_by_domain.push_back(
+          discover_scopes(env_, options_, static_cast<int>(d)));
+    }
+  }
+  if (stages & kStagePops) {
+    artifacts.pops = discover_pops(env_);
+  }
+  if (stages & kStageCalibration) {
+    artifacts.calibration = calibrate(env_, options_, artifacts.pops);
+  }
+  if (stages & kStageCampaign) {
+    // A prior kStageScopes artifact saves the campaign its internal scope
+    // discovery; a partial list (domain set changed between runs) is not
+    // reusable.
+    const bool scopes_usable =
+        artifacts.scopes_by_domain.size() == env_.domains.size();
+    artifacts.result =
+        run_campaign(env_, options_, artifacts.pops, artifacts.calibration,
+                     scopes_usable ? &artifacts.scopes_by_domain : nullptr);
+  }
+  return artifacts;
 }
 
 }  // namespace netclients::core

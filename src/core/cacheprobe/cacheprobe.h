@@ -8,6 +8,7 @@
 #include "anycast/pop.h"
 #include "anycast/vantage.h"
 #include "core/datasets/datasets.h"
+#include "core/engine/engine.h"
 #include "core/resilience/resilience.h"
 #include "dnssrv/authoritative.h"
 #include "geo/geodb.h"
@@ -35,34 +36,31 @@ struct ProbeEnvironment {
 };
 
 /// Everything about how a single probe goes out: transport, redundancy,
-/// per-transport timeouts with retry/backoff, and circuit breaking. The
-/// consolidated replacement for the loose `transport`/`redundant_queries`
-/// fields that used to sit directly in CacheProbeOptions (§3.1.1 defaults).
+/// per-transport timeouts with retry/backoff, circuit breaking, and the
+/// execution engine that drives the chains. The single source of truth —
+/// the loose `transport`/`redundant_queries` aliases that used to sit
+/// directly in CacheProbeOptions are gone (§3.1.1 defaults).
 struct ProbePolicy {
   googledns::Transport transport = googledns::Transport::kTcp;
   int redundant_queries = 5;  // cover multiple independent cache pools
   resilience::RetryPolicy retry;
   resilience::BreakerPolicy breaker;
+  /// How chains execute: the event-driven virtual-time engine (default) or
+  /// the legacy-sync adapter. Results are byte-identical either way; only
+  /// the modeled wall clock differs.
+  engine::EngineOptions engine;
 };
 
 /// Tuning of the cache-probing campaign; defaults are the paper's (§3.1.1).
 struct CacheProbeOptions {
   double duration_hours = 120;
   double prefixes_per_second_per_domain = 50;
-  /// Probe-level policy. Stage code reads this through effective_policy(),
-  /// which also honours the deprecated loose fields below.
+  /// Probe-level policy, consumed directly by the stage code.
   ProbePolicy probe;
-  /// Deprecated: pre-ProbePolicy alias of probe.redundant_queries, honoured
-  /// (and winning) when moved off its default so existing call sites keep
-  /// their meaning. Prefer probe.redundant_queries.
-  int redundant_queries = 5;
   /// Cap on how many times the campaign loops over a PoP's assigned list
   /// (the paper loops continuously for 120h; the cap bounds simulation
   /// cost for small candidate lists).
   int max_loops = 6;
-  /// Deprecated: pre-ProbePolicy alias of probe.transport (same contract
-  /// as redundant_queries above). Prefer probe.transport.
-  googledns::Transport transport = googledns::Transport::kTcp;
 
   // Calibration (service-radius estimation).
   std::uint32_t calibration_sample_target = 78637;
@@ -81,10 +79,6 @@ struct CacheProbeOptions {
   /// 0 = exec::thread_count() (the REPRO_THREADS env var); 1 = serial.
   /// Same seed ⇒ byte-identical results for every value.
   int threads = 0;
-
-  /// The policy stage code actually runs: `probe`, overridden by whichever
-  /// deprecated loose field a caller moved off its default.
-  ProbePolicy effective_policy() const;
 };
 
 /// A candidate probe target discovered by the scope pre-pass: one query per
@@ -130,6 +124,17 @@ struct CampaignResult {
   /// Resilience tallies (retries, timeouts, breaker trips, requeues)
   /// merged across PoP shards; all-zero on a fault-free substrate.
   resilience::RetryStats retry_stats;
+  /// Modeled wall time of the campaign: max over PoP shards of the probe
+  /// engine's virtual clock (PoPs probe concurrently). Independent of
+  /// REPRO_THREADS; the engine/sync probes-per-second comparison in
+  /// bench_faults is probes_sent over this.
+  double virtual_duration_seconds = 0;
+
+  double virtual_probes_per_second() const {
+    return virtual_duration_seconds > 0
+               ? static_cast<double>(probes_sent) / virtual_duration_seconds
+               : 0.0;
+  }
 
   /// Lower bound on active /24s: one per disjoint hit prefix (§4).
   std::uint64_t slash24_lower_bound() const { return active.size(); }
@@ -178,41 +183,61 @@ CalibrationResult calibrate(const ProbeEnvironment& env,
 /// geolocation (+ error radius) falls within its service radius, with
 /// redundant queries over TCP. Sharded per PoP (the paper fans out across
 /// 22 PoPs at once); per-shard hit lists and counters are merged in PoP
-/// order, so the result is byte-identical to a serial run.
-CampaignResult run_campaign(const ProbeEnvironment& env,
-                            const CacheProbeOptions& options,
-                            const PopDiscoveryResult& pops,
-                            const CalibrationResult& calibration);
+/// order, so the result is byte-identical to a serial run. When
+/// `scopes_by_domain` is non-null (one candidate list per domain, e.g. a
+/// prior kStageScopes artifact) the internal scope discovery is skipped.
+CampaignResult run_campaign(
+    const ProbeEnvironment& env, const CacheProbeOptions& options,
+    const PopDiscoveryResult& pops, const CalibrationResult& calibration,
+    const std::vector<std::vector<ProbeCandidate>>* scopes_by_domain =
+        nullptr);
 
 /// Convenience: stages 2–4 (stage 1 runs inside stage 4).
 CampaignResult run_full_campaign(const ProbeEnvironment& env,
                                  const CacheProbeOptions& options = {});
 
+/// Which pipeline stages CacheProbeCampaign::run executes. Bits compose
+/// with `|`; stages not selected read their prerequisites from the reused
+/// artifacts argument instead of recomputing them.
+enum StageMask : unsigned {
+  kStageScopes = 1u << 0,       // scope discovery for every domain
+  kStagePops = 1u << 1,         // PoP discovery
+  kStageCalibration = 1u << 2,  // service-radius calibration
+  kStageCampaign = 1u << 3,     // the probing campaign itself
+  /// Stages 2–4, the old run_full: the campaign discovers scopes
+  /// internally, so kStageScopes is only needed to *inspect* candidates.
+  kStagesProbing = kStagePops | kStageCalibration | kStageCampaign,
+  kStagesAll = kStageScopes | kStagesProbing,
+};
+
+/// Everything a campaign run produces, stage by stage. Benches reuse an
+/// earlier run's artifacts (e.g. clean PoPs + calibration) by passing them
+/// back into run() with a narrower stage mask.
+struct CampaignArtifacts {
+  /// Per-domain candidate lists (kStageScopes; indexes align with the
+  /// environment's domain list).
+  std::vector<std::vector<ProbeCandidate>> scopes_by_domain;
+  PopDiscoveryResult pops;
+  CalibrationResult calibration;
+  CampaignResult result;
+};
+
 /// The paper's first technique: ECS cache probing of Google Public DNS.
-/// A thin handle bundling a ProbeEnvironment with options; every method
-/// delegates to the stage functions above.
+/// A thin handle bundling a ProbeEnvironment with options; one `run`
+/// entry point executes the selected stages via the functions above.
 class CacheProbeCampaign {
  public:
   explicit CacheProbeCampaign(ProbeEnvironment env,
                               CacheProbeOptions options = {})
       : env_(std::move(env)), options_(options) {}
 
-  std::vector<ProbeCandidate> discover_scopes(int domain_index) const {
-    return core::discover_scopes(env_, options_, domain_index);
-  }
-  PopDiscoveryResult discover_pops() const {
-    return core::discover_pops(env_);
-  }
-  CalibrationResult calibrate(const PopDiscoveryResult& pops) const {
-    return core::calibrate(env_, options_, pops);
-  }
-  CampaignResult run(const PopDiscoveryResult& pops,
-                     const CalibrationResult& calibration) const {
-    return core::run_campaign(env_, options_, pops, calibration);
-  }
-  CampaignResult run_full() const {
-    return core::run_full_campaign(env_, options_);
-  }
+  /// Runs the stages in `stages` and returns everything they produced.
+  /// Stages not selected pass `reuse`'s artifacts through unchanged and
+  /// selected stages consume them as prerequisites — so
+  /// `run(kStageCampaign, clean)` re-probes on top of clean PoPs and
+  /// calibration.
+  CampaignArtifacts run(unsigned stages = kStagesProbing,
+                        CampaignArtifacts reuse = {}) const;
 
   const ProbeEnvironment& environment() const { return env_; }
   const std::vector<sim::DomainInfo>& domains() const { return env_.domains; }

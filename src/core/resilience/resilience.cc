@@ -68,6 +68,12 @@ void RetryStats::merge(const RetryStats& other) {
   waited_ms += other.waited_ms;
 }
 
+RetryStats RetryStats::merge_shards(const std::vector<RetryStats>& shards) {
+  RetryStats total;
+  for (const RetryStats& shard : shards) total.merge(shard);
+  return total;
+}
+
 void RetryStats::publish() const {
   const auto bump = [](const char* name, std::uint64_t value) {
     if (value) obs::Registry::global().counter(name).add(value);

@@ -12,6 +12,7 @@
 // shard, so faulty runs are byte-identical at any REPRO_THREADS.
 
 #include <cstdint>
+#include <vector>
 
 #include "googledns/google_dns.h"
 #include "net/sim_time.h"
@@ -112,8 +113,15 @@ struct RetryStats {
   std::uint64_t waited_ms = 0;
 
   void merge(const RetryStats& other);
+  /// Folds per-shard tallies, walking `shards` in shard order. Every field
+  /// is a commutative integer sum, so the total is independent of shard
+  /// count and order — test_resilience asserts that independence; the
+  /// campaign's merge is explicit about it by going through here.
+  static RetryStats merge_shards(const std::vector<RetryStats>& shards);
   /// Registers `resilience.*` counters for the nonzero fields only.
   void publish() const;
+
+  bool operator==(const RetryStats&) const = default;
 };
 
 }  // namespace netclients::core::resilience

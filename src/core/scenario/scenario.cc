@@ -16,7 +16,7 @@ std::vector<snapshot::EpochRecord> Scenario::run_epochs(int epochs) const {
     ProbeEnvironment epoch_env = env;
     std::unique_ptr<googledns::GooglePublicDns> epoch_dns;
     // Epoch 0 keeps the scenario's seed and front end (run_epochs(1) ==
-    // run_full); each later epoch re-keys the probe streams AND stands
+    // campaign().run()); each later epoch re-keys the probe streams AND stands
     // up its own Google-DNS front end with a re-keyed cache timeline and
     // an advanced authoritative epoch. The world's mean activity is
     // unchanged, but which marginal blocks happen to hold a cache entry

@@ -45,7 +45,7 @@ struct Scenario {
   /// Runs the full campaign `epochs` times (0 = the builder's epoch
   /// count) and persists each run as a snapshot EpochRecord. Epoch 0
   /// probes the scenario's own front end with the scenario's seed —
-  /// run_epochs(1) reproduces a plain run_full() — and each later epoch
+  /// run_epochs(1) reproduces a plain campaign().run() — and each later epoch
   /// re-keys both the probe RNG streams and the Google-DNS cache
   /// timeline (fresh GooglePublicDns with a re-keyed seed and an
   /// advanced authoritative epoch), modelling independent measurement

@@ -723,7 +723,7 @@ std::string validate(std::string_view bytes) {
 // ---------------------------------------------------------- epoch builders
 
 std::uint64_t options_digest(const CacheProbeOptions& options) {
-  const ProbePolicy policy = options.effective_policy();
+  const ProbePolicy& policy = options.probe;
   std::uint64_t h = net::stable_hash("cacheprobe.options");
   auto mix_f = [&](double v) {
     h = net::hash_combine(h, std::bit_cast<std::uint64_t>(v));

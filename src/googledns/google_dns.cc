@@ -193,6 +193,7 @@ ProbeResult GooglePublicDns::probe(PopId pop, const dns::DnsName& domain,
                                    int attempt, int retry) {
   ProbeResult result;
   result.pop = pop;
+  result.rtt_seconds = config_.rtt_for(transport);
   ProbeMetrics::get().sent.add();
   if (!limiter(vp_id, transport, domain).allow(now)) {
     ProbeMetrics::get().rate_limited.add();
@@ -221,6 +222,7 @@ ProbeResult GooglePublicDns::probe(PopId pop, const dns::DnsName& domain,
     if (failure_draw < faults.timeout_probability) {
       fault_counter("googledns.fault.timeout").add();
       result.status = ProbeStatus::kTimeout;
+      result.rtt_seconds = 0;  // nothing came back to clock an RTT against
       return result;
     }
     if (failure_draw <

@@ -52,21 +52,17 @@ Pipeline& pipeline() {
   return p;
 }
 
-struct FullRun {
-  PopDiscoveryResult pops;
-  CalibrationResult calibration;
-  CampaignResult result;
-};
-
-const FullRun& full_run() {
-  static const FullRun run = [] {
-    FullRun r;
-    r.pops = pipeline().campaign->discover_pops();
-    r.calibration = pipeline().campaign->calibrate(r.pops);
-    r.result = pipeline().campaign->run(r.pops, r.calibration);
-    return r;
-  }();
+const CampaignArtifacts& full_run() {
+  static const CampaignArtifacts run = pipeline().campaign->run();
   return run;
+}
+
+// Scope discovery is a kStageScopes run; one shared artifact covers every
+// domain the scope tests inspect.
+const std::vector<ProbeCandidate>& scopes(int domain_index) {
+  static const CampaignArtifacts artifacts =
+      pipeline().campaign->run(kStageScopes);
+  return artifacts.scopes_by_domain[static_cast<std::size_t>(domain_index)];
 }
 
 // ----------------------------------------------------------- scope discovery
@@ -76,7 +72,7 @@ TEST(ScopeDiscovery, CandidatesCoverTheScannedSpace) {
   // (our topology clamp reproduces that), so consecutive candidates may
   // overlap slightly — but together they must cover every /24 scanned,
   // with strictly advancing ends.
-  const auto candidates = pipeline().campaign->discover_scopes(0);
+  const auto& candidates = scopes(0);
   ASSERT_FALSE(candidates.empty());
   std::uint32_t covered_to = 1u << 16;
   for (const ProbeCandidate& c : candidates) {
@@ -92,7 +88,7 @@ TEST(ScopeDiscovery, CandidatesCoverTheScannedSpace) {
 }
 
 TEST(ScopeDiscovery, CandidatesMostlyMatchAuthoritativeScopes) {
-  const auto candidates = pipeline().campaign->discover_scopes(1);
+  const auto& candidates = scopes(1);
   const auto& domain = pipeline().world.domains()[1].name;
   std::size_t checked = 0, exact = 0;
   for (std::size_t i = 0; i < candidates.size(); i += 7) {
@@ -114,7 +110,7 @@ TEST(ScopeDiscovery, CandidatesMostlyMatchAuthoritativeScopes) {
 
 TEST(ScopeDiscovery, FewerCandidatesThanSlash24s) {
   // The whole point of the pre-pass: one query per scope, not per /24.
-  const auto candidates = pipeline().campaign->discover_scopes(0);
+  const auto& candidates = scopes(0);
   const std::uint32_t slash24s =
       pipeline().world.address_space_end() - (1u << 16);
   EXPECT_LT(candidates.size(), slash24s);
@@ -122,9 +118,8 @@ TEST(ScopeDiscovery, FewerCandidatesThanSlash24s) {
 
 TEST(ScopeDiscovery, WikipediaScopesWiderThanGoogle) {
   // Table 5's structural cause: Wikipedia answers /16-18, Google /20-24.
-  const auto google = pipeline().campaign->discover_scopes(0);
-  const auto wikipedia =
-      pipeline().campaign->discover_scopes(sim::kDomainWikipedia);
+  const auto& google = scopes(0);
+  const auto& wikipedia = scopes(sim::kDomainWikipedia);
   EXPECT_GT(google.size(), wikipedia.size() * 2);
 }
 
@@ -247,53 +242,52 @@ TEST(Campaign, ExpandedDatasetMatchesUpperBound) {
   EXPECT_EQ(ds.size(), result.slash24_upper_bound());
 }
 
-TEST(ProbePolicy, DeprecatedFieldsAliasIntoNestedPolicy) {
-  // Back-compat: the loose transport/redundant_queries fields are
-  // deprecated aliases of ProbePolicy; when a caller moves one off its
-  // default it wins over the nested struct.
-  CacheProbeOptions defaults;
-  EXPECT_EQ(defaults.effective_policy().transport,
-            googledns::Transport::kTcp);
-  EXPECT_EQ(defaults.effective_policy().redundant_queries, 5);
-
-  CacheProbeOptions legacy;
-  legacy.transport = googledns::Transport::kUdp;
-  legacy.redundant_queries = 2;
-  EXPECT_EQ(legacy.effective_policy().transport,
-            googledns::Transport::kUdp);
-  EXPECT_EQ(legacy.effective_policy().redundant_queries, 2);
-
-  CacheProbeOptions modern;
-  modern.probe.transport = googledns::Transport::kUdp;
-  modern.probe.redundant_queries = 3;
-  modern.probe.retry.max_attempts = 7;
-  EXPECT_EQ(modern.effective_policy().transport,
-            googledns::Transport::kUdp);
-  EXPECT_EQ(modern.effective_policy().redundant_queries, 3);
-  EXPECT_EQ(modern.effective_policy().retry.max_attempts, 7);
+TEST(ProbePolicy, DefaultsMatchThePaper) {
+  // ProbePolicy is the single source of truth for per-probe behavior; the
+  // loose aliases that used to shadow it on CacheProbeOptions are gone.
+  const CacheProbeOptions defaults;
+  EXPECT_EQ(defaults.probe.transport, googledns::Transport::kTcp);
+  EXPECT_EQ(defaults.probe.redundant_queries, 5);
+  EXPECT_EQ(defaults.probe.engine.mode, engine::EngineOptions::Mode::kEvent);
+  EXPECT_GE(defaults.probe.engine.window, 1);
 }
 
 TEST(Campaign, UdpCampaignIsRateLimited) {
   // §3.1.1: probing over UDP trips a limit far below 1,500 qps — the
-  // reason the real campaign uses TCP. Exercises the deprecated loose
-  // `transport` field on purpose (alias regression coverage).
+  // reason the real campaign uses TCP.
   Pipeline p(4096);
   CacheProbeOptions options;
-  options.transport = googledns::Transport::kUdp;
+  options.probe.transport = googledns::Transport::kUdp;
   options.max_loops = 1;
   CacheProbeCampaign campaign(p.environment(), options);
-  const auto pops = campaign.discover_pops();
-  const auto calibration = campaign.calibrate(pops);
-  const auto result = campaign.run(pops, calibration);
+  const auto result = campaign.run().result;
   EXPECT_GT(result.rate_limited, result.probes_sent / 2);
 }
 
 TEST(Campaign, DeterministicAcrossRuns) {
   Pipeline a(4096), b(4096);
-  const auto result_a = a.campaign->run_full();
-  const auto result_b = b.campaign->run_full();
+  const auto result_a = a.campaign->run().result;
+  const auto result_b = b.campaign->run().result;
   EXPECT_EQ(result_a.hits.size(), result_b.hits.size());
   EXPECT_EQ(result_a.slash24_upper_bound(), result_b.slash24_upper_bound());
+}
+
+TEST(Campaign, StageMaskReusesPriorArtifacts) {
+  // run(kStageCampaign, prior) re-probes on top of the prior run's scopes,
+  // PoPs and calibration without recomputing them — and lands on the same
+  // result as the all-in-one run.
+  Pipeline p(4096);
+  CampaignArtifacts staged = p.campaign->run(kStagesAll & ~kStageCampaign);
+  ASSERT_EQ(staged.scopes_by_domain.size(), p.campaign->domains().size());
+  ASSERT_FALSE(staged.pops.probed_pops.empty());
+  staged = p.campaign->run(kStageCampaign, std::move(staged));
+
+  Pipeline q(4096);
+  const CampaignArtifacts whole = q.campaign->run();
+  EXPECT_EQ(staged.result.hits.size(), whole.result.hits.size());
+  EXPECT_EQ(staged.result.probes_sent, whole.result.probes_sent);
+  EXPECT_EQ(staged.result.slash24_upper_bound(),
+            whole.result.slash24_upper_bound());
 }
 
 }  // namespace

@@ -1,0 +1,188 @@
+// Tests for the event-driven probe engine: the event mode must produce
+// byte-identical campaigns to the legacy-sync adapter at any in-flight
+// window and any thread count — under faults, breaker trips and UDP→TCP
+// escalation included — while compressing the modeled wall clock by the
+// pipelining factor.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/engine/engine.h"
+#include "core/scenario/scenario.h"
+
+namespace netclients::core {
+namespace {
+
+constexpr double kScale = 4096;
+
+using engine::EngineOptions;
+
+// Full structural fingerprint: headline counters, every hit in order, and
+// the complete retry tally. Anything the engine could plausibly perturb.
+std::string fingerprint(const CampaignResult& result) {
+  std::ostringstream out;
+  out << result.probes_sent << '|' << result.rate_limited << '|'
+      << result.slash24_lower_bound() << '|'
+      << result.slash24_upper_bound() << '\n';
+  const resilience::RetryStats& rs = result.retry_stats;
+  out << rs.retries << ',' << rs.timeouts << ',' << rs.servfails << ','
+      << rs.exhausted << ',' << rs.escalations << ',' << rs.breaker_opened
+      << ',' << rs.breaker_skipped << ',' << rs.requeued << ','
+      << rs.waited_ms << '\n';
+  for (const CacheHit& hit : result.hits) {
+    out << hit.domain_index << ',' << hit.query_scope.base().value() << '/'
+        << static_cast<int>(hit.query_scope.length()) << ','
+        << static_cast<int>(hit.return_scope) << ',' << hit.pop << ','
+        << hit.when << '\n';
+  }
+  return out.str();
+}
+
+struct RunConfig {
+  googledns::FailureInjection faults;
+  EngineOptions::Mode mode = EngineOptions::Mode::kEvent;
+  int window = 64;
+  int threads = 0;
+  int retry_attempts = 3;
+  googledns::Transport transport = googledns::Transport::kTcp;
+  bool escalate = false;
+  int breaker_threshold = 8;
+};
+
+CampaignResult run_campaign(const RunConfig& cfg) {
+  googledns::GoogleDnsConfig config;
+  config.faults = cfg.faults;
+  CacheProbeOptions options;
+  options.max_loops = 2;
+  options.probe.transport = cfg.transport;
+  options.probe.retry.max_attempts = cfg.retry_attempts;
+  options.probe.retry.escalate_udp_to_tcp = cfg.escalate;
+  options.probe.breaker.failure_threshold = cfg.breaker_threshold;
+  options.probe.engine.mode = cfg.mode;
+  options.probe.engine.window = cfg.window;
+  const Scenario scenario = ScenarioBuilder()
+                                .scale_denominator(kScale)
+                                .google_config(config)
+                                .probe_options(options)
+                                .threads(cfg.threads)
+                                .build();
+  return scenario.campaign().run().result;
+}
+
+TEST(Engine, MatchesSyncFaultFree) {
+  RunConfig sync;
+  sync.mode = EngineOptions::Mode::kSync;
+  sync.threads = 1;
+  const std::string baseline = fingerprint(run_campaign(sync));
+  for (int threads : {1, 2, 8}) {
+    RunConfig event;
+    event.mode = EngineOptions::Mode::kEvent;
+    event.threads = threads;
+    EXPECT_EQ(fingerprint(run_campaign(event)), baseline)
+        << "event engine diverged at " << threads << " threads";
+  }
+}
+
+TEST(Engine, MatchesSyncUnderFaults) {
+  RunConfig sync;
+  sync.faults.timeout_probability = 0.3;
+  sync.faults.servfail_probability = 0.1;
+  sync.mode = EngineOptions::Mode::kSync;
+  sync.threads = 1;
+  const CampaignResult sync_result = run_campaign(sync);
+  const std::string baseline = fingerprint(sync_result);
+  ASSERT_GT(sync_result.retry_stats.retries, 0u);
+  for (int threads : {1, 8}) {
+    for (int window : {1, 4, 64}) {
+      RunConfig event = sync;
+      event.mode = EngineOptions::Mode::kEvent;
+      event.threads = threads;
+      event.window = window;
+      EXPECT_EQ(fingerprint(run_campaign(event)), baseline)
+          << "diverged at threads=" << threads << " window=" << window;
+    }
+  }
+}
+
+TEST(Engine, WindowSweepIsByteIdenticalAndMonotone) {
+  // Widening the window may only compress the virtual timeline — never
+  // change results, never slow the modeled clock down.
+  RunConfig cfg;
+  cfg.faults.timeout_probability = 0.25;
+  cfg.threads = 1;
+  std::string baseline;
+  double previous_duration = 0;
+  for (int window : {1, 2, 8, 64}) {
+    cfg.window = window;
+    const CampaignResult result = run_campaign(cfg);
+    ASSERT_GT(result.virtual_duration_seconds, 0.0);
+    if (baseline.empty()) {
+      baseline = fingerprint(result);
+      previous_duration = result.virtual_duration_seconds;
+      continue;
+    }
+    EXPECT_EQ(fingerprint(result), baseline) << "window " << window;
+    EXPECT_LE(result.virtual_duration_seconds, previous_duration)
+        << "window " << window << " slowed the virtual clock down";
+    previous_duration = result.virtual_duration_seconds;
+  }
+}
+
+TEST(Engine, BreakerDrainMatchesSync) {
+  // A hair-trigger breaker under heavy loss trips constantly; refused
+  // evaluations complete instantly (draining the window) and the tallies
+  // must still match the sync adapter exactly.
+  RunConfig cfg;
+  cfg.faults.timeout_probability = 0.9;
+  cfg.retry_attempts = 1;
+  cfg.breaker_threshold = 2;
+  cfg.threads = 1;
+  cfg.mode = EngineOptions::Mode::kSync;
+  const CampaignResult sync_result = run_campaign(cfg);
+  ASSERT_GT(sync_result.retry_stats.breaker_opened, 0u);
+  ASSERT_GT(sync_result.retry_stats.breaker_skipped, 0u);
+  cfg.mode = EngineOptions::Mode::kEvent;
+  const CampaignResult event_result = run_campaign(cfg);
+  EXPECT_EQ(fingerprint(event_result), fingerprint(sync_result));
+}
+
+TEST(Engine, EscalationUnderFaultMatchesSync) {
+  // Lossy UDP with escalation enabled: flows migrate to TCP mid-run (the
+  // paper's forced migration) — a per-chain state change the engine must
+  // carry across loops and domains identically to the sync adapter.
+  RunConfig cfg;
+  cfg.faults.timeout_probability = 0.4;
+  cfg.transport = googledns::Transport::kUdp;
+  cfg.escalate = true;
+  cfg.threads = 1;
+  cfg.mode = EngineOptions::Mode::kSync;
+  const CampaignResult sync_result = run_campaign(cfg);
+  ASSERT_GT(sync_result.retry_stats.escalations, 0u);
+  cfg.mode = EngineOptions::Mode::kEvent;
+  const CampaignResult event_result = run_campaign(cfg);
+  EXPECT_EQ(fingerprint(event_result), fingerprint(sync_result));
+}
+
+TEST(Engine, EventEngineCompressesVirtualTime) {
+  // The point of the redesign: same probes, far less modeled wall time —
+  // chain latency (timeouts, backoffs, RTTs) becomes pipeline depth.
+  RunConfig cfg;
+  cfg.faults.timeout_probability = 0.25;
+  cfg.threads = 1;
+  cfg.mode = EngineOptions::Mode::kSync;
+  const CampaignResult sync_result = run_campaign(cfg);
+  cfg.mode = EngineOptions::Mode::kEvent;
+  const CampaignResult event_result = run_campaign(cfg);
+  ASSERT_EQ(event_result.probes_sent, sync_result.probes_sent);
+  ASSERT_GT(sync_result.virtual_duration_seconds, 0.0);
+  ASSERT_GT(event_result.virtual_duration_seconds, 0.0);
+  EXPECT_LE(event_result.virtual_duration_seconds * 3,
+            sync_result.virtual_duration_seconds);
+  EXPECT_GE(event_result.virtual_probes_per_second(),
+            3 * sync_result.virtual_probes_per_second());
+}
+
+}  // namespace
+}  // namespace netclients::core

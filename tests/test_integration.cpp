@@ -42,7 +42,7 @@ struct Study {
     probe_env.slash24_begin = 1u << 16;
     probe_env.slash24_end = world.address_space_end();
     core::CacheProbeCampaign campaign(std::move(probe_env));
-    probing = campaign.run_full();
+    probing = campaign.run().result;
 
     const roots::RootSystem roots = roots::RootSystem::ditl_2020(config.seed);
     sim::DitlOptions ditl;

@@ -187,13 +187,12 @@ TEST(Rank, EndToEndRankingCorrelatesWithTruth) {
   probe_env.slash24_begin = 1u << 16;
   probe_env.slash24_end = world.address_space_end();
   CacheProbeCampaign campaign(std::move(probe_env));
-  const auto pops = campaign.discover_pops();
-  const auto calibration = campaign.calibrate(pops);
-  const auto result = campaign.run(pops, calibration);
+  const auto artifacts = campaign.run();
+  const auto& result = artifacts.result;
   ASSERT_GT(result.active.size(), 20u);
 
   ActivityRanker ranker(&gdns, world.domains());
-  const auto ranked = ranker.rank(result, pops);
+  const auto ranked = ranker.rank(result, artifacts.pops);
   ASSERT_GT(ranked.size(), 20u);
   // Sorted descending by estimate.
   for (std::size_t i = 1; i < ranked.size(); ++i) {
