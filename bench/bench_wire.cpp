@@ -1,0 +1,289 @@
+// Wire-codec benchmark: build a deterministic corpus of DNS messages
+// (ECS queries, compressed responses with A/TXT answers — the shapes the
+// probe engine actually sends), then push it through both sides of the
+// packet plane and report messages/sec for each:
+//
+//   decode: materializing `dns::decode` vs zero-copy `MessageView::parse`
+//           plus an honest inspection pass (header, qname hash, answer
+//           addresses) over the view.
+//   encode: `dns::encode` (copies out of a thread-local arena into a
+//           fresh vector per message) vs `dns::encode_into` against one
+//           recycled arena (the zero-allocation hot path).
+//
+// Parity is *checked* before anything is timed: arena and alloc encodes
+// must be byte-identical, MessageView must accept/materialize exactly
+// what decode accepts/returns (including on truncated corpses), and
+// encode(decode(encode(m))) must be byte-stable. Any mismatch exits 1.
+//
+// Output: a throughput table on stdout, rows in
+// bench_out/wire_throughput.csv (CI uploads it), and `dns.wire.*` gauges
+// via --metrics-out. `--require-speedup=X` (CI passes 1.0) exits 1 when
+// view decode is less than X times the materializing decode throughput.
+//
+// Run:  build/bench/bench_wire [--reps=5] [--require-speedup=0]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "dns/packet.h"
+#include "dns/wire.h"
+#include "net/rng.h"
+
+using namespace netclients;
+
+namespace {
+
+double flag_value(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+dns::DnsName name_from(net::Rng& rng, const char* apex) {
+  static const char* kHosts[] = {"www", "mail", "cdn", "api", "static"};
+  std::string host = kHosts[rng.below(5)];
+  if (rng.below(2) == 0) host += std::to_string(rng.below(100));
+  return *dns::DnsName::parse(host + "." + apex);
+}
+
+/// The probe engine's message shapes, deterministically varied: RD=0/1
+/// ECS queries, NOERROR responses with 1-3 A answers plus the odd TXT,
+/// NXDOMAINs, myaddr-style TXT responses. Shared apexes force the
+/// compression machinery to actually fire.
+std::vector<dns::DnsMessage> build_corpus(std::size_t count,
+                                          std::uint64_t seed) {
+  static const char* kApexes[] = {"example.com", "probes.example.net",
+                                  "cache.test"};
+  std::vector<dns::DnsMessage> corpus;
+  corpus.reserve(count);
+  net::Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const char* apex = kApexes[rng.below(3)];
+    const auto id = static_cast<std::uint16_t>(rng.below(65536));
+    const dns::DnsName qname = name_from(rng, apex);
+    std::optional<dns::EcsOption> ecs;
+    if (rng.below(4) != 0) {
+      ecs = dns::EcsOption::for_query(net::Prefix(
+          net::Ipv4Addr(static_cast<std::uint32_t>(rng.below(1u << 24) << 8)),
+          static_cast<std::uint8_t>(16 + rng.below(9))));
+    }
+    dns::DnsMessage msg =
+        dns::make_query(id, qname, dns::RecordType::kA,
+                        /*recursion_desired=*/rng.below(2) == 0, ecs);
+    if (rng.below(3) != 0) {  // two thirds of the corpus are responses
+      msg.header.qr = true;
+      msg.header.aa = true;
+      if (rng.below(8) == 0) {
+        msg.header.rcode = dns::RCode::kNxDomain;
+      } else {
+        const std::size_t answers = 1 + rng.below(3);
+        for (std::size_t a = 0; a < answers; ++a) {
+          dns::ResourceRecord rr;
+          rr.name = qname;  // same owner as the question: compresses
+          rr.type = dns::RecordType::kA;
+          rr.ttl = static_cast<std::uint32_t>(30 + rng.below(300));
+          rr.rdata = dns::AData{
+              net::Ipv4Addr(static_cast<std::uint32_t>(rng.below(1u << 31)))};
+          msg.answers.push_back(std::move(rr));
+        }
+        if (rng.below(4) == 0) {
+          dns::ResourceRecord txt;
+          txt.name = name_from(rng, apex);
+          txt.type = dns::RecordType::kTxt;
+          txt.ttl = 60;
+          txt.rdata = dns::TxtData{"pop=" + std::to_string(rng.below(64))};
+          msg.answers.push_back(std::move(txt));
+        }
+        if (msg.edns && msg.edns->ecs) {
+          msg.edns->ecs->scope_prefix_length =
+              static_cast<std::uint8_t>(16 + rng.below(9));
+        }
+      }
+    }
+    corpus.push_back(std::move(msg));
+  }
+  return corpus;
+}
+
+/// decode/parse differential on one byte string: both sides must agree on
+/// accept vs reject, diagnostics included, and on the materialized value.
+bool codec_parity(std::span<const std::uint8_t> wire) {
+  const dns::DecodeResult materialized = dns::decode(wire);
+  std::string view_error;
+  const auto view = dns::MessageView::parse(wire, &view_error);
+  if (materialized.ok != view.has_value()) return false;
+  if (!materialized.ok) return materialized.error == view_error;
+  return view->materialize() == materialized.message;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::MetricsOutGuard metrics_out(&argc, argv);
+  const int reps = static_cast<int>(flag_value(argc, argv, "--reps", 5));
+  const double require_speedup =
+      flag_value(argc, argv, "--require-speedup", 0);
+
+  const std::vector<dns::DnsMessage> corpus = build_corpus(256, 0x1035);
+
+  // ---- 1. Parity hard-checks (before timing) ---------------------------
+  dns::WireArena arena;
+  std::vector<std::vector<std::uint8_t>> wires;
+  wires.reserve(corpus.size());
+  std::size_t wire_bytes = 0;
+  for (const dns::DnsMessage& msg : corpus) {
+    const std::vector<std::uint8_t> alloc = dns::encode(msg);
+    const auto arena_span = dns::encode_into(msg, arena);
+    if (!std::equal(alloc.begin(), alloc.end(), arena_span.begin(),
+                    arena_span.end())) {
+      std::fprintf(stderr, "[wire] FAIL: encode_into differs from encode\n");
+      return 1;
+    }
+    if (!codec_parity(alloc)) {
+      std::fprintf(stderr, "[wire] FAIL: MessageView/decode parity\n");
+      return 1;
+    }
+    // Byte stability: re-encoding the decoded message reproduces the wire.
+    if (dns::encode(dns::decode(alloc).message) != alloc) {
+      std::fprintf(stderr, "[wire] FAIL: encode/decode not byte-stable\n");
+      return 1;
+    }
+    // Truncated corpses must be rejected identically by both decoders.
+    for (const std::size_t cut : {std::size_t{0}, std::size_t{5},
+                                  alloc.size() / 2, alloc.size() - 1}) {
+      if (!codec_parity(std::span(alloc).first(cut))) {
+        std::fprintf(stderr,
+                     "[wire] FAIL: truncation parity at %zu bytes\n", cut);
+        return 1;
+      }
+    }
+    wire_bytes += alloc.size();
+    wires.push_back(alloc);
+  }
+  std::fprintf(stderr, "[wire] corpus: %zu messages, %zu wire bytes\n",
+               wires.size(), wire_bytes);
+
+  // ---- 2. Throughput ---------------------------------------------------
+  constexpr int kPasses = 2000;
+  const double n = static_cast<double>(wires.size()) * kPasses;
+  double decode_view_s = 1e30, decode_mat_s = 1e30;
+  double encode_arena_s = 1e30, encode_alloc_s = 1e30;
+  std::uint64_t sink = 0;  // keeps the timed work observable
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      const auto start = std::chrono::steady_clock::now();
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (const auto& wire : wires) {
+          const dns::DecodeResult result = dns::decode(wire);
+          sink += result.message.header.id + result.message.answers.size();
+          if (!result.message.questions.empty()) {
+            sink += result.message.questions[0].name.hash();
+          }
+        }
+      }
+      decode_mat_s = std::min(decode_mat_s, seconds_since(start));
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (const auto& wire : wires) {
+          const auto view = dns::MessageView::parse(wire);
+          sink += view->header().id;
+          if (view->question_count() > 0) {
+            sink += view->first_question().name.canonical_hash();
+          }
+          view->for_each_record(
+              dns::MessageView::Section::kAnswer,
+              [&](const dns::MessageView::RecordView& rr) {
+                if (const auto addr = rr.a_address()) sink += addr->value();
+              });
+        }
+      }
+      decode_view_s = std::min(decode_view_s, seconds_since(start));
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (const auto& msg : corpus) sink += dns::encode(msg).size();
+      }
+      encode_alloc_s = std::min(encode_alloc_s, seconds_since(start));
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (const auto& msg : corpus) {
+          sink += dns::encode_into(msg, arena).size();
+        }
+      }
+      encode_arena_s = std::min(encode_arena_s, seconds_since(start));
+    }
+  }
+  const double decode_mat_rps = n / decode_mat_s;
+  const double decode_view_rps = n / decode_view_s;
+  const double encode_alloc_rps = n / encode_alloc_s;
+  const double encode_arena_rps = n / encode_arena_s;
+  const double decode_speedup = decode_view_rps / decode_mat_rps;
+  const double encode_speedup = encode_arena_rps / encode_alloc_rps;
+
+  std::printf("wire codec throughput (%zu messages x %d passes, best of %d)\n",
+              wires.size(), kPasses, reps);
+  std::printf("  %-20s %10s %16s\n", "path", "seconds", "msgs/sec");
+  std::printf("  %-20s %10.3f %16.0f\n", "decode/materialize", decode_mat_s,
+              decode_mat_rps);
+  std::printf("  %-20s %10.3f %16.0f\n", "decode/view", decode_view_s,
+              decode_view_rps);
+  std::printf("  %-20s %10.3f %16.0f\n", "encode/alloc", encode_alloc_s,
+              encode_alloc_rps);
+  std::printf("  %-20s %10.3f %16.0f\n", "encode/arena", encode_arena_s,
+              encode_arena_rps);
+  std::printf("  decode view/materialize speedup: %.2fx\n", decode_speedup);
+  std::printf("  encode arena/alloc speedup:      %.2fx  (checksum %llu)\n",
+              encode_speedup, static_cast<unsigned long long>(sink));
+
+  obs::Registry& registry = obs::Registry::global();
+  registry.gauge("dns.wire.decode.materialize_msgs_per_sec")
+      .set(decode_mat_rps);
+  registry.gauge("dns.wire.decode.view_msgs_per_sec").set(decode_view_rps);
+  registry.gauge("dns.wire.decode.speedup").set(decode_speedup);
+  registry.gauge("dns.wire.encode.alloc_msgs_per_sec").set(encode_alloc_rps);
+  registry.gauge("dns.wire.encode.arena_msgs_per_sec").set(encode_arena_rps);
+  registry.gauge("dns.wire.encode.speedup").set(encode_speedup);
+
+  if (std::FILE* csv =
+          std::fopen(bench::out_path("wire_throughput.csv").c_str(), "w")) {
+    std::fprintf(csv, "path,messages,wire_bytes,seconds,msgs_per_sec\n");
+    std::fprintf(csv, "decode_materialize,%.0f,%zu,%.6f,%.0f\n", n, wire_bytes,
+                 decode_mat_s, decode_mat_rps);
+    std::fprintf(csv, "decode_view,%.0f,%zu,%.6f,%.0f\n", n, wire_bytes,
+                 decode_view_s, decode_view_rps);
+    std::fprintf(csv, "encode_alloc,%.0f,%zu,%.6f,%.0f\n", n, wire_bytes,
+                 encode_alloc_s, encode_alloc_rps);
+    std::fprintf(csv, "encode_arena,%.0f,%zu,%.6f,%.0f\n", n, wire_bytes,
+                 encode_arena_s, encode_arena_rps);
+    std::fclose(csv);
+  }
+
+  if (require_speedup > 0 && decode_speedup < require_speedup) {
+    std::fprintf(stderr,
+                 "[wire] FAIL: view decode %.2fx materializing, below the "
+                 "required %.2fx\n",
+                 decode_speedup, require_speedup);
+    return 1;
+  }
+  return 0;
+}

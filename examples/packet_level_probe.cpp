@@ -12,6 +12,7 @@
 #include "dns/wire.h"
 #include "googledns/google_dns.h"
 #include "netsim/bus.h"
+#include "netsim/dns_endpoint.h"
 #include "sim/domains.h"
 
 using namespace netclients;
@@ -39,19 +40,14 @@ int main(int argc, char** argv) {
   const net::LatLon prober_loc{53.2, 6.6};    // Groningen cloud VM
 
   // Google's front end on the bus: location/route key are derived from
-  // the source address (who is asking), as anycast would.
-  bus.attach(google_addr, [&](const netsim::Datagram& d, net::SimTime now) {
-    const auto query = dns::decode(d.payload);
-    if (!query.ok) return;
-    const bool from_client = d.src == client_addr;
-    const auto response = gdns.handle(
-        query.message, from_client ? client_loc : prober_loc,
-        d.src.value(), now,
-        d.proto == netsim::Proto::kTcp ? googledns::Transport::kTcp
-                                       : googledns::Transport::kUdp,
-        /*vp_id=*/1);
-    bus.send(google_addr, d.src, d.proto, dns::encode(response), now, 0.01);
-  });
+  // the source address (who is asking), as anycast would. The endpoint
+  // answers straight from wire bytes — zero-copy parse, arena encode.
+  netsim::GoogleEndpointOptions google_opts;
+  google_opts.vp_id = 1;
+  google_opts.locate = [&](net::Ipv4Addr src) {
+    return src == client_addr ? client_loc : prober_loc;
+  };
+  netsim::attach_google_dns(bus, google_addr, gdns, google_opts);
 
   // The client resolves normally (RD=1) — this is the activity the prober
   // will detect.
@@ -74,7 +70,7 @@ int main(int argc, char** argv) {
   // to cover the cache pools.
   int snoop_hits = 0;
   std::uint16_t next_id = 100;
-  bus.attach(prober_addr, [&](const netsim::Datagram& d, net::SimTime now) {
+  bus.attach(prober_addr, [&](const netsim::Datagram& d, net::SimTime) {
     const auto response = dns::decode(d.payload);
     if (!response.ok) return;
     const auto& msg = response.message;

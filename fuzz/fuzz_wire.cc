@@ -1,0 +1,65 @@
+// libFuzzer harness for the DNS wire codec — the first-class version of
+// the seeded mutation loops in tests/test_fuzz_wire.cpp. Three properties,
+// any violation traps:
+//
+//   1. Differential: the zero-copy MessageView::parse and the
+//      materializing dns::decode must agree on accept vs reject, on the
+//      rejection diagnostic, and on the decoded message.
+//   2. Round-trip: an accepted input must re-encode to bytes that decode
+//      back to the same message (decode∘encode idempotence).
+//   3. Stability: re-encoding that decoded message again must reproduce
+//      the same bytes (encode is a function of the message alone).
+//
+// Crashing inputs found in CI get uploaded as artifacts and folded back
+// into tests/corpus/wire/ as regression seeds.
+//
+// Build:  cmake -DNETCLIENTS_FUZZERS=ON (clang only)
+// Run:    build/fuzz/fuzz_wire tests/corpus/wire/ -max_total_time=60
+
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <string>
+
+#include "dns/packet.h"
+#include "dns/wire.h"
+
+using namespace netclients;
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "[fuzz_wire] property violated: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> wire(data, size);
+
+  std::string view_error;
+  const auto view = dns::MessageView::parse(wire, &view_error);
+  const dns::DecodeResult materialized = dns::decode(wire);
+
+  require(materialized.ok == view.has_value(),
+          "view/decode disagree on accept");
+  if (!materialized.ok) {
+    require(materialized.error == view_error,
+            "view/decode disagree on diagnostic");
+    return 0;
+  }
+  require(view->materialize() == materialized.message,
+          "view materializes a different message");
+
+  const auto rewire = dns::encode(materialized.message);
+  const dns::DecodeResult second = dns::decode(rewire);
+  require(second.ok, "re-encoded message no longer decodes");
+  require(second.message == materialized.message,
+          "decode/encode round trip changed the message");
+  require(dns::encode(second.message) == rewire, "encode is not stable");
+  return 0;
+}

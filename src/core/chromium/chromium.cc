@@ -9,8 +9,10 @@
 #include "core/chromium/sketch.h"
 #include "core/exec/exec.h"
 #include "core/obs/obs.h"
+#include "dns/packet.h"
 #include "net/rng.h"
 #include "net/sim_time.h"
+#include "roots/packet_trace.h"
 #include "roots/trace_view.h"
 
 namespace netclients::core {
@@ -63,9 +65,32 @@ std::uint64_t lower_stable_hash(std::string_view label) {
   return net::mix64(h);
 }
 
-std::uint64_t name_day_key(const roots::TraceRecordRef& ref) {
-  const auto day = static_cast<std::uint64_t>(ref.timestamp() / net::kDay);
-  return net::hash_combine(lower_stable_hash(ref.first_label()), day);
+std::uint64_t name_day_key(std::string_view first_label, net::SimTime ts) {
+  const auto day = static_cast<std::uint64_t>(ts / net::kDay);
+  return net::hash_combine(lower_stable_hash(first_label), day);
+}
+
+/// Record adapters for the shared view scan below: extract the sole label
+/// of a single-label qname, or report that the record has no such label.
+/// NCD1 refs read the label bytes straight out of the frame; NCP1 refs pay
+/// a full zero-copy wire parse — a framed but unparseable packet simply
+/// has no label (a scanned non-match), which keeps the scan's accept set a
+/// property of the bytes, not of where chunk boundaries fell.
+bool single_label_of(const roots::TraceRecordRef& ref,
+                     std::string_view* label) {
+  if (!ref.is_single_label()) return false;
+  *label = ref.first_label();
+  return true;
+}
+
+bool single_label_of(const roots::PacketRecordRef& ref,
+                     std::string_view* label) {
+  const auto view = dns::MessageView::parse(ref.wire());
+  if (!view || view->question_count() == 0) return false;
+  const dns::NameView& name = view->first_question().name;
+  if (!name.is_single_label()) return false;
+  *label = name.first_label();
+  return true;
 }
 
 /// The collision threshold in the sampled domain: a name with the
@@ -220,8 +245,15 @@ ChromiumResult ChromiumCounter::process(const ReplayFn& replay) const {
   return result;
 }
 
-ChromiumResult ChromiumCounter::process_view(
-    const roots::TraceView& view) const {
+namespace {
+
+/// The zero-copy two-pass scan, shared by the record-framed (NCD1) and
+/// packet-framed (NCP1) views. `RefT` only needs cursor traversal,
+/// timestamp()/source(), and a `single_label_of` adapter overload; the
+/// chunk partition, sketch pass, attribution pass, and merge discipline
+/// are byte-for-byte the same machinery either way.
+template <typename RefT, typename ViewT>
+ChromiumResult scan_view(const ViewT& view, const ChromiumOptions& options_) {
   ChromiumResult result;
   const std::uint32_t threshold = effective_threshold(options_);
 
@@ -236,8 +268,8 @@ ChromiumResult ChromiumCounter::process_view(
   {
     obs::StageSpan span("chromium.scan.partition");
     exec::RecordChunker chunker(options_.chunk_records);
-    roots::TraceView::Cursor cursor = view.cursor();
-    roots::TraceRecordRef ref;
+    typename ViewT::Cursor cursor = view.cursor();
+    RefT ref;
     while (true) {
       const std::size_t at = cursor.offset();
       if (!cursor.next(&ref)) break;
@@ -271,16 +303,17 @@ ChromiumResult ChromiumCounter::process_view(
   {
     obs::StageSpan span("chromium.scan.pass1_sketch");
     exec::parallel_map(chunks.size(), options_.threads, [&](std::size_t i) {
-      roots::TraceView::Cursor cursor =
+      typename ViewT::Cursor cursor =
           view.cursor_at(chunks[i].begin, chunks[i].first_record);
-      roots::TraceRecordRef ref;
+      RefT ref;
       std::vector<std::uint64_t> keys;
       keys.reserve(static_cast<std::size_t>(chunks[i].records));
       for (std::uint64_t r = 0; r < chunks[i].records; ++r) {
         if (!cursor.next(&ref)) break;  // unreachable: chunk pre-validated
-        if (ref.is_single_label() &&
-            matches_chromium_signature_bytes(ref.first_label())) {
-          keys.push_back(name_day_key(ref));
+        std::string_view label;
+        if (single_label_of(ref, &label) &&
+            matches_chromium_signature_bytes(label)) {
+          keys.push_back(name_day_key(label, ref.timestamp()));
         }
       }
       for (std::size_t j = 0; j < keys.size(); ++j) {
@@ -313,9 +346,9 @@ ChromiumResult ChromiumCounter::process_view(
     partials =
         exec::parallel_map(chunks.size(), options_.threads, [&](std::size_t i) {
           ChunkPartial partial;
-          roots::TraceView::Cursor cursor =
+          typename ViewT::Cursor cursor =
               view.cursor_at(chunks[i].begin, chunks[i].first_record);
-          roots::TraceRecordRef ref;
+          RefT ref;
           // Same two-loop shape as pass 1 (estimates only read here).
           struct Match {
             std::uint64_t key;
@@ -325,9 +358,10 @@ ChromiumResult ChromiumCounter::process_view(
           matches.reserve(static_cast<std::size_t>(chunks[i].records));
           for (std::uint64_t r = 0; r < chunks[i].records; ++r) {
             if (!cursor.next(&ref)) break;  // unreachable, as above
-            if (ref.is_single_label() &&
-                matches_chromium_signature_bytes(ref.first_label())) {
-              matches.push_back(Match{name_day_key(ref),
+            std::string_view label;
+            if (single_label_of(ref, &label) &&
+                matches_chromium_signature_bytes(label)) {
+              matches.push_back(Match{name_day_key(label, ref.timestamp()),
                                       ref.source().value()});
             }
           }
@@ -372,6 +406,18 @@ ChromiumResult ChromiumCounter::process_view(
   return result;
 }
 
+}  // namespace
+
+ChromiumResult ChromiumCounter::process_view(
+    const roots::TraceView& view) const {
+  return scan_view<roots::TraceRecordRef>(view, options_);
+}
+
+ChromiumResult ChromiumCounter::process_packets(
+    const roots::PacketTraceView& view) const {
+  return scan_view<roots::PacketRecordRef>(view, options_);
+}
+
 ChromiumResult ChromiumCounter::process(
     const std::vector<roots::TraceRecord>& trace) const {
   return process([&](const std::function<void(const roots::TraceRecord&)>&
@@ -385,6 +431,13 @@ std::optional<ChromiumResult> ChromiumCounter::process_file(
   const auto view = roots::TraceView::open(path);
   if (!view) return std::nullopt;
   return process_view(*view);
+}
+
+std::optional<ChromiumResult> ChromiumCounter::process_packet_file(
+    const std::string& path) const {
+  const auto view = roots::PacketTraceView::open(path);
+  if (!view) return std::nullopt;
+  return process_packets(*view);
 }
 
 PrefixDataset ChromiumResult::to_prefix_dataset(std::string name) const {

@@ -12,6 +12,7 @@
 #include "roots/trace.h"
 
 namespace netclients::roots {
+class PacketTraceView;
 class TraceView;
 }  // namespace netclients::roots
 
@@ -115,6 +116,19 @@ class ChromiumCounter {
   /// counted (result.records_skipped), never fatal. Returns nullopt only
   /// if the file itself is unreadable (missing, bad magic, bad header).
   std::optional<ChromiumResult> process_file(const std::string& path) const;
+
+  /// The same two-pass chunked scan over a packet-framed (NCP1) trace:
+  /// chunking walks the capture framing only, and each scan shard pays an
+  /// honest zero-copy `dns::MessageView::parse` per packet. A framed but
+  /// unparseable packet is a scanned non-match (records_scanned includes
+  /// it), so chunk boundaries — and therefore results — stay independent
+  /// of packet contents and thread count. Counts are identical to running
+  /// process() over the records the packets were written from.
+  ChromiumResult process_packets(const roots::PacketTraceView& view) const;
+
+  /// process_file for NCP1 packet traces.
+  std::optional<ChromiumResult> process_packet_file(
+      const std::string& path) const;
 
   const ChromiumOptions& options() const { return options_; }
 

@@ -11,11 +11,11 @@ bool valid_label_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
 }
 
-char to_lower(char c) {
+}  // namespace
+
+char canonical_lower(char c) {
   return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
 }
-
-}  // namespace
 
 std::optional<DnsName> DnsName::parse(std::string_view text) {
   if (text == "." || text.empty()) return DnsName{};
@@ -32,7 +32,7 @@ std::optional<DnsName> DnsName::parse(std::string_view text) {
     canonical.reserve(label.size());
     for (char c : label) {
       if (!valid_label_char(c)) return std::nullopt;
-      canonical.push_back(to_lower(c));
+      canonical.push_back(canonical_lower(c));
     }
     labels.push_back(std::move(canonical));
     if (dot == std::string_view::npos) break;
@@ -45,7 +45,7 @@ std::optional<DnsName> DnsName::from_labels(std::vector<std::string> labels) {
   std::size_t wire = 1;  // root terminator
   for (auto& label : labels) {
     if (label.empty() || label.size() > 63) return std::nullopt;
-    for (auto& c : label) c = to_lower(c);
+    for (auto& c : label) c = canonical_lower(c);
     wire += 1 + label.size();
   }
   if (wire > 255) return std::nullopt;

@@ -9,6 +9,12 @@
 
 namespace netclients::dns {
 
+/// The per-byte canonicalization applied to every label octet when a name
+/// is materialized (ASCII lowercase; other bytes pass through). Exposed so
+/// the zero-copy NameView can hash/compare raw packet bytes exactly as the
+/// owning DnsName would after construction.
+char canonical_lower(char c);
+
 /// A DNS domain name: an ordered list of labels, stored lowercase (DNS name
 /// comparison is case-insensitive; we canonicalize on construction).
 ///

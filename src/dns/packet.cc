@@ -1,0 +1,536 @@
+#include "dns/packet.h"
+
+#include <cassert>
+
+#include "net/prefix.h"
+#include "net/rng.h"
+
+namespace netclients::dns {
+namespace {
+
+/// FNV-1a + finalizer over a label's packet bytes, lowercased on the fly —
+/// bit-identical to net::stable_hash of the canonicalized label.
+std::uint64_t lowercased_stable_hash(std::string_view raw_label) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : raw_label) {
+    h ^= static_cast<unsigned char>(canonical_lower(c));
+    h *= 0x100000001b3ULL;
+  }
+  return net::mix64(h);
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- NameView
+
+std::string_view NameView::first_label() const {
+  std::size_t cursor = offset_;
+  int hops = 0;
+  while (cursor < wire_.size()) {
+    const std::uint8_t len = wire_[cursor];
+    if ((len & 0xC0) == 0xC0) {
+      if (cursor + 1 >= wire_.size() || ++hops > kMaxPointerHops) break;
+      cursor =
+          (static_cast<std::size_t>(len & 0x3F) << 8) | wire_[cursor + 1];
+      continue;
+    }
+    if (len == 0 || (len & 0xC0)) break;
+    return {reinterpret_cast<const char*>(wire_.data()) + cursor + 1, len};
+  }
+  return {};  // unreachable for validated non-root names
+}
+
+std::uint64_t NameView::canonical_hash() const {
+  std::uint64_t h = 0x5851f42d4c957f2dULL;
+  for_each_label([&h](std::string_view label) {
+    h = net::hash_combine(h, lowercased_stable_hash(label));
+  });
+  return h;
+}
+
+bool NameView::equals(const DnsName& name) const {
+  if (name.label_count() != label_count_) return false;
+  std::size_t i = 0;
+  bool same = true;
+  for_each_label([&](std::string_view raw) {
+    const std::string& canonical = name.labels()[i++];
+    if (raw.size() != canonical.size()) {
+      same = false;
+      return;
+    }
+    for (std::size_t b = 0; b < raw.size(); ++b) {
+      if (canonical_lower(raw[b]) != canonical[b]) {
+        same = false;
+        return;
+      }
+    }
+  });
+  return same;
+}
+
+DnsName NameView::materialize() const {
+  std::vector<std::string> labels;
+  labels.reserve(label_count_);
+  for_each_label([&labels](std::string_view label) {
+    labels.emplace_back(label);
+  });
+  auto name = DnsName::from_labels(std::move(labels));
+  assert(name.has_value());  // structural limits enforced at parse
+  return std::move(*name);
+}
+
+bool parse_name(PacketReader& reader, NameView* out) {
+  const std::span<const std::uint8_t> wire = reader.wire();
+  std::size_t cursor = reader.pos();
+  const std::size_t start = cursor;
+  bool jumped = false;
+  int hops = 0;
+  std::size_t wire_len = 1;
+  std::size_t labels = 0;
+  while (true) {
+    if (cursor >= wire.size()) return reader.fail("truncated name");
+    const std::uint8_t len = wire[cursor];
+    if ((len & 0xC0) == 0xC0) {
+      if (cursor + 1 >= wire.size()) return reader.fail("truncated pointer");
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3F) << 8) | wire[cursor + 1];
+      if (!jumped) reader.seek(cursor + 2);
+      if (target >= cursor) return reader.fail("forward compression pointer");
+      if (++hops > NameView::kMaxPointerHops) {
+        return reader.fail("compression pointer loop");
+      }
+      cursor = target;
+      jumped = true;
+      continue;
+    }
+    if (len & 0xC0) return reader.fail("reserved label type");
+    if (len == 0) {
+      if (!jumped) reader.seek(cursor + 1);
+      break;
+    }
+    if (cursor + 1 + len > wire.size()) return reader.fail("truncated label");
+    wire_len += 1 + len;
+    if (wire_len > 255) return reader.fail("name too long");
+    ++labels;
+    cursor += 1 + len;
+  }
+  if (out != nullptr) {
+    out->wire_ = wire;
+    out->offset_ = static_cast<std::uint32_t>(start);
+    out->label_count_ = static_cast<std::uint8_t>(labels);
+    out->wire_length_ = static_cast<std::uint16_t>(wire_len);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- BufWriter
+
+bool BufWriter::emit_pointer_for(std::string_view canonical_suffix) {
+  for (const WireArena::Suffix& suffix : arena_.suffixes_) {
+    if (suffix.pool_length != canonical_suffix.size()) continue;
+    std::string_view stored(arena_.pool_.data() + suffix.pool_offset,
+                            suffix.pool_length);
+    if (stored == canonical_suffix) {
+      u16(static_cast<std::uint16_t>(0xC000 | suffix.wire_offset));
+      return true;
+    }
+  }
+  return false;
+}
+
+void BufWriter::remember_suffix(std::string_view canonical_suffix) {
+  if (arena_.out_.size() >= 0x3FFF) return;  // unpointable from here on
+  WireArena::Suffix suffix;
+  suffix.pool_offset = static_cast<std::uint32_t>(arena_.pool_.size());
+  suffix.pool_length = static_cast<std::uint16_t>(canonical_suffix.size());
+  suffix.wire_offset = static_cast<std::uint16_t>(arena_.out_.size());
+  arena_.pool_.insert(arena_.pool_.end(), canonical_suffix.begin(),
+                      canonical_suffix.end());
+  arena_.suffixes_.push_back(suffix);
+}
+
+void BufWriter::name(const DnsName& name) {
+  const auto& labels = name.labels();
+  // Lay the joined canonical form ("label.label.") out once so every
+  // suffix is a view into it — the same keys the old per-message
+  // std::map<std::string, offset> held, without the allocations.
+  arena_.scratch_.clear();
+  arena_.starts_.clear();
+  for (const std::string& label : labels) {
+    arena_.starts_.push_back(static_cast<std::uint32_t>(
+        arena_.scratch_.size()));
+    arena_.scratch_.insert(arena_.scratch_.end(), label.begin(), label.end());
+    arena_.scratch_.push_back('.');
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::string_view suffix(arena_.scratch_.data() + arena_.starts_[i],
+                            arena_.scratch_.size() - arena_.starts_[i]);
+    if (emit_pointer_for(suffix)) return;
+    remember_suffix(suffix);
+    u8(static_cast<std::uint8_t>(labels[i].size()));
+    bytes({reinterpret_cast<const std::uint8_t*>(labels[i].data()),
+           labels[i].size()});
+  }
+  u8(0);  // root
+}
+
+// -------------------------------------------------------------- encode_into
+
+namespace {
+
+void encode_rdata(BufWriter& writer, const ResourceRecord& rr) {
+  const std::size_t len_at = writer.size();
+  writer.u16(0);  // placeholder
+  const std::size_t start = writer.size();
+  if (const auto* a = std::get_if<AData>(&rr.rdata)) {
+    writer.u32(a->address.value());
+  } else if (const auto* txt = std::get_if<TxtData>(&rr.rdata)) {
+    // Split into 255-byte character-strings.
+    std::string_view rest = txt->text;
+    do {
+      std::string_view chunk = rest.substr(0, 255);
+      rest.remove_prefix(chunk.size());
+      writer.u8(static_cast<std::uint8_t>(chunk.size()));
+      writer.bytes({reinterpret_cast<const std::uint8_t*>(chunk.data()),
+                    chunk.size()});
+    } while (!rest.empty());
+  } else {
+    const auto& raw = std::get<RawData>(rr.rdata);
+    writer.bytes(raw.bytes);
+  }
+  writer.patch_u16(len_at, static_cast<std::uint16_t>(writer.size() - start));
+}
+
+void encode_record(BufWriter& writer, const ResourceRecord& rr) {
+  writer.name(rr.name);
+  writer.u16(static_cast<std::uint16_t>(rr.type));
+  writer.u16(rr.rclass);
+  writer.u32(rr.ttl);
+  encode_rdata(writer, rr);
+}
+
+void encode_opt(BufWriter& writer, const EdnsInfo& edns) {
+  writer.u8(0);  // root owner name
+  writer.u16(static_cast<std::uint16_t>(RecordType::kOpt));
+  writer.u16(edns.udp_payload_size);  // CLASS = requestor's UDP payload size
+  writer.u32(0);                      // extended RCODE/flags
+  const std::size_t len_at = writer.size();
+  writer.u16(0);
+  const std::size_t start = writer.size();
+  if (edns.ecs) {
+    const EcsOption& ecs = *edns.ecs;
+    const unsigned addr_bytes = (ecs.source_prefix_length + 7) / 8;
+    writer.u16(EcsOption::kOptionCode);
+    writer.u16(static_cast<std::uint16_t>(4 + addr_bytes));
+    writer.u16(EcsOption::kFamilyIpv4);
+    writer.u8(ecs.source_prefix_length);
+    writer.u8(ecs.scope_prefix_length);
+    const std::uint32_t addr = ecs.address.value();
+    for (unsigned i = 0; i < addr_bytes; ++i) {
+      writer.u8(static_cast<std::uint8_t>(addr >> (24 - 8 * i)));
+    }
+  }
+  writer.patch_u16(len_at, static_cast<std::uint16_t>(writer.size() - start));
+}
+
+}  // namespace
+
+std::span<const std::uint8_t> encode_into(const DnsMessage& message,
+                                          WireArena& arena) {
+  BufWriter writer(arena);
+  const Header& h = message.header;
+  writer.u16(h.id);
+  std::uint16_t flags = 0;
+  flags |= static_cast<std::uint16_t>(h.qr) << 15;
+  flags |= static_cast<std::uint16_t>(h.opcode & 0xF) << 11;
+  flags |= static_cast<std::uint16_t>(h.aa) << 10;
+  flags |= static_cast<std::uint16_t>(h.tc) << 9;
+  flags |= static_cast<std::uint16_t>(h.rd) << 8;
+  flags |= static_cast<std::uint16_t>(h.ra) << 7;
+  flags |= static_cast<std::uint16_t>(h.rcode) & 0xF;
+  writer.u16(flags);
+  writer.u16(static_cast<std::uint16_t>(message.questions.size()));
+  writer.u16(static_cast<std::uint16_t>(message.answers.size()));
+  writer.u16(static_cast<std::uint16_t>(message.authorities.size()));
+  writer.u16(static_cast<std::uint16_t>(message.additionals.size() +
+                                        (message.edns ? 1 : 0)));
+  for (const auto& q : message.questions) {
+    writer.name(q.name);
+    writer.u16(static_cast<std::uint16_t>(q.type));
+    writer.u16(q.qclass);
+  }
+  for (const auto& rr : message.answers) encode_record(writer, rr);
+  for (const auto& rr : message.authorities) encode_record(writer, rr);
+  for (const auto& rr : message.additionals) encode_record(writer, rr);
+  if (message.edns) encode_opt(writer, *message.edns);
+  return writer.finish();
+}
+
+// -------------------------------------------------------------- MessageView
+
+namespace {
+
+bool parse_ecs(std::span<const std::uint8_t> data, EcsOption& out,
+               PacketReader& reader) {
+  if (data.size() < 4) return reader.fail("short ECS option");
+  const std::uint16_t family =
+      static_cast<std::uint16_t>(data[0] << 8 | data[1]);
+  const std::uint8_t source_len = data[2];
+  const std::uint8_t scope_len = data[3];
+  if (family != EcsOption::kFamilyIpv4) return reader.fail("non-IPv4 ECS");
+  if (source_len > 32 || scope_len > 32) {
+    return reader.fail("ECS length > 32");
+  }
+  const unsigned addr_bytes = (source_len + 7) / 8;
+  if (data.size() != 4 + addr_bytes) {
+    return reader.fail("bad ECS address size");
+  }
+  std::uint32_t addr = 0;
+  for (unsigned i = 0; i < addr_bytes; ++i) {
+    addr |= std::uint32_t{data[4 + i]} << (24 - 8 * i);
+  }
+  out.address = net::Ipv4Addr(addr & net::Prefix::mask(source_len));
+  out.source_prefix_length = source_len;
+  out.scope_prefix_length = scope_len;
+  return true;
+}
+
+/// Validates one record in full — the same accept/reject set as the
+/// materializing decoder, including OPT/ECS structure and typed-RDATA
+/// shape checks — and lifts EDNS state. Sets `is_opt` so callers can keep
+/// per-section record counts that exclude the OPT pseudo-record.
+bool validate_record(PacketReader& reader, std::optional<EdnsInfo>& edns,
+                     bool& is_opt) {
+  NameView name;
+  if (!parse_name(reader, &name)) return false;
+  std::uint16_t type = 0, rclass = 0, rdlength = 0;
+  std::uint32_t ttl = 0;
+  if (!reader.u16(type) || !reader.u16(rclass) || !reader.u32(ttl) ||
+      !reader.u16(rdlength)) {
+    return false;
+  }
+  std::span<const std::uint8_t> rdata;
+  if (!reader.bytes(rdlength, rdata)) return false;
+
+  const auto record_type = static_cast<RecordType>(type);
+  is_opt = record_type == RecordType::kOpt;
+  if (is_opt) {
+    if (!name.is_root()) return reader.fail("OPT owner must be root");
+    EdnsInfo info;
+    info.udp_payload_size = rclass;
+    std::size_t at = 0;
+    while (at < rdata.size()) {
+      if (at + 4 > rdata.size()) return reader.fail("truncated EDNS option");
+      const std::uint16_t code =
+          static_cast<std::uint16_t>(rdata[at] << 8 | rdata[at + 1]);
+      const std::uint16_t optlen =
+          static_cast<std::uint16_t>(rdata[at + 2] << 8 | rdata[at + 3]);
+      at += 4;
+      if (at + optlen > rdata.size()) {
+        return reader.fail("truncated EDNS option");
+      }
+      if (code == EcsOption::kOptionCode) {
+        EcsOption ecs;
+        if (!parse_ecs(rdata.subspan(at, optlen), ecs, reader)) return false;
+        info.ecs = ecs;
+      }
+      at += optlen;
+    }
+    edns = info;
+    return true;
+  }
+
+  if (record_type == RecordType::kA && rclass == kClassIn) {
+    if (rdata.size() != 4) return reader.fail("A rdata must be 4 bytes");
+  } else if (record_type == RecordType::kTxt && rclass == kClassIn) {
+    std::size_t at = 0;
+    while (at < rdata.size()) {
+      const std::uint8_t len = rdata[at++];
+      if (at + len > rdata.size()) {
+        return reader.fail("truncated TXT string");
+      }
+      at += len;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<net::Ipv4Addr> MessageView::RecordView::a_address() const {
+  if (type != RecordType::kA || rclass != kClassIn || rdata.size() != 4) {
+    return std::nullopt;
+  }
+  return net::Ipv4Addr((std::uint32_t{rdata[0]} << 24) |
+                       (std::uint32_t{rdata[1]} << 16) |
+                       (std::uint32_t{rdata[2]} << 8) |
+                       std::uint32_t{rdata[3]});
+}
+
+bool MessageView::RecordView::txt_text(std::string* out) const {
+  out->clear();
+  std::size_t at = 0;
+  while (at < rdata.size()) {
+    const std::uint8_t len = rdata[at++];
+    if (at + len > rdata.size()) return false;
+    out->append(reinterpret_cast<const char*>(rdata.data() + at), len);
+    at += len;
+  }
+  return true;
+}
+
+std::optional<MessageView> MessageView::parse(
+    std::span<const std::uint8_t> wire, std::string* error) {
+  MessageView view;
+  view.wire_ = wire;
+  PacketReader reader(wire);
+  auto failure = [&]() -> std::optional<MessageView> {
+    if (error != nullptr) *error = reader.error();
+    return std::nullopt;
+  };
+
+  std::uint16_t flags = 0;
+  if (!reader.u16(view.header_.id) || !reader.u16(flags) ||
+      !reader.u16(view.qd_) || !reader.u16(view.an_) ||
+      !reader.u16(view.ns_) || !reader.u16(view.ar_)) {
+    return failure();
+  }
+  view.header_.qr = flags & 0x8000;
+  view.header_.opcode = (flags >> 11) & 0xF;
+  view.header_.aa = flags & 0x0400;
+  view.header_.tc = flags & 0x0200;
+  view.header_.rd = flags & 0x0100;
+  view.header_.ra = flags & 0x0080;
+  view.header_.rcode = static_cast<RCode>(flags & 0xF);
+
+  view.questions_off_ = static_cast<std::uint32_t>(reader.pos());
+  for (std::size_t i = 0; i < view.qd_; ++i) {
+    NameView name;
+    std::uint16_t type = 0, qclass = 0;
+    if (!parse_name(reader, &name) || !reader.u16(type) ||
+        !reader.u16(qclass)) {
+      return failure();
+    }
+    if (i == 0) {
+      view.question_.name = name;
+      view.question_.type = static_cast<RecordType>(type);
+      view.question_.qclass = qclass;
+    }
+  }
+
+  view.answers_off_ = static_cast<std::uint32_t>(reader.pos());
+  const std::uint16_t declared[3] = {view.an_, view.ns_, view.ar_};
+  std::uint32_t* offsets[3] = {nullptr, &view.authorities_off_,
+                               &view.additionals_off_};
+  for (int section = 0; section < 3; ++section) {
+    if (offsets[section] != nullptr) {
+      *offsets[section] = static_cast<std::uint32_t>(reader.pos());
+    }
+    for (std::size_t i = 0; i < declared[section]; ++i) {
+      bool is_opt = false;
+      if (!validate_record(reader, view.edns_, is_opt)) return failure();
+      if (is_opt) ++view.opt_counts_[section];
+    }
+  }
+
+  if (reader.remaining() != 0) {
+    reader.fail("trailing bytes after message");
+    return failure();
+  }
+  return view;
+}
+
+std::size_t MessageView::record_count(Section section) const {
+  const auto index = static_cast<std::size_t>(section);
+  const std::uint16_t declared[3] = {an_, ns_, ar_};
+  return declared[index] - opt_counts_[index];
+}
+
+std::size_t MessageView::section_offset(Section section) const {
+  switch (section) {
+    case Section::kAnswer:
+      return answers_off_;
+    case Section::kAuthority:
+      return authorities_off_;
+    case Section::kAdditional:
+      return additionals_off_;
+  }
+  return additionals_off_;
+}
+
+std::size_t MessageView::declared_count(Section section) const {
+  switch (section) {
+    case Section::kAnswer:
+      return an_;
+    case Section::kAuthority:
+      return ns_;
+    case Section::kAdditional:
+      return ar_;
+  }
+  return ar_;
+}
+
+bool MessageView::read_record(PacketReader& reader, RecordView& record,
+                              bool& is_opt) const {
+  if (!parse_name(reader, &record.name)) return false;
+  std::uint16_t type = 0, rdlength = 0;
+  if (!reader.u16(type) || !reader.u16(record.rclass) ||
+      !reader.u32(record.ttl) || !reader.u16(rdlength)) {
+    return false;
+  }
+  record.type = static_cast<RecordType>(type);
+  is_opt = record.type == RecordType::kOpt;
+  return reader.bytes(rdlength, record.rdata);
+}
+
+DnsMessage MessageView::materialize() const {
+  DnsMessage msg;
+  msg.header = header_;
+  PacketReader reader(wire_);
+  reader.seek(questions_off_);
+  msg.questions.reserve(qd_);
+  for (std::size_t i = 0; i < qd_; ++i) {
+    NameView name;
+    Question q;
+    std::uint16_t type = 0;
+    parse_name(reader, &name);
+    reader.u16(type);
+    reader.u16(q.qclass);
+    q.name = name.materialize();
+    q.type = static_cast<RecordType>(type);
+    msg.questions.push_back(std::move(q));
+  }
+
+  std::vector<ResourceRecord>* sections[3] = {&msg.answers, &msg.authorities,
+                                              &msg.additionals};
+  const std::uint16_t declared[3] = {an_, ns_, ar_};
+  for (int section = 0; section < 3; ++section) {
+    sections[section]->reserve(declared[section] - opt_counts_[section]);
+    for (std::size_t i = 0; i < declared[section]; ++i) {
+      RecordView record;
+      bool is_opt = false;
+      read_record(reader, record, is_opt);
+      if (is_opt) continue;
+      ResourceRecord rr;
+      rr.name = record.name.materialize();
+      rr.type = record.type;
+      rr.rclass = record.rclass;
+      rr.ttl = record.ttl;
+      if (auto a = record.a_address()) {
+        rr.rdata = AData{*a};
+      } else if (record.type == RecordType::kTxt &&
+                 record.rclass == kClassIn) {
+        TxtData txt;
+        record.txt_text(&txt.text);  // validated at parse; cannot fail
+        rr.rdata = std::move(txt);
+      } else {
+        rr.rdata = RawData{{record.rdata.begin(), record.rdata.end()}};
+      }
+      sections[section]->push_back(std::move(rr));
+    }
+  }
+  msg.edns = edns_;
+  return msg;
+}
+
+}  // namespace netclients::dns

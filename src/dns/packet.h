@@ -1,0 +1,352 @@
+#pragma once
+
+// Zero-copy packet plane for the RFC 1035 wire format.
+//
+// The original codec in wire.h materialized every packet into a DnsMessage
+// (a vector per section, a string per label) before anything could look at
+// it, and allocated a fresh output vector plus a std::map of suffix
+// offsets per encode. At packet-plane rates — every probe, every upstream
+// round trip, every captured DITL packet — both costs dominate the actual
+// protocol work. This header is the allocation-free alternative:
+//
+//  * PacketReader — a bounds-checked forward cursor over immutable wire
+//    bytes; every primitive either advances or records the first error.
+//  * BufWriter / WireArena — an append writer over arena-owned buffers.
+//    The arena keeps its output vector and its name-compression side
+//    tables alive across messages, so steady-state encode performs no
+//    heap allocation at all.
+//  * NameView — a non-owning DNS name: an offset into the packet plus
+//    cached label/length counts from validation. Labels are handed out as
+//    string_views over the packet bytes; compression pointers are followed
+//    on every walk (they were capped and validated once, at parse).
+//  * MessageView — a non-owning decoded message: header and EDNS/ECS
+//    decoded inline (fixed size), sections exposed as validated offsets
+//    iterated on demand. Parsing performs the complete validation pass of
+//    the materializing decoder — same accept/reject set, byte for byte —
+//    but touches no heap; decode-inspect-drop costs no copies.
+//    materialize() produces exactly what dns::decode yields (decode() is
+//    in fact implemented as parse + materialize, so the two cannot drift).
+//
+// Ownership and lifetime: a MessageView (and every NameView/RecordView/
+// string_view derived from it) borrows the packet buffer it was parsed
+// from and is valid only while those bytes are alive and unmodified.
+// Spans returned by BufWriter/encode_into borrow their arena and are
+// invalidated by the next encode into the same arena. Consumers that
+// outlive the packet must materialize().
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/message.h"
+
+namespace netclients::dns {
+
+/// Bounds-checked forward reader over wire bytes. All primitives return
+/// false (and latch the first error) instead of reading out of bounds.
+class PacketReader {
+ public:
+  explicit PacketReader(std::span<const std::uint8_t> wire) : wire_(wire) {}
+
+  bool fail(std::string_view why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+  const std::string& error() const { return error_; }
+  bool failed() const { return !error_.empty(); }
+
+  bool u8(std::uint8_t& out) {
+    if (pos_ + 1 > wire_.size()) return fail("truncated u8");
+    out = wire_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& out) {
+    if (pos_ + 2 > wire_.size()) return fail("truncated u16");
+    out = static_cast<std::uint16_t>(wire_[pos_] << 8 | wire_[pos_ + 1]);
+    pos_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& out) {
+    std::uint16_t hi = 0, lo = 0;
+    if (!u16(hi) || !u16(lo)) return false;
+    out = (std::uint32_t{hi} << 16) | lo;
+    return true;
+  }
+  /// Borrows `count` bytes from the packet (no copy).
+  bool bytes(std::size_t count, std::span<const std::uint8_t>& out) {
+    if (count > wire_.size() - pos_ || pos_ > wire_.size()) {
+      return fail("truncated rdata");
+    }
+    out = wire_.subspan(pos_, count);
+    pos_ += count;
+    return true;
+  }
+  bool skip(std::size_t count) {
+    if (count > wire_.size() - pos_) return fail("truncated skip");
+    pos_ += count;
+    return true;
+  }
+
+  std::size_t pos() const { return pos_; }
+  void seek(std::size_t pos) { pos_ = pos; }
+  std::size_t remaining() const { return wire_.size() - pos_; }
+  std::span<const std::uint8_t> wire() const { return wire_; }
+
+ private:
+  std::span<const std::uint8_t> wire_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// A non-owning DNS name inside a packet: the packet bytes plus the offset
+/// where the name starts. Constructed only by MessageView parsing, which
+/// validated the name (bounds, label lengths, 255-octet wire cap, pointer
+/// direction, and the 64-hop jump cap) — so walks cannot escape the
+/// packet. Labels are raw packet bytes: not lowercased the way a
+/// materialized DnsName is; the hashing/equality helpers canonicalize on
+/// the fly so lookups agree with DnsName exactly.
+class NameView {
+ public:
+  NameView() = default;
+
+  std::size_t label_count() const { return label_count_; }
+  bool is_root() const { return label_count_ == 0; }
+  bool is_single_label() const { return label_count_ == 1; }
+  /// Uncompressed wire length (label bytes + length octets + terminator).
+  std::size_t wire_length() const { return wire_length_; }
+
+  /// First label's bytes (raw case). Precondition: !is_root().
+  std::string_view first_label() const;
+
+  /// Visits every label in order, following compression pointers.
+  template <typename Fn>
+  void for_each_label(Fn&& fn) const {
+    std::size_t cursor = offset_;
+    int hops = 0;
+    while (cursor < wire_.size()) {
+      const std::uint8_t len = wire_[cursor];
+      if ((len & 0xC0) == 0xC0) {
+        if (cursor + 1 >= wire_.size() || ++hops > kMaxPointerHops) return;
+        cursor = (static_cast<std::size_t>(len & 0x3F) << 8) |
+                 wire_[cursor + 1];
+        continue;
+      }
+      if (len == 0 || (len & 0xC0)) return;
+      fn(std::string_view(
+          reinterpret_cast<const char*>(wire_.data()) + cursor + 1, len));
+      cursor += 1 + len;
+    }
+  }
+
+  /// The stable hash a materialized DnsName would carry (labels lowercased
+  /// on the fly) — what makes heterogeneous map lookups possible.
+  std::uint64_t canonical_hash() const;
+  /// Case-insensitive comparison against a canonical DnsName.
+  bool equals(const DnsName& name) const;
+
+  /// Deep copy into an owning, canonicalized DnsName. Validation at parse
+  /// enforced exactly from_labels' structural limits, so this cannot fail.
+  DnsName materialize() const;
+
+  /// RFC 1035 §4.1.4 caps pointer chains implicitly (each must point
+  /// strictly backwards); we additionally cap hops so a hostile packet
+  /// cannot make a walk quadratic.
+  static constexpr int kMaxPointerHops = 64;
+
+ private:
+  friend class MessageView;
+  friend bool parse_name(PacketReader& reader, NameView* out);
+
+  std::span<const std::uint8_t> wire_;
+  std::uint32_t offset_ = 0;
+  std::uint8_t label_count_ = 0;
+  std::uint16_t wire_length_ = 1;
+};
+
+/// Validates and indexes the name at the reader's position, mirroring the
+/// materializing decoder's rules exactly: truncation, reserved label
+/// types, forward pointers, the 64-hop cap, and the 255-octet name limit.
+/// Advances the reader past the name's in-place bytes.
+bool parse_name(PacketReader& reader, NameView* out);
+
+/// Reusable encode state. Keeps the output buffer and the compression
+/// side tables warm across messages; after the first few encodes the hot
+/// path performs no allocation. Not thread-safe — use one arena per
+/// thread (the resolver front ends keep one thread_local each).
+class WireArena {
+ public:
+  /// Bytes of the most recent encode (valid until the next encode).
+  std::span<const std::uint8_t> last() const {
+    return {out_.data(), out_.size()};
+  }
+
+ private:
+  friend class BufWriter;
+
+  struct Suffix {
+    std::uint32_t pool_offset;  // canonical suffix bytes in pool_
+    std::uint16_t pool_length;
+    std::uint16_t wire_offset;  // where the suffix was emitted (< 0x3FFF)
+  };
+
+  std::vector<std::uint8_t> out_;
+  std::vector<Suffix> suffixes_;
+  std::vector<char> pool_;
+  std::vector<char> scratch_;          // joined canonical name being written
+  std::vector<std::uint32_t> starts_;  // per-label offsets into scratch_
+};
+
+/// Append-only writer into a WireArena. Big-endian primitives, 16-bit
+/// back-patching for RDLENGTH fields, and RFC 1035 §4.1.4 name
+/// compression: the longest previously emitted suffix is replaced by a
+/// pointer. Compression state lives in the arena (no per-message maps).
+class BufWriter {
+ public:
+  /// Begins a fresh message in `arena`, recycling its buffers.
+  explicit BufWriter(WireArena& arena) : arena_(arena) {
+    arena_.out_.clear();
+    arena_.suffixes_.clear();
+    arena_.pool_.clear();
+  }
+
+  void u8(std::uint8_t v) { arena_.out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    arena_.out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    arena_.out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    arena_.out_.insert(arena_.out_.end(), data.begin(), data.end());
+  }
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    arena_.out_[offset] = static_cast<std::uint8_t>(v >> 8);
+    arena_.out_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  /// Writes `name` with compression against previously written names.
+  void name(const DnsName& name);
+
+  std::size_t size() const { return arena_.out_.size(); }
+  std::span<const std::uint8_t> finish() const { return arena_.last(); }
+
+ private:
+  bool emit_pointer_for(std::string_view canonical_suffix);
+  void remember_suffix(std::string_view canonical_suffix);
+
+  WireArena& arena_;
+};
+
+/// Encodes into the arena without allocating (steady state). The returned
+/// span borrows the arena and is invalidated by the next encode into it.
+/// Byte-identical to dns::encode (which is a copying wrapper over this).
+std::span<const std::uint8_t> encode_into(const DnsMessage& message,
+                                          WireArena& arena);
+
+/// A non-owning decoded DNS message. See the file comment for the
+/// lifetime contract. Parsing runs the full validation pass; accessors
+/// re-walk the validated bytes and cannot fail.
+class MessageView {
+ public:
+  /// One question, viewed in place.
+  struct QuestionView {
+    NameView name;
+    RecordType type = RecordType::kA;
+    std::uint16_t qclass = kClassIn;
+  };
+
+  /// One resource record, viewed in place. `rdata` borrows the packet.
+  struct RecordView {
+    NameView name;
+    RecordType type = RecordType::kA;
+    std::uint16_t rclass = kClassIn;
+    std::uint32_t ttl = 0;
+    std::span<const std::uint8_t> rdata;
+
+    /// Decodes A RDATA (when type/class/length say so).
+    std::optional<net::Ipv4Addr> a_address() const;
+    /// Concatenates TXT character-strings into `out` (allocates — the
+    /// materializing path); returns false on malformed strings.
+    bool txt_text(std::string* out) const;
+  };
+
+  enum class Section : std::uint8_t { kAnswer, kAuthority, kAdditional };
+
+  /// Full validation pass, no allocation. Accepts exactly the packets
+  /// dns::decode accepts; on rejection `error` (if given) receives the
+  /// same diagnostic decode would produce.
+  static std::optional<MessageView> parse(std::span<const std::uint8_t> wire,
+                                          std::string* error = nullptr);
+
+  const Header& header() const { return header_; }
+  std::span<const std::uint8_t> wire() const { return wire_; }
+
+  std::size_t question_count() const { return qd_; }
+  /// First question (the only one DNS servers answer). Precondition:
+  /// question_count() > 0.
+  const QuestionView& first_question() const { return question_; }
+
+  /// Visits every question in wire order.
+  template <typename Fn>
+  void for_each_question(Fn&& fn) const {
+    PacketReader reader(wire_);
+    reader.seek(questions_off_);
+    for (std::size_t i = 0; i < qd_; ++i) {
+      QuestionView q;
+      std::uint16_t type = 0;
+      if (!parse_name(reader, &q.name)) return;  // unreachable
+      reader.u16(type);
+      reader.u16(q.qclass);
+      q.type = static_cast<RecordType>(type);
+      fn(q);
+    }
+  }
+
+  /// Record count per section, the OPT pseudo-record excluded (it is
+  /// lifted into edns(), mirroring DnsMessage).
+  std::size_t record_count(Section section) const;
+
+  /// Visits the section's records in wire order, skipping OPT.
+  template <typename Fn>
+  void for_each_record(Section section, Fn&& fn) const {
+    PacketReader reader(wire_);
+    reader.seek(section_offset(section));
+    const std::size_t declared = declared_count(section);
+    for (std::size_t i = 0; i < declared; ++i) {
+      RecordView record;
+      bool is_opt = false;
+      if (!read_record(reader, record, is_opt)) return;  // unreachable
+      if (!is_opt) fn(record);
+    }
+  }
+
+  /// EDNS state (OPT + ECS), decoded at parse.
+  const std::optional<EdnsInfo>& edns() const { return edns_; }
+
+  /// Deep copy into the owning form — exactly what dns::decode returns.
+  DnsMessage materialize() const;
+
+ private:
+  std::size_t section_offset(Section section) const;
+  std::size_t declared_count(Section section) const;
+  bool read_record(PacketReader& reader, RecordView& record,
+                   bool& is_opt) const;
+
+  std::span<const std::uint8_t> wire_;
+  Header header_;
+  QuestionView question_;  // first question, when qd_ > 0
+  std::uint16_t qd_ = 0, an_ = 0, ns_ = 0, ar_ = 0;  // declared counts
+  std::uint16_t opt_counts_[3] = {0, 0, 0};  // OPTs per record section
+  std::uint32_t questions_off_ = 0;
+  std::uint32_t answers_off_ = 0;
+  std::uint32_t authorities_off_ = 0;
+  std::uint32_t additionals_off_ = 0;
+  std::optional<EdnsInfo> edns_;
+};
+
+}  // namespace netclients::dns

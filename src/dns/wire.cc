@@ -1,378 +1,25 @@
 #include "dns/wire.h"
 
-#include <map>
+#include "dns/packet.h"
 
 namespace netclients::dns {
-namespace {
 
-// ---------------------------------------------------------------- encoding
-
-class Encoder {
- public:
-  std::vector<std::uint8_t> take() { return std::move(out_); }
-
-  void u8(std::uint8_t v) { out_.push_back(v); }
-  void u16(std::uint16_t v) {
-    out_.push_back(static_cast<std::uint8_t>(v >> 8));
-    out_.push_back(static_cast<std::uint8_t>(v));
-  }
-  void u32(std::uint32_t v) {
-    u16(static_cast<std::uint16_t>(v >> 16));
-    u16(static_cast<std::uint16_t>(v));
-  }
-  void bytes(std::span<const std::uint8_t> data) {
-    out_.insert(out_.end(), data.begin(), data.end());
-  }
-
-  std::size_t size() const { return out_.size(); }
-
-  /// Patches a previously written 16-bit length field.
-  void patch_u16(std::size_t offset, std::uint16_t v) {
-    out_[offset] = static_cast<std::uint8_t>(v >> 8);
-    out_[offset + 1] = static_cast<std::uint8_t>(v);
-  }
-
-  /// Writes `name` with RFC 1035 §4.1.4 compression: the longest previously
-  /// emitted suffix is replaced by a pointer.
-  void name(const DnsName& name) {
-    const auto& labels = name.labels();
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      std::string suffix = join_suffix(labels, i);
-      auto it = suffix_offsets_.find(suffix);
-      if (it != suffix_offsets_.end() && it->second < 0x3FFF) {
-        u16(static_cast<std::uint16_t>(0xC000 | it->second));
-        return;
-      }
-      if (out_.size() < 0x3FFF) suffix_offsets_.emplace(suffix, out_.size());
-      u8(static_cast<std::uint8_t>(labels[i].size()));
-      bytes({reinterpret_cast<const std::uint8_t*>(labels[i].data()),
-             labels[i].size()});
-    }
-    u8(0);  // root
-  }
-
- private:
-  static std::string join_suffix(const std::vector<std::string>& labels,
-                                 std::size_t from) {
-    std::string out;
-    for (std::size_t i = from; i < labels.size(); ++i) {
-      out += labels[i];
-      out.push_back('.');
-    }
-    return out;
-  }
-
-  std::vector<std::uint8_t> out_;
-  std::map<std::string, std::size_t> suffix_offsets_;
-};
-
-void encode_rdata(Encoder& enc, const ResourceRecord& rr) {
-  std::size_t len_at = enc.size();
-  enc.u16(0);  // placeholder
-  std::size_t start = enc.size();
-  if (const auto* a = std::get_if<AData>(&rr.rdata)) {
-    enc.u32(a->address.value());
-  } else if (const auto* txt = std::get_if<TxtData>(&rr.rdata)) {
-    // Split into 255-byte character-strings.
-    std::string_view rest = txt->text;
-    do {
-      std::string_view chunk = rest.substr(0, 255);
-      rest.remove_prefix(chunk.size());
-      enc.u8(static_cast<std::uint8_t>(chunk.size()));
-      enc.bytes({reinterpret_cast<const std::uint8_t*>(chunk.data()),
-                 chunk.size()});
-    } while (!rest.empty());
-  } else {
-    const auto& raw = std::get<RawData>(rr.rdata);
-    enc.bytes(raw.bytes);
-  }
-  enc.patch_u16(len_at, static_cast<std::uint16_t>(enc.size() - start));
-}
-
-void encode_record(Encoder& enc, const ResourceRecord& rr) {
-  enc.name(rr.name);
-  enc.u16(static_cast<std::uint16_t>(rr.type));
-  enc.u16(rr.rclass);
-  enc.u32(rr.ttl);
-  encode_rdata(enc, rr);
-}
-
-void encode_opt(Encoder& enc, const EdnsInfo& edns) {
-  enc.u8(0);  // root owner name
-  enc.u16(static_cast<std::uint16_t>(RecordType::kOpt));
-  enc.u16(edns.udp_payload_size);  // CLASS = requestor's UDP payload size
-  enc.u32(0);                      // extended RCODE/flags
-  std::size_t len_at = enc.size();
-  enc.u16(0);
-  std::size_t start = enc.size();
-  if (edns.ecs) {
-    const EcsOption& ecs = *edns.ecs;
-    const unsigned addr_bytes = (ecs.source_prefix_length + 7) / 8;
-    enc.u16(EcsOption::kOptionCode);
-    enc.u16(static_cast<std::uint16_t>(4 + addr_bytes));
-    enc.u16(EcsOption::kFamilyIpv4);
-    enc.u8(ecs.source_prefix_length);
-    enc.u8(ecs.scope_prefix_length);
-    std::uint32_t addr = ecs.address.value();
-    for (unsigned i = 0; i < addr_bytes; ++i) {
-      enc.u8(static_cast<std::uint8_t>(addr >> (24 - 8 * i)));
-    }
-  }
-  enc.patch_u16(len_at, static_cast<std::uint16_t>(enc.size() - start));
-}
-
-// ---------------------------------------------------------------- decoding
-
-class Decoder {
- public:
-  explicit Decoder(std::span<const std::uint8_t> wire) : wire_(wire) {}
-
-  bool fail(std::string why) {
-    if (error_.empty()) error_ = std::move(why);
-    return false;
-  }
-  const std::string& error() const { return error_; }
-  bool failed() const { return !error_.empty(); }
-
-  bool u8(std::uint8_t& out) {
-    if (pos_ + 1 > wire_.size()) return fail("truncated u8");
-    out = wire_[pos_++];
-    return true;
-  }
-  bool u16(std::uint16_t& out) {
-    if (pos_ + 2 > wire_.size()) return fail("truncated u16");
-    out = static_cast<std::uint16_t>(wire_[pos_] << 8 | wire_[pos_ + 1]);
-    pos_ += 2;
-    return true;
-  }
-  bool u32(std::uint32_t& out) {
-    std::uint16_t hi = 0, lo = 0;
-    if (!u16(hi) || !u16(lo)) return false;
-    out = (std::uint32_t{hi} << 16) | lo;
-    return true;
-  }
-
-  bool name(DnsName& out) {
-    std::vector<std::string> labels;
-    std::size_t cursor = pos_;
-    bool jumped = false;
-    int hops = 0;
-    std::size_t wire_len = 1;
-    while (true) {
-      if (cursor >= wire_.size()) return fail("truncated name");
-      std::uint8_t len = wire_[cursor];
-      if ((len & 0xC0) == 0xC0) {
-        if (cursor + 1 >= wire_.size()) return fail("truncated pointer");
-        std::size_t target =
-            (static_cast<std::size_t>(len & 0x3F) << 8) | wire_[cursor + 1];
-        if (!jumped) pos_ = cursor + 2;
-        if (target >= cursor) return fail("forward compression pointer");
-        if (++hops > 64) return fail("compression pointer loop");
-        cursor = target;
-        jumped = true;
-        continue;
-      }
-      if (len & 0xC0) return fail("reserved label type");
-      if (len == 0) {
-        if (!jumped) pos_ = cursor + 1;
-        break;
-      }
-      if (cursor + 1 + len > wire_.size()) return fail("truncated label");
-      wire_len += 1 + len;
-      if (wire_len > 255) return fail("name too long");
-      labels.emplace_back(
-          reinterpret_cast<const char*>(wire_.data() + cursor + 1), len);
-      cursor += 1 + len;
-    }
-    auto parsed = DnsName::from_labels(std::move(labels));
-    if (!parsed) return fail("invalid name labels");
-    out = std::move(*parsed);
-    return true;
-  }
-
-  bool bytes(std::size_t count, std::vector<std::uint8_t>& out) {
-    if (pos_ + count > wire_.size()) return fail("truncated rdata");
-    out.assign(wire_.begin() + static_cast<std::ptrdiff_t>(pos_),
-               wire_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
-    pos_ += count;
-    return true;
-  }
-
-  std::size_t pos() const { return pos_; }
-  void seek(std::size_t pos) { pos_ = pos; }
-  std::size_t remaining() const { return wire_.size() - pos_; }
-
- private:
-  std::span<const std::uint8_t> wire_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
-
-bool decode_ecs(std::span<const std::uint8_t> data, EcsOption& out,
-                Decoder& dec) {
-  if (data.size() < 4) return dec.fail("short ECS option");
-  std::uint16_t family = static_cast<std::uint16_t>(data[0] << 8 | data[1]);
-  std::uint8_t source_len = data[2];
-  std::uint8_t scope_len = data[3];
-  if (family != EcsOption::kFamilyIpv4) return dec.fail("non-IPv4 ECS");
-  if (source_len > 32 || scope_len > 32) return dec.fail("ECS length > 32");
-  const unsigned addr_bytes = (source_len + 7) / 8;
-  if (data.size() != 4 + addr_bytes) return dec.fail("bad ECS address size");
-  std::uint32_t addr = 0;
-  for (unsigned i = 0; i < addr_bytes; ++i) {
-    addr |= std::uint32_t{data[4 + i]} << (24 - 8 * i);
-  }
-  out.address = net::Ipv4Addr(addr & net::Prefix::mask(source_len));
-  out.source_prefix_length = source_len;
-  out.scope_prefix_length = scope_len;
-  return true;
-}
-
-bool decode_record(Decoder& dec, DnsMessage& msg) {
-  ResourceRecord rr;
-  if (!dec.name(rr.name)) return false;
-  std::uint16_t type = 0, rclass = 0, rdlength = 0;
-  std::uint32_t ttl = 0;
-  if (!dec.u16(type) || !dec.u16(rclass) || !dec.u32(ttl) ||
-      !dec.u16(rdlength)) {
-    return false;
-  }
-  rr.type = static_cast<RecordType>(type);
-  rr.rclass = rclass;
-  rr.ttl = ttl;
-  std::vector<std::uint8_t> rdata;
-  if (!dec.bytes(rdlength, rdata)) return false;
-
-  if (rr.type == RecordType::kOpt) {
-    if (!rr.name.is_root()) return dec.fail("OPT owner must be root");
-    EdnsInfo edns;
-    edns.udp_payload_size = rclass;
-    std::size_t at = 0;
-    while (at < rdata.size()) {
-      if (at + 4 > rdata.size()) return dec.fail("truncated EDNS option");
-      std::uint16_t code =
-          static_cast<std::uint16_t>(rdata[at] << 8 | rdata[at + 1]);
-      std::uint16_t optlen =
-          static_cast<std::uint16_t>(rdata[at + 2] << 8 | rdata[at + 3]);
-      at += 4;
-      if (at + optlen > rdata.size()) return dec.fail("truncated EDNS option");
-      if (code == EcsOption::kOptionCode) {
-        EcsOption ecs;
-        if (!decode_ecs({rdata.data() + at, optlen}, ecs, dec)) return false;
-        edns.ecs = ecs;
-      }
-      at += optlen;
-    }
-    msg.edns = edns;
-    return true;  // OPT is lifted out of additionals
-  }
-
-  if (rr.type == RecordType::kA && rclass == kClassIn) {
-    if (rdata.size() != 4) return dec.fail("A rdata must be 4 bytes");
-    rr.rdata = AData{net::Ipv4Addr((std::uint32_t{rdata[0]} << 24) |
-                                   (std::uint32_t{rdata[1]} << 16) |
-                                   (std::uint32_t{rdata[2]} << 8) |
-                                   std::uint32_t{rdata[3]})};
-  } else if (rr.type == RecordType::kTxt && rclass == kClassIn) {
-    TxtData txt;
-    std::size_t at = 0;
-    while (at < rdata.size()) {
-      std::uint8_t len = rdata[at++];
-      if (at + len > rdata.size()) return dec.fail("truncated TXT string");
-      txt.text.append(reinterpret_cast<const char*>(rdata.data() + at), len);
-      at += len;
-    }
-    rr.rdata = std::move(txt);
-  } else {
-    rr.rdata = RawData{std::move(rdata)};
-  }
-  msg.additionals.push_back(std::move(rr));
-  return true;
-}
-
-}  // namespace
+// Both entry points are thin owning wrappers over the zero-copy packet
+// plane (dns/packet.h), so the copying and non-copying paths cannot drift:
+// encode is encode_into plus a copy out of the arena; decode is
+// MessageView::parse plus materialize.
 
 std::vector<std::uint8_t> encode(const DnsMessage& message) {
-  Encoder enc;
-  const Header& h = message.header;
-  enc.u16(h.id);
-  std::uint16_t flags = 0;
-  flags |= static_cast<std::uint16_t>(h.qr) << 15;
-  flags |= static_cast<std::uint16_t>(h.opcode & 0xF) << 11;
-  flags |= static_cast<std::uint16_t>(h.aa) << 10;
-  flags |= static_cast<std::uint16_t>(h.tc) << 9;
-  flags |= static_cast<std::uint16_t>(h.rd) << 8;
-  flags |= static_cast<std::uint16_t>(h.ra) << 7;
-  flags |= static_cast<std::uint16_t>(h.rcode) & 0xF;
-  enc.u16(flags);
-  enc.u16(static_cast<std::uint16_t>(message.questions.size()));
-  enc.u16(static_cast<std::uint16_t>(message.answers.size()));
-  enc.u16(static_cast<std::uint16_t>(message.authorities.size()));
-  enc.u16(static_cast<std::uint16_t>(message.additionals.size() +
-                                     (message.edns ? 1 : 0)));
-  for (const auto& q : message.questions) {
-    enc.name(q.name);
-    enc.u16(static_cast<std::uint16_t>(q.type));
-    enc.u16(q.qclass);
-  }
-  for (const auto& rr : message.answers) encode_record(enc, rr);
-  for (const auto& rr : message.authorities) encode_record(enc, rr);
-  for (const auto& rr : message.additionals) encode_record(enc, rr);
-  if (message.edns) encode_opt(enc, *message.edns);
-  return enc.take();
+  thread_local WireArena arena;
+  const std::span<const std::uint8_t> wire = encode_into(message, arena);
+  return {wire.begin(), wire.end()};
 }
 
 DecodeResult decode(std::span<const std::uint8_t> wire) {
-  Decoder dec(wire);
-  DnsMessage msg;
-  std::uint16_t flags = 0, qd = 0, an = 0, ns = 0, ar = 0;
-  if (!dec.u16(msg.header.id) || !dec.u16(flags) || !dec.u16(qd) ||
-      !dec.u16(an) || !dec.u16(ns) || !dec.u16(ar)) {
-    return DecodeResult::failure(dec.error());
-  }
-  msg.header.qr = flags & 0x8000;
-  msg.header.opcode = (flags >> 11) & 0xF;
-  msg.header.aa = flags & 0x0400;
-  msg.header.tc = flags & 0x0200;
-  msg.header.rd = flags & 0x0100;
-  msg.header.ra = flags & 0x0080;
-  msg.header.rcode = static_cast<RCode>(flags & 0xF);
-
-  for (int i = 0; i < qd; ++i) {
-    Question q;
-    std::uint16_t type = 0;
-    if (!dec.name(q.name) || !dec.u16(type) || !dec.u16(q.qclass)) {
-      return DecodeResult::failure(dec.error());
-    }
-    q.type = static_cast<RecordType>(type);
-    msg.questions.push_back(std::move(q));
-  }
-
-  // Records land in `additionals` inside decode_record; move them to the
-  // right section afterwards by decoding counts in order.
-  auto decode_section = [&](int count, std::vector<ResourceRecord>& section) {
-    for (int i = 0; i < count; ++i) {
-      std::size_t before = msg.additionals.size();
-      if (!decode_record(dec, msg)) return false;
-      if (msg.additionals.size() > before) {
-        section.push_back(std::move(msg.additionals.back()));
-        msg.additionals.pop_back();
-      }
-      // else: the record was an OPT, lifted into msg.edns.
-    }
-    return true;
-  };
-  std::vector<ResourceRecord> additionals;
-  if (!decode_section(an, msg.answers) ||
-      !decode_section(ns, msg.authorities) ||
-      !decode_section(ar, additionals)) {
-    return DecodeResult::failure(dec.error());
-  }
-  msg.additionals = std::move(additionals);
-  if (dec.remaining() != 0) {
-    return DecodeResult::failure("trailing bytes after message");
-  }
-  return DecodeResult::success(std::move(msg));
+  std::string error;
+  auto view = MessageView::parse(wire, &error);
+  if (!view) return DecodeResult::failure(std::move(error));
+  return DecodeResult::success(view->materialize());
 }
 
 }  // namespace netclients::dns

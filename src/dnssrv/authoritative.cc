@@ -17,6 +17,11 @@ const ZoneConfig* AuthoritativeServer::zone(const dns::DnsName& name) const {
   return it == zones_.end() ? nullptr : &it->second;
 }
 
+const ZoneConfig* AuthoritativeServer::zone(const dns::NameView& name) const {
+  auto it = zones_.find(name);
+  return it == zones_.end() ? nullptr : &it->second;
+}
+
 QueryOutcome AuthoritativeServer::query_outcome(const dns::DnsName& name,
                                                 net::Prefix client_prefix,
                                                 std::uint32_t epoch,
@@ -133,6 +138,26 @@ dns::DnsMessage AuthoritativeServer::handle(const dns::DnsMessage& query,
     response.edns->ecs->scope_prefix_length = answer->scope_length;
   }
   return response;
+}
+
+std::span<const std::uint8_t> AuthoritativeServer::handle_wire(
+    std::span<const std::uint8_t> query_wire, std::uint32_t epoch,
+    dns::WireArena& arena) const {
+  auto view = dns::MessageView::parse(query_wire);
+  if (!view) return {};
+  // handle() and make_response() read only the header, the questions, and
+  // the EDNS state, so the query's RR sections are never materialized —
+  // the reduced message below yields the exact response a full
+  // materialize() would.
+  dns::DnsMessage query;
+  query.header = view->header();
+  query.questions.reserve(view->question_count());
+  view->for_each_question([&query](const dns::MessageView::QuestionView& q) {
+    query.questions.push_back(
+        dns::Question{q.name.materialize(), q.type, q.qclass});
+  });
+  query.edns = view->edns();
+  return dns::encode_into(handle(query, epoch), arena);
 }
 
 }  // namespace netclients::dnssrv

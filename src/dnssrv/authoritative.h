@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "dns/message.h"
+#include "dns/packet.h"
 #include "net/prefix.h"
 #include "net/prefix_trie.h"
 #include "net/rng.h"
@@ -71,6 +73,11 @@ class AuthoritativeServer {
   bool serves(const dns::DnsName& name) const;
   const ZoneConfig* zone(const dns::DnsName& name) const;
 
+  /// Heterogeneous lookup straight from packet bytes: hashes/compares the
+  /// in-packet name (lowercasing on the fly) without materializing a
+  /// DnsName — the zero-copy front door for wire-mode consumers.
+  const ZoneConfig* zone(const dns::NameView& name) const;
+
   /// Injectable failure modes (SERVFAIL / timeout) applied at the query
   /// edge. Consumers ask `query_outcome` before resolve/scope_for; a
   /// default-constructed UpstreamFaults restores perfect service.
@@ -113,13 +120,50 @@ class AuthoritativeServer {
   dns::DnsMessage handle(const dns::DnsMessage& query,
                          std::uint32_t epoch = 0) const;
 
+  /// RFC 1035 wire front end: parses the query packet in place, answers via
+  /// `handle`, and encodes the response into `arena` (no allocation at
+  /// steady state). Returns an empty span for unparseable queries — the
+  /// same packets a structured-mode caller would have dropped at decode.
+  /// The result borrows the arena and is invalidated by the next encode
+  /// into it. Byte-identical to encode(handle(decode(wire))) by
+  /// construction: the response depends only on the query's header,
+  /// questions, and EDNS state, so the query's RR sections stay unread.
+  std::span<const std::uint8_t> handle_wire(
+      std::span<const std::uint8_t> query_wire, std::uint32_t epoch,
+      dns::WireArena& arena) const;
+
  private:
+  /// Transparent hashing so `zones_` accepts both owning DnsName keys and
+  /// borrowed NameView probes (which canonicalize raw packet bytes on the
+  /// fly to the identical hash).
+  struct ZoneKeyHash {
+    using is_transparent = void;
+    std::size_t operator()(const dns::DnsName& name) const {
+      return static_cast<std::size_t>(name.hash());
+    }
+    std::size_t operator()(const dns::NameView& name) const {
+      return static_cast<std::size_t>(name.canonical_hash());
+    }
+  };
+  struct ZoneKeyEq {
+    using is_transparent = void;
+    bool operator()(const dns::DnsName& a, const dns::DnsName& b) const {
+      return a == b;
+    }
+    bool operator()(const dns::NameView& a, const dns::DnsName& b) const {
+      return a.equals(b);
+    }
+    bool operator()(const dns::DnsName& a, const dns::NameView& b) const {
+      return b.equals(a);
+    }
+  };
+
   std::uint8_t base_scope(const ZoneConfig& zone,
                           net::Prefix client_prefix) const;
   std::uint8_t scoped(const ZoneConfig& zone, net::Prefix client_prefix,
                       std::uint32_t epoch) const;
 
-  std::unordered_map<dns::DnsName, ZoneConfig> zones_;
+  std::unordered_map<dns::DnsName, ZoneConfig, ZoneKeyHash, ZoneKeyEq> zones_;
   const net::PrefixTrie<std::uint32_t>* topology_ = nullptr;
   UpstreamFaults faults_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/obs/obs.h"
+#include "dns/packet.h"
 
 namespace netclients::googledns {
 
@@ -112,6 +113,60 @@ dnssrv::TokenBucket& GooglePublicDns::limiter(int vp_id, Transport transport,
   return it->second;
 }
 
+std::optional<dnssrv::EcsAnswer> GooglePublicDns::upstream_resolve(
+    const dns::DnsName& domain, net::Prefix source) const {
+  if (config_.upstream_mode == UpstreamMode::kStructured) {
+    return upstream_->resolve(domain, source, config_.epoch);
+  }
+  // Wire mode: one RFC 1035 round trip. Arenas are per-thread so
+  // concurrent PoP shards never share encode state, and the reply view
+  // borrows the reply arena only within this frame.
+  thread_local dns::WireArena query_arena;
+  thread_local dns::WireArena reply_arena;
+  const auto id = static_cast<std::uint16_t>(net::stable_seed(
+      config_.seed ^ 0x3135u, domain.hash(),
+      std::uint64_t{source.base().value()}, std::uint64_t{source.length()},
+      std::uint64_t{config_.epoch}));
+  const dns::DnsMessage query =
+      dns::make_query(id, domain, dns::RecordType::kA, /*recursion_desired=*/
+                      false, dns::EcsOption::for_query(source));
+  const auto reply = upstream_->handle_wire(
+      dns::encode_into(query, query_arena), config_.epoch, reply_arena);
+  const auto view = dns::MessageView::parse(reply);
+  if (!view || view->header().rcode != dns::RCode::kNoError) {
+    return std::nullopt;  // unknown zone (NXDOMAIN) or unparseable reply
+  }
+  dnssrv::EcsAnswer answer{};
+  bool have_a = false;
+  view->for_each_record(
+      dns::MessageView::Section::kAnswer,
+      [&](const dns::MessageView::RecordView& record) {
+        if (have_a) return;
+        if (auto a = record.a_address()) {
+          answer.address = *a;
+          answer.ttl = record.ttl;
+          have_a = true;
+        }
+      });
+  if (!have_a) return std::nullopt;
+  if (view->edns() && view->edns()->ecs) {
+    answer.scope_length = view->edns()->ecs->scope_prefix_length;
+  }
+  return answer;
+}
+
+std::optional<std::uint8_t> GooglePublicDns::upstream_scope(
+    const dns::DnsName& domain, net::Prefix block) const {
+  if (config_.upstream_mode == UpstreamMode::kStructured) {
+    return upstream_->scope_for(domain, block, config_.epoch);
+  }
+  // The authoritative's wire reply scopes its answer exactly as scope_for
+  // would (scope 0 for ECS-oblivious zones, NXDOMAIN for unknown ones).
+  auto answer = upstream_resolve(domain, block);
+  if (!answer) return std::nullopt;
+  return answer->scope_length;
+}
+
 void GooglePublicDns::client_query(PopId pop, const dns::DnsName& domain,
                                    net::Ipv4Addr client, net::SimTime now) {
   // Google forwards the client's /24 as the ECS source (rarely more
@@ -119,7 +174,7 @@ void GooglePublicDns::client_query(PopId pop, const dns::DnsName& domain,
   // returns.
   const net::Prefix source = net::Prefix::slash24_of(client);
   ProbeMetrics::get().client_queries.add();
-  auto answer = upstream_->resolve(domain, source, config_.epoch);
+  auto answer = upstream_resolve(domain, source);
   if (!answer) return;
   ProbeMetrics::get().client_cached.add();
   const net::Prefix scope_block = source.widen_to(answer->scope_length);
@@ -281,8 +336,7 @@ ProbeResult GooglePublicDns::probe(PopId pop, const dns::DnsName& domain,
     if (!found) {
       // The scope is a pure function of (domain, block, epoch): concurrent
       // shards that race here compute the same value.
-      auto scope_now =
-          upstream_->scope_for(domain, query_scope, config_.epoch);
+      auto scope_now = upstream_scope(domain, query_scope);
       entry_scope = scope_now ? *scope_now : 255;
       std::unique_lock<std::shared_mutex> lock(scope_mu_);
       scope_memo_.emplace(memo_key, entry_scope);
@@ -372,8 +426,7 @@ dns::DnsMessage GooglePublicDns::handle(const dns::DnsMessage& query,
       client = query.edns->ecs->address;
     }
     client_query(pop, q.name, client, now);
-    auto answer = upstream_->resolve(q.name, net::Prefix::slash24_of(client),
-                                     config_.epoch);
+    auto answer = upstream_resolve(q.name, net::Prefix::slash24_of(client));
     if (!answer) return dns::make_response(query, dns::RCode::kNxDomain);
     dns::DnsMessage response = dns::make_response(query, dns::RCode::kNoError);
     response.header.ra = true;
@@ -405,7 +458,7 @@ dns::DnsMessage GooglePublicDns::handle(const dns::DnsMessage& query,
   dns::DnsMessage response = dns::make_response(query, dns::RCode::kNoError);
   response.header.ra = true;
   if (pr.cache_hit) {
-    auto answer = upstream_->resolve(q.name, query_scope, config_.epoch);
+    auto answer = upstream_resolve(q.name, query_scope);
     response.answers.push_back(dns::ResourceRecord{
         q.name, dns::RecordType::kA, dns::kClassIn, pr.remaining_ttl,
         dns::AData{answer ? answer->address : net::Ipv4Addr(0)}});
@@ -414,6 +467,26 @@ dns::DnsMessage GooglePublicDns::handle(const dns::DnsMessage& query,
     }
   }
   return response;
+}
+
+std::span<const std::uint8_t> GooglePublicDns::handle_wire(
+    std::span<const std::uint8_t> query_wire, net::LatLon source,
+    std::uint64_t route_key, net::SimTime now, Transport transport,
+    dns::WireArena& arena, int vp_id, const anycast::RouteBias& bias) {
+  auto view = dns::MessageView::parse(query_wire);
+  if (!view) return {};
+  // handle() reads only the header, the questions, and the EDNS state, so
+  // the query's RR sections are never materialized.
+  dns::DnsMessage query;
+  query.header = view->header();
+  query.questions.reserve(view->question_count());
+  view->for_each_question([&query](const dns::MessageView::QuestionView& q) {
+    query.questions.push_back(
+        dns::Question{q.name.materialize(), q.type, q.qclass});
+  });
+  query.edns = view->edns();
+  return dns::encode_into(
+      handle(query, source, route_key, now, transport, vp_id, bias), arena);
 }
 
 }  // namespace netclients::googledns

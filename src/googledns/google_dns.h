@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "anycast/pop.h"
 #include "anycast/vantage.h"
 #include "dns/message.h"
+#include "dns/packet.h"
 #include "dnssrv/authoritative.h"
 #include "dnssrv/cache.h"
 #include "dnssrv/rate_limiter.h"
@@ -57,6 +59,17 @@ struct FailureInjection {
   }
 };
 
+/// How the resolver talks to the authoritative upstream.
+///
+/// `kWire` is the real path: every resolve/scope fetch is an RFC 1035
+/// packet round trip (arena-encoded query → AuthoritativeServer::
+/// handle_wire → zero-copy MessageView parse of the reply). `kStructured`
+/// is the legacy compatibility mode calling the direct API. The two are
+/// byte-identical in campaign results at any REPRO_THREADS — the wire
+/// reply carries exactly the fields the direct API returns — and tests
+/// assert that parity both ways.
+enum class UpstreamMode : std::uint8_t { kWire, kStructured };
+
 struct GoogleDnsConfig {
   int pools_per_pop = 4;
   std::size_t pool_capacity = 1 << 18;
@@ -77,6 +90,9 @@ struct GoogleDnsConfig {
   double tcp_rtt_seconds = 0.05;
   // Injectable failure modes; all-zero by default (perfect substrate).
   FailureInjection faults;
+  // Upstream transport: RFC 1035 wire bytes by default, with the direct
+  // structured API kept as a config-gated compatibility mode.
+  UpstreamMode upstream_mode = UpstreamMode::kWire;
 
   double rtt_for(Transport transport) const {
     return transport == Transport::kTcp ? tcp_rtt_seconds : udp_rtt_seconds;
@@ -164,6 +180,17 @@ class GooglePublicDns {
                          Transport transport, int vp_id = 0,
                          const anycast::RouteBias& bias = {});
 
+  /// RFC 1035 wire front end: zero-copy parse of the query packet, `handle`
+  /// for the answer, arena-encoded response. Returns an empty span for
+  /// unparseable queries (the packets a structured caller would drop at
+  /// decode); otherwise byte-identical to encode(handle(decode(wire))).
+  /// The span borrows `arena` until the next encode into it.
+  std::span<const std::uint8_t> handle_wire(
+      std::span<const std::uint8_t> query_wire, net::LatLon source,
+      std::uint64_t route_key, net::SimTime now, Transport transport,
+      dns::WireArena& arena, int vp_id = 0,
+      const anycast::RouteBias& bias = {});
+
   /// Total explicit cache entries across all pools (diagnostics).
   std::size_t explicit_entries() const;
 
@@ -185,6 +212,16 @@ class GooglePublicDns {
   /// apply per flow. Each loop's timestamps are monotone.
   dnssrv::TokenBucket& limiter(int vp_id, Transport transport,
                                const dns::DnsName& domain);
+
+  /// Upstream fetches, routed per `config_.upstream_mode`: either a full
+  /// RFC 1035 round trip (encode into a thread_local arena, handle_wire,
+  /// zero-copy parse of the reply) or the direct structured API. The wire
+  /// reply carries exactly the fields the direct call returns, so both
+  /// modes yield identical values — asserted by tests in both directions.
+  std::optional<dnssrv::EcsAnswer> upstream_resolve(const dns::DnsName& domain,
+                                                    net::Prefix source) const;
+  std::optional<std::uint8_t> upstream_scope(const dns::DnsName& domain,
+                                             net::Prefix block) const;
 
   /// Lazy occupancy: would a Poisson arrival process at `rate` (per pool)
   /// have an arrival within the TTL window ending at `now`?

@@ -1,0 +1,71 @@
+#include "netsim/dns_endpoint.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "dns/packet.h"
+#include "dns/wire.h"
+
+namespace netclients::netsim {
+namespace {
+
+googledns::Transport transport_of(Proto proto) {
+  return proto == Proto::kTcp ? googledns::Transport::kTcp
+                              : googledns::Transport::kUdp;
+}
+
+}  // namespace
+
+void attach_google_dns(MessageBus& bus, net::Ipv4Addr address,
+                       googledns::GooglePublicDns& server,
+                       GoogleEndpointOptions options) {
+  assert(options.locate);
+  // The bus delivers on one thread; the arena lives with the handler and
+  // is recycled across every packet this endpoint answers.
+  auto arena = std::make_shared<dns::WireArena>();
+  bus.attach(address, [&bus, &server, address, arena,
+                       options = std::move(options)](const Datagram& d,
+                                                     net::SimTime now) {
+    const net::LatLon where = options.locate(d.src);
+    if (options.mode == DnsWireMode::kWire) {
+      const auto reply =
+          server.handle_wire(d.payload, where, d.src.value(), now,
+                             transport_of(d.proto), *arena, options.vp_id);
+      if (reply.empty()) return;  // unparseable query: dropped
+      bus.send(address, d.src, d.proto, {reply.begin(), reply.end()}, now,
+               options.reply_latency);
+      return;
+    }
+    const auto query = dns::decode(d.payload);
+    if (!query.ok) return;
+    const auto response =
+        server.handle(query.message, where, d.src.value(), now,
+                      transport_of(d.proto), options.vp_id);
+    bus.send(address, d.src, d.proto, dns::encode(response), now,
+             options.reply_latency);
+  });
+}
+
+void attach_authoritative(MessageBus& bus, net::Ipv4Addr address,
+                          const dnssrv::AuthoritativeServer& server,
+                          AuthoritativeEndpointOptions options) {
+  auto arena = std::make_shared<dns::WireArena>();
+  bus.attach(address, [&bus, &server, address, arena,
+                       options](const Datagram& d, net::SimTime now) {
+    if (options.mode == DnsWireMode::kWire) {
+      const auto reply = server.handle_wire(d.payload, options.epoch, *arena);
+      if (reply.empty()) return;  // unparseable query: dropped
+      bus.send(address, d.src, d.proto, {reply.begin(), reply.end()}, now,
+               options.reply_latency);
+      return;
+    }
+    const auto query = dns::decode(d.payload);
+    if (!query.ok) return;
+    bus.send(address, d.src, d.proto,
+             dns::encode(server.handle(query.message, options.epoch)), now,
+             options.reply_latency);
+  });
+}
+
+}  // namespace netclients::netsim

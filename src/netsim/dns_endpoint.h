@@ -1,0 +1,60 @@
+#pragma once
+
+// DNS services as bus endpoints. The bus has always carried raw bytes;
+// these helpers put the two resolver front ends behind addresses so that
+// every query/response crosses the wire as an RFC 1035 packet. Each
+// endpoint runs in one of two modes, byte-identical on the wire:
+//
+//  * kWire — the zero-copy path: MessageView parse of the incoming packet,
+//    arena-backed encode of the reply (no per-message codec allocation;
+//    the bus still owns its payload copies).
+//  * kStructured — the legacy compatibility path: decode → handle →
+//    encode, materializing a DnsMessage both ways.
+//
+// Unparseable queries are dropped (no reply) in both modes — the same
+// packets, since both paths share one validation pass.
+
+#include <cstdint>
+#include <functional>
+
+#include "dnssrv/authoritative.h"
+#include "googledns/google_dns.h"
+#include "net/ipv4.h"
+#include "netsim/bus.h"
+
+namespace netclients::netsim {
+
+/// Codec path an attached DNS endpoint uses (wire-identical either way).
+enum class DnsWireMode : std::uint8_t { kWire, kStructured };
+
+/// Options for a Google Public DNS bus endpoint.
+struct GoogleEndpointOptions {
+  DnsWireMode mode = DnsWireMode::kWire;
+  int vp_id = 0;
+  /// Seconds between receiving a query and the reply leaving.
+  double reply_latency = 0.01;
+  /// Maps a datagram's source address to the client's location — the
+  /// anycast ingress signal. Required.
+  std::function<net::LatLon(net::Ipv4Addr)> locate;
+};
+
+/// Attaches `server` to the bus at `address`. Replies ride the incoming
+/// datagram's transport back to its source. The server must outlive the
+/// bus registration.
+void attach_google_dns(MessageBus& bus, net::Ipv4Addr address,
+                       googledns::GooglePublicDns& server,
+                       GoogleEndpointOptions options);
+
+/// Options for an authoritative-server bus endpoint.
+struct AuthoritativeEndpointOptions {
+  DnsWireMode mode = DnsWireMode::kWire;
+  std::uint32_t epoch = 0;
+  double reply_latency = 0.01;
+};
+
+/// Attaches `server` to the bus at `address` (outliving the registration).
+void attach_authoritative(MessageBus& bus, net::Ipv4Addr address,
+                          const dnssrv::AuthoritativeServer& server,
+                          AuthoritativeEndpointOptions options = {});
+
+}  // namespace netclients::netsim

@@ -1,18 +1,9 @@
 #include "roots/trace_view.h"
 
 #include <cstring>
-#include <fstream>
 #include <utility>
 
 #include "dns/name.h"
-
-#if defined(__unix__) || defined(__APPLE__)
-#define NETCLIENTS_TRACE_MMAP 1
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-#endif
 
 namespace netclients::roots {
 namespace {
@@ -42,79 +33,17 @@ TraceRecord TraceRecordRef::materialize() const {
 
 std::optional<TraceView> TraceView::open(const std::string& path,
                                          Backing backing) {
+  auto bytes = FileBytes::open(path, backing, kHeaderBytes);
+  if (!bytes) return std::nullopt;
   TraceView view;
-#ifdef NETCLIENTS_TRACE_MMAP
-  if (backing != Backing::kBuffer) {
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd >= 0) {
-      struct stat st {};
-      if (::fstat(fd, &st) == 0 &&
-          st.st_size >= static_cast<off_t>(kHeaderBytes)) {
-        const auto size = static_cast<std::size_t>(st.st_size);
-        void* mem = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-        if (mem != MAP_FAILED) {
-          ::madvise(mem, size, MADV_SEQUENTIAL);
-          view.data_ = static_cast<const char*>(mem);
-          view.size_ = size;
-          view.mapped_ = true;
-        }
-      }
-      ::close(fd);
-    }
-  }
-#endif
-  if (!view.mapped_ && backing == Backing::kMmap) return std::nullopt;
-  if (!view.mapped_) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return std::nullopt;
-    in.seekg(0, std::ios::end);
-    const std::streamoff len = in.tellg();
-    if (len < 0) return std::nullopt;
-    in.seekg(0);
-    view.buffer_.resize(static_cast<std::size_t>(len));
-    if (len > 0) {
-      in.read(view.buffer_.data(), len);
-      if (!in) return std::nullopt;
-    }
-    view.data_ = view.buffer_.data();
-    view.size_ = view.buffer_.size();
-  }
-  if (view.size_ < kHeaderBytes ||
-      std::memcmp(view.data_, kMagic, sizeof(kMagic)) != 0) {
+  view.bytes_ = std::move(*bytes);
+  if (view.bytes_.size() < kHeaderBytes ||
+      std::memcmp(view.bytes_.data(), kMagic, sizeof(kMagic)) != 0) {
     return std::nullopt;
   }
-  std::memcpy(&view.declared_, view.data_ + sizeof(kMagic),
+  std::memcpy(&view.declared_, view.bytes_.data() + sizeof(kMagic),
               sizeof(view.declared_));
   return view;
-}
-
-TraceView& TraceView::operator=(TraceView&& other) noexcept {
-  if (this != &other) {
-    release();
-    buffer_ = std::move(other.buffer_);
-    size_ = other.size_;
-    declared_ = other.declared_;
-    mapped_ = other.mapped_;
-    data_ = mapped_ ? other.data_ : buffer_.data();
-    other.data_ = nullptr;
-    other.size_ = 0;
-    other.declared_ = 0;
-    other.mapped_ = false;
-  }
-  return *this;
-}
-
-TraceView::~TraceView() { release(); }
-
-void TraceView::release() {
-#ifdef NETCLIENTS_TRACE_MMAP
-  if (mapped_ && data_ != nullptr) {
-    ::munmap(const_cast<char*>(data_), size_);
-  }
-#endif
-  data_ = nullptr;
-  size_ = 0;
-  mapped_ = false;
 }
 
 TraceFile::ReadStats TraceView::validate() const {

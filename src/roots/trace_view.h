@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "roots/file_bytes.h"
 #include "roots/trace.h"
 
 namespace netclients::roots {
@@ -113,11 +114,7 @@ class TraceRecordRef {
 /// lazily through cursors. Move-only; unmaps/frees on destruction.
 class TraceView {
  public:
-  enum class Backing {
-    kAuto,    // mmap, falling back to a heap buffer
-    kMmap,    // mmap only (open fails where mapping is unavailable)
-    kBuffer,  // one read() slurp into a private buffer
-  };
+  using Backing = FileBytes::Backing;
 
   /// Validates magic + count header. Returns nullopt exactly when
   /// `read_tolerant` would return false: unopenable file or invalid
@@ -126,19 +123,13 @@ class TraceView {
   static std::optional<TraceView> open(const std::string& path,
                                        Backing backing = Backing::kAuto);
 
-  TraceView(TraceView&& other) noexcept { *this = std::move(other); }
-  TraceView& operator=(TraceView&& other) noexcept;
-  TraceView(const TraceView&) = delete;
-  TraceView& operator=(const TraceView&) = delete;
-  ~TraceView();
-
   /// The header's (untrusted) record count. Traversal never yields more
   /// than this many records, and yields fewer only on a structural error.
   std::uint64_t declared_count() const { return declared_; }
   /// True when the bytes are an mmap mapping (vs a heap buffer).
-  bool mapped() const { return mapped_; }
+  bool mapped() const { return bytes_.mapped(); }
   /// Record-region size: file bytes past the 12-byte header.
-  std::size_t payload_bytes() const { return size_ - kHeaderBytes; }
+  std::size_t payload_bytes() const { return bytes_.size() - kHeaderBytes; }
 
   /// Forward decoder over the record region. Validation rules mirror the
   /// materializing reader exactly (same bounds checks, same label-length
@@ -197,8 +188,8 @@ class TraceView {
   /// decode garbage as records.
   Cursor cursor_at(std::size_t offset, std::uint64_t index) const {
     Cursor cur;
-    cur.begin_ = data_ + kHeaderBytes;
-    cur.end_ = data_ + size_;
+    cur.begin_ = bytes_.data() + kHeaderBytes;
+    cur.end_ = bytes_.data() + bytes_.size();
     cur.p_ = cur.begin_ + (offset > payload_bytes() ? payload_bytes() : offset);
     cur.index_ = index;
     cur.limit_ = declared_;
@@ -210,15 +201,11 @@ class TraceView {
 
  private:
   TraceView() = default;
-  void release();
 
   static constexpr std::size_t kHeaderBytes = 12;  // magic + u64 count
 
-  const char* data_ = nullptr;  // whole file, header included
-  std::size_t size_ = 0;
+  FileBytes bytes_;  // whole file, header included
   std::uint64_t declared_ = 0;
-  bool mapped_ = false;
-  std::vector<char> buffer_;  // owns the bytes for Backing::kBuffer
 };
 
 }  // namespace netclients::roots

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <span>
+
 #include "dns/message.h"
 #include "dns/name.h"
+#include "dns/packet.h"
 #include "dns/wire.h"
 #include "net/rng.h"
 
@@ -283,6 +287,167 @@ TEST_P(WireRoundTrip, GeneratedMessagesRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTrip,
                          ::testing::Values(101, 102, 103, 104, 105, 106));
+
+// ------------------------------------------------------------ packet plane
+
+/// A response exercising every encoder feature at once: compression
+/// (shared owner names), A + TXT + raw RDATA, authority/additional
+/// sections, and an ECS-carrying OPT.
+DnsMessage busy_response() {
+  DnsMessage msg = make_response(sample_query(), RCode::kNoError);
+  msg.header.aa = true;
+  msg.edns->ecs->scope_prefix_length = 20;
+  const auto owner = *DnsName::parse("www.google.com");
+  msg.answers.push_back(ResourceRecord{
+      owner, RecordType::kA, kClassIn, 300, AData{net::Ipv4Addr(0x08080808)}});
+  msg.answers.push_back(ResourceRecord{
+      owner, RecordType::kA, kClassIn, 300, AData{net::Ipv4Addr(0x08080404)}});
+  msg.answers.push_back(ResourceRecord{
+      *DnsName::parse("alias.google.com"), RecordType::kTxt, kClassIn, 60,
+      TxtData{"pop=grq"}});
+  msg.authorities.push_back(ResourceRecord{
+      *DnsName::parse("google.com"), static_cast<RecordType>(2), kClassIn,
+      86400, RawData{{3, 'n', 's', '1', 0xC0, 0x11}}});
+  msg.additionals.push_back(ResourceRecord{
+      *DnsName::parse("ns1.google.com"), RecordType::kA, kClassIn, 86400,
+      AData{net::Ipv4Addr(0x01020304)}});
+  return msg;
+}
+
+TEST(Packet, ArenaEncodeMatchesAllocEncode) {
+  WireArena arena;
+  // Sequential encodes into one recycled arena must each match the
+  // allocating encoder — recycling cannot leak state across messages.
+  for (const DnsMessage& msg :
+       {sample_query(), busy_response(),
+        make_query(7, *DnsName::parse("."), RecordType::kA, true)}) {
+    const auto alloc = encode(msg);
+    const auto span = encode_into(msg, arena);
+    EXPECT_EQ(alloc, std::vector<std::uint8_t>(span.begin(), span.end()));
+  }
+}
+
+TEST(Packet, ViewParityWithMaterializingDecode) {
+  for (const DnsMessage& msg :
+       {sample_query(), busy_response(),
+        make_query(1, *DnsName::parse("qpwoeiruty"), RecordType::kA, true)}) {
+    const auto wire = encode(msg);
+    std::string error;
+    const auto view = MessageView::parse(wire, &error);
+    ASSERT_TRUE(view.has_value()) << error;
+    const DecodeResult decoded = decode(wire);
+    ASSERT_TRUE(decoded.ok);
+    EXPECT_EQ(view->materialize(), decoded.message);
+    EXPECT_EQ(view->header(), msg.header);
+  }
+}
+
+TEST(Packet, ViewAccessorsExposeSectionsWithoutMaterializing) {
+  const DnsMessage msg = busy_response();
+  const auto wire = encode(msg);
+  const auto view = MessageView::parse(wire);
+  ASSERT_TRUE(view.has_value());
+  ASSERT_EQ(view->question_count(), 1u);
+  EXPECT_TRUE(view->first_question().name.equals(msg.questions[0].name));
+  EXPECT_EQ(view->record_count(MessageView::Section::kAnswer), 3u);
+  EXPECT_EQ(view->record_count(MessageView::Section::kAuthority), 1u);
+  // The OPT pseudo-record is lifted into edns(), not listed as a record.
+  EXPECT_EQ(view->record_count(MessageView::Section::kAdditional), 1u);
+  ASSERT_TRUE(view->edns().has_value());
+  EXPECT_EQ(view->edns(), msg.edns);
+
+  std::vector<net::Ipv4Addr> addrs;
+  std::string txt;
+  view->for_each_record(MessageView::Section::kAnswer,
+                        [&](const MessageView::RecordView& rr) {
+                          if (const auto a = rr.a_address()) {
+                            addrs.push_back(*a);
+                          } else if (rr.type == RecordType::kTxt) {
+                            ASSERT_TRUE(rr.txt_text(&txt));
+                          }
+                        });
+  ASSERT_EQ(addrs.size(), 2u);
+  EXPECT_EQ(addrs[0].value(), 0x08080808u);
+  EXPECT_EQ(addrs[1].value(), 0x08080404u);
+  EXPECT_EQ(txt, "pop=grq");
+}
+
+TEST(Packet, TruncationSweepEveryOffsetAgrees) {
+  // Both decoders must agree — accept/reject and diagnostic — on every
+  // prefix of a feature-dense packet, and neither may crash or hang.
+  const auto wire = encode(busy_response());
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(wire.data(), cut);
+    std::string view_error;
+    const auto view = MessageView::parse(prefix, &view_error);
+    const DecodeResult decoded = decode(prefix);
+    ASSERT_EQ(decoded.ok, view.has_value()) << "cut at " << cut;
+    if (!decoded.ok) {
+      EXPECT_EQ(decoded.error, view_error) << "cut at " << cut;
+    } else {
+      EXPECT_EQ(view->materialize(), decoded.message) << "cut at " << cut;
+    }
+  }
+}
+
+TEST(Packet, EncodeDecodeEncodeByteStable) {
+  net::Rng rng(0x1035);
+  for (int iter = 0; iter < 100; ++iter) {
+    DnsMessage msg = rng.bernoulli(0.5) ? busy_response() : sample_query();
+    msg.header.id = static_cast<std::uint16_t>(rng());
+    const auto first = encode(msg);
+    const DecodeResult decoded = decode(first);
+    ASSERT_TRUE(decoded.ok) << decoded.error;
+    EXPECT_EQ(encode(decoded.message), first);
+  }
+}
+
+TEST(Packet, NameViewHashEqualsCaseInsensitive) {
+  // Hand-built query whose qname bytes are uppercase: the wire form a
+  // real client may send, which DnsName canonicalizes on materialize.
+  // NameView must hash/compare the canonical form without materializing.
+  std::vector<std::uint8_t> wire = {0x00, 0x01, 0x00, 0x00, 0x00, 0x01,
+                                    0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  for (const char* label : {"WWW", "Example", "COM"}) {
+    wire.push_back(static_cast<std::uint8_t>(std::strlen(label)));
+    for (const char* c = label; *c; ++c) {
+      wire.push_back(static_cast<std::uint8_t>(*c));
+    }
+  }
+  wire.push_back(0x00);  // root
+  wire.push_back(0x00);
+  wire.push_back(0x01);  // qtype A
+  wire.push_back(0x00);
+  wire.push_back(0x01);  // qclass IN
+  const auto view = MessageView::parse(wire);
+  ASSERT_TRUE(view.has_value());
+  const NameView& name = view->first_question().name;
+  const DnsName canonical = *DnsName::parse("www.example.com");
+  EXPECT_EQ(name.label_count(), 3u);
+  EXPECT_EQ(name.canonical_hash(), canonical.hash());
+  EXPECT_TRUE(name.equals(canonical));
+  EXPECT_FALSE(name.equals(*DnsName::parse("www.example.org")));
+  EXPECT_EQ(name.materialize(), canonical);
+}
+
+TEST(Packet, ForwardPointerAndLoopRejectedByBothDecoders) {
+  // Compression pointers must point strictly backward; craft a name whose
+  // pointer targets itself (forward/self reference).
+  std::vector<std::uint8_t> wire = {0x00, 0x01, 0x00, 0x00, 0x00, 0x01,
+                                    0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  wire.push_back(0xC0);
+  wire.push_back(12);  // points at its own first byte
+  wire.push_back(0x00);
+  wire.push_back(0x01);
+  wire.push_back(0x00);
+  wire.push_back(0x01);
+  std::string view_error;
+  EXPECT_FALSE(MessageView::parse(wire, &view_error).has_value());
+  const DecodeResult decoded = decode(wire);
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_EQ(decoded.error, view_error);
+  EXPECT_NE(view_error.find("pointer"), std::string::npos) << view_error;
+}
 
 TEST(Message, MakeResponseEchoesQuestionAndEcs) {
   const auto query = sample_query();

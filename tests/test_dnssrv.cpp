@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dns/packet.h"
 #include "dns/wire.h"
 #include "dnssrv/authoritative.h"
 #include "dnssrv/cache.h"
@@ -36,6 +37,67 @@ TEST(Authoritative, ServesOnlyConfiguredZones) {
                    .resolve(*dns::DnsName::parse("other.example.com"),
                             *net::Prefix::parse("1.2.3.0/24"))
                    .has_value());
+}
+
+TEST(Authoritative, ZoneLookupByNameViewAvoidsMaterializing) {
+  // The transparent map lookup: a NameView straight off a packet finds the
+  // zone (case-insensitively) without building a DnsName.
+  AuthoritativeServer server;
+  server.add_zone(test_zone());
+  const auto query =
+      dns::make_query(1, *dns::DnsName::parse("WWW.Example.COM"),
+                      dns::RecordType::kA, false);
+  const auto wire = dns::encode(query);
+  const auto view = dns::MessageView::parse(wire);
+  ASSERT_TRUE(view.has_value());
+  const ZoneConfig* zone = server.zone(view->first_question().name);
+  ASSERT_NE(zone, nullptr);
+  EXPECT_EQ(zone->name, *dns::DnsName::parse("www.example.com"));
+  // Unknown names miss through the same transparent path.
+  const auto other =
+      dns::encode(dns::make_query(2, *dns::DnsName::parse("nope.example"),
+                                  dns::RecordType::kA, false));
+  const auto other_view = dns::MessageView::parse(other);
+  ASSERT_TRUE(other_view.has_value());
+  EXPECT_EQ(server.zone(other_view->first_question().name), nullptr);
+}
+
+TEST(Authoritative, HandleWireByteIdenticalToStructuredPath) {
+  AuthoritativeServer server;
+  server.add_zone(test_zone());
+  dns::WireArena arena;
+  net::Rng rng(0xD11);
+  for (int i = 0; i < 200; ++i) {
+    const auto qname = rng.bernoulli(0.7)
+                           ? *dns::DnsName::parse("www.example.com")
+                           : *dns::DnsName::parse("unknown.example");
+    std::optional<dns::EcsOption> ecs;
+    if (rng.bernoulli(0.8)) {
+      ecs = dns::EcsOption::for_query(
+          net::Prefix(net::Ipv4Addr(static_cast<std::uint32_t>(rng())),
+                      static_cast<std::uint8_t>(rng.below(25))));
+    }
+    const auto query = dns::make_query(static_cast<std::uint16_t>(rng()),
+                                       qname, dns::RecordType::kA,
+                                       rng.bernoulli(0.5), ecs);
+    const auto query_wire = dns::encode(query);
+    const std::uint32_t epoch = static_cast<std::uint32_t>(rng.below(3));
+    // Structured reference: decode, handle, encode.
+    const auto decoded = dns::decode(query_wire);
+    ASSERT_TRUE(decoded.ok);
+    const auto expected = dns::encode(server.handle(decoded.message, epoch));
+    // Wire path: straight through the packet plane.
+    const auto got = server.handle_wire(query_wire, epoch, arena);
+    EXPECT_EQ(expected, std::vector<std::uint8_t>(got.begin(), got.end()));
+  }
+}
+
+TEST(Authoritative, HandleWireDropsUnparseableQueries) {
+  AuthoritativeServer server;
+  server.add_zone(test_zone());
+  dns::WireArena arena;
+  const std::vector<std::uint8_t> garbage = {0xFF, 0x00, 0x01};
+  EXPECT_TRUE(server.handle_wire(garbage, 0, arena).empty());
 }
 
 TEST(Authoritative, ScopeWithinConfiguredBounds) {

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <iterator>
 
+#include "dns/packet.h"
 #include "dns/wire.h"
 #include "net/rng.h"
 #include "roots/trace.h"
@@ -62,13 +63,55 @@ TEST_P(WireFuzz, MutatedMessagesNeverCrashAndStayIdempotent) {
       }
     }
     const DecodeResult first = decode(wire);
-    if (!first.ok) continue;  // rejected: fine
+    // Differential: the zero-copy view must agree with the materializing
+    // decoder on accept/reject, diagnostic, and decoded value — on every
+    // mutant, not just the well-formed ones.
+    std::string view_error;
+    const auto view = MessageView::parse(wire, &view_error);
+    ASSERT_EQ(first.ok, view.has_value());
+    if (!first.ok) {
+      EXPECT_EQ(first.error, view_error);
+      continue;  // rejected: fine
+    }
+    EXPECT_EQ(view->materialize(), first.message);
     // Accepted mutants must survive a re-encode/decode cycle unchanged.
     const auto rewire = encode(first.message);
     const DecodeResult second = decode(rewire);
     ASSERT_TRUE(second.ok) << second.error;
     EXPECT_EQ(second.message, first.message);
   }
+}
+
+TEST(WireFuzz, SeedCorpusProperties) {
+  // Every checked-in fuzz seed (tests/corpus/wire/, including any crasher
+  // folded back from CI) must satisfy the harness invariants. This is the
+  // regression half of the fuzzing loop: crashes found by fuzz_wire land
+  // here and stay fixed.
+  const std::filesystem::path dir = NETCLIENTS_WIRE_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t seeds = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    ++seeds;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::vector<std::uint8_t> wire{std::istreambuf_iterator<char>(in), {}};
+    SCOPED_TRACE(entry.path().filename().string());
+    std::string view_error;
+    const auto view = MessageView::parse(wire, &view_error);
+    const DecodeResult first = decode(wire);
+    ASSERT_EQ(first.ok, view.has_value());
+    if (!first.ok) {
+      EXPECT_EQ(first.error, view_error);
+      continue;
+    }
+    EXPECT_EQ(view->materialize(), first.message);
+    const auto rewire = encode(first.message);
+    const DecodeResult second = decode(rewire);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_EQ(second.message, first.message);
+    EXPECT_EQ(encode(second.message), rewire);
+  }
+  EXPECT_GE(seeds, 9u) << "seed corpus went missing";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <memory>
 
+#include "dns/packet.h"
 #include "dns/wire.h"
 #include "googledns/google_dns.h"
 #include "net/rng.h"
@@ -305,6 +306,85 @@ TEST(GoogleDns, RecursiveWireQueryPopulatesCache) {
       f.gdns->handle(query, {39.0, -77.5}, 2, 1.0, Transport::kUdp);
   EXPECT_EQ(response.answers.size(), 1u);
   EXPECT_GE(f.gdns->explicit_entries(), 1u);
+}
+
+TEST(GoogleDns, UpstreamWireModeByteIdenticalToStructured) {
+  // The same operation sequence against two resolvers that differ only in
+  // how they talk to the authoritative upstream — RFC 1035 wire bytes vs
+  // structured messages — must produce identical outcomes everywhere:
+  // answers, scopes, TTLs, hit patterns.
+  Fixture wire_f, structured_f;
+  GoogleDnsConfig structured_config;
+  structured_config.upstream_mode = UpstreamMode::kStructured;
+  structured_f.gdns = std::make_unique<GooglePublicDns>(
+      &structured_f.pops, &structured_f.catchment, &structured_f.auth,
+      structured_config, nullptr);
+  ASSERT_EQ(wire_f.gdns->config().upstream_mode, UpstreamMode::kWire);
+
+  net::Rng rng(0x31u);
+  const auto noecs = *dns::DnsName::parse("noecs.example.com");
+  const auto unknown = *dns::DnsName::parse("nope.example");
+  for (int i = 0; i < 60; ++i) {
+    const net::Ipv4Addr client(static_cast<std::uint32_t>(rng()));
+    const dns::DnsName& domain = i % 5 == 3   ? noecs
+                                 : i % 7 == 6 ? unknown
+                                              : wire_f.domain;
+    const auto pop = static_cast<anycast::PopId>(rng.below(4));
+    const double t = 10.0 + i;
+    wire_f.gdns->client_query(pop, domain, client, t);
+    structured_f.gdns->client_query(pop, domain, client, t);
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      const auto query_scope =
+          domain == wire_f.domain
+              ? scope_block_for(wire_f, client)
+              : net::Prefix::slash24_of(client);
+      const auto a = wire_f.gdns->probe(pop, domain, query_scope, t + 5,
+                                        Transport::kTcp, 0, attempt);
+      const auto b = structured_f.gdns->probe(pop, domain, query_scope, t + 5,
+                                              Transport::kTcp, 0, attempt);
+      ASSERT_EQ(a.cache_hit, b.cache_hit) << "iter " << i;
+      EXPECT_EQ(a.return_scope, b.return_scope);
+      EXPECT_EQ(a.remaining_ttl, b.remaining_ttl);
+      EXPECT_EQ(a.status, b.status);
+      EXPECT_EQ(a.pop, b.pop);
+    }
+  }
+}
+
+TEST(GoogleDns, HandleWireByteIdenticalToStructuredPath) {
+  // Two fixtures fed the identical query stream, one through handle_wire,
+  // one through decode → handle → encode: stateful effects (cache fills,
+  // rate limiting) evolve in lockstep, so every response must be
+  // byte-identical. (handle() mutates state, so replaying both entry
+  // points on one instance would double-charge it.)
+  Fixture f, ref;
+  dns::WireArena arena;
+  const net::LatLon vp_loc{39.0, -77.5};
+  net::Rng rng(0x77);
+  for (int i = 0; i < 60; ++i) {
+    std::optional<dns::EcsOption> ecs;
+    if (rng.bernoulli(0.7)) {
+      ecs = dns::EcsOption::for_query(
+          net::Prefix(net::Ipv4Addr(static_cast<std::uint32_t>(rng())), 24));
+    }
+    const bool myaddr = rng.bernoulli(0.2);
+    const auto query = dns::make_query(
+        static_cast<std::uint16_t>(rng()),
+        myaddr ? GooglePublicDns::myaddr_name() : f.domain,
+        myaddr ? dns::RecordType::kTxt : dns::RecordType::kA,
+        rng.bernoulli(0.5), ecs);
+    const auto query_wire = dns::encode(query);
+    const double now = 1.0 + i;
+    const auto transport = rng.bernoulli(0.5) ? Transport::kUdp
+                                              : Transport::kTcp;
+    const auto decoded = dns::decode(query_wire);
+    ASSERT_TRUE(decoded.ok);
+    const auto expected = dns::encode(
+        ref.gdns->handle(decoded.message, vp_loc, 7, now, transport, 1));
+    const auto got = f.gdns->handle_wire(query_wire, vp_loc, 7, now,
+                                         transport, arena, 1);
+    EXPECT_EQ(expected, std::vector<std::uint8_t>(got.begin(), got.end()));
+  }
 }
 
 TEST(GoogleDns, ExplicitEntriesCountsCacheContents) {

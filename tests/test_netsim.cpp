@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include "anycast/catchment.h"
+#include "anycast/pop.h"
 #include "dns/wire.h"
 #include "dnssrv/authoritative.h"
+#include "googledns/google_dns.h"
 #include "netsim/bus.h"
+#include "netsim/dns_endpoint.h"
 
 namespace netclients::netsim {
 namespace {
@@ -149,6 +153,94 @@ TEST(Bus, FullDnsExchangeWithTcpFallback) {
   bus.run_until(10.0);
   EXPECT_TRUE(retried_tcp);
   EXPECT_EQ(answers_received, 1);
+}
+
+TEST(DnsEndpoint, WireAndStructuredModesByteIdenticalOnBus) {
+  // The same probe traffic against two authoritative endpoints — one
+  // answering straight from wire bytes, one decoding/re-encoding — must
+  // put byte-identical reply datagrams on the bus.
+  dnssrv::AuthoritativeServer auth;
+  dnssrv::ZoneConfig zone;
+  zone.name = *dns::DnsName::parse("www.example.com");
+  auth.add_zone(zone);
+  const auto wire_addr = *net::Ipv4Addr::parse("10.0.0.53");
+  const auto structured_addr = *net::Ipv4Addr::parse("10.0.0.54");
+
+  MessageBus bus;
+  AuthoritativeEndpointOptions wire_opts;
+  wire_opts.mode = DnsWireMode::kWire;
+  attach_authoritative(bus, wire_addr, auth, wire_opts);
+  AuthoritativeEndpointOptions structured_opts;
+  structured_opts.mode = DnsWireMode::kStructured;
+  attach_authoritative(bus, structured_addr, auth, structured_opts);
+
+  std::vector<std::vector<std::uint8_t>> wire_replies, structured_replies;
+  bus.attach(kClient, [&](const Datagram& d, net::SimTime) {
+    (d.src == wire_addr ? wire_replies : structured_replies)
+        .push_back(d.payload);
+  });
+
+  for (std::uint16_t id = 0; id < 20; ++id) {
+    const auto query = dns::encode(dns::make_query(
+        id, *dns::DnsName::parse(id % 3 ? "www.example.com" : "nope.example"),
+        dns::RecordType::kA, false,
+        dns::EcsOption::for_query(
+            net::Prefix(net::Ipv4Addr(0x64400000u + id * 256u), 24))));
+    bus.send(kClient, wire_addr, Proto::kTcp, query, id * 0.1, 0.01);
+    bus.send(kClient, structured_addr, Proto::kTcp, query, id * 0.1, 0.01);
+  }
+  bus.run_until(100.0);
+  ASSERT_EQ(wire_replies.size(), 20u);
+  EXPECT_EQ(wire_replies, structured_replies);
+}
+
+TEST(DnsEndpoint, GoogleEndpointAnswersSnoopTraffic) {
+  // End-to-end over the bus against the wire-mode Google front end: an
+  // RD=1 client fill followed by RD=0 ECS snoops must eventually hit.
+  anycast::PopTable pops = anycast::PopTable::google_default();
+  anycast::CatchmentModel catchment(&pops, 42);
+  dnssrv::AuthoritativeServer auth;
+  dnssrv::ZoneConfig zone;
+  zone.name = *dns::DnsName::parse("www.example.com");
+  zone.min_scope = 20;
+  zone.max_scope = 24;
+  auth.add_zone(zone);
+  googledns::GooglePublicDns gdns(&pops, &catchment, &auth);
+
+  MessageBus bus;
+  const auto google = *net::Ipv4Addr::parse("8.8.8.8");
+  GoogleEndpointOptions opts;
+  opts.locate = [](net::Ipv4Addr) { return net::LatLon{52.5, 13.4}; };
+  attach_google_dns(bus, google, gdns, opts);
+
+  const auto domain = *dns::DnsName::parse("www.example.com");
+  const auto client = *net::Ipv4Addr::parse("100.64.5.9");
+  int snoop_hits = 0;
+  bus.attach(kClient, [&](const Datagram& d, net::SimTime) {
+    const auto response = dns::decode(d.payload);
+    ASSERT_TRUE(response.ok);
+    if (response.message.header.rd) return;  // echo of the fill query
+    if (!response.message.answers.empty()) ++snoop_hits;
+  });
+  bus.send(kClient, google, Proto::kUdp,
+           dns::encode(dns::make_query(
+               1, domain, dns::RecordType::kA, true,
+               dns::EcsOption::for_query(net::Prefix::slash24_of(client)))),
+           0.0, 0.01);
+  const auto scope =
+      *auth.scope_for(domain, net::Prefix::slash24_of(client),
+                      gdns.config().epoch);
+  for (std::uint16_t attempt = 0; attempt < 16; ++attempt) {
+    bus.send(kClient, google, Proto::kTcp,
+             dns::encode(dns::make_query(
+                 static_cast<std::uint16_t>(100 + attempt), domain,
+                 dns::RecordType::kA, false,
+                 dns::EcsOption::for_query(
+                     net::Prefix::slash24_of(client).widen_to(scope)))),
+             1.0 + attempt * 0.1, 0.01);
+  }
+  bus.run_until(10.0);
+  EXPECT_GT(snoop_hits, 0);
 }
 
 TEST(FaultPlane, DisabledByDefault) {

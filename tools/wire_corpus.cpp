@@ -1,0 +1,125 @@
+// Regenerates the checked-in seed corpus for fuzz_wire
+// (tests/corpus/wire/): one file per interesting wire-format shape —
+// queries with and without ECS, compressed multi-answer responses, TXT
+// payloads, NXDOMAIN, the myaddr TXT exchange, plus a handful of
+// near-valid corpses (truncations, a pointer ladder) that exercise the
+// reject paths. Deterministic: same binary, same bytes.
+//
+// Run:  build/tools/wire_corpus tests/corpus/wire
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/wire.h"
+#include "net/prefix.h"
+
+using namespace netclients;
+
+namespace {
+
+bool dump(const std::filesystem::path& dir, const std::string& name,
+          const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", (dir / name).c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "tests/corpus/wire";
+  std::filesystem::create_directories(dir);
+
+  const auto www = *dns::DnsName::parse("www.example.com");
+  const auto probe = *dns::DnsName::parse("qpwoeiruty");
+  const auto ecs = dns::EcsOption::for_query(
+      net::Prefix(*net::Ipv4Addr::parse("100.64.5.0"), 24));
+
+  bool ok = true;
+
+  // Plain RD=1 A query.
+  ok &= dump(dir, "query_a",
+             dns::encode(dns::make_query(1, www, dns::RecordType::kA, true)));
+  // RD=0 ECS snoop query — the paper's probe shape.
+  ok &= dump(dir, "query_ecs",
+             dns::encode(dns::make_query(2, www, dns::RecordType::kA, false,
+                                         ecs)));
+  // Single-label Chromium-style probe.
+  ok &= dump(dir, "query_single_label",
+             dns::encode(dns::make_query(3, probe, dns::RecordType::kA,
+                                         true)));
+  // Compressed response: three answers sharing the question's owner name.
+  {
+    dns::DnsMessage msg =
+        dns::make_query(4, www, dns::RecordType::kA, false, ecs);
+    msg.header.qr = true;
+    msg.header.aa = true;
+    msg.edns->ecs->scope_prefix_length = 20;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      msg.answers.push_back(dns::ResourceRecord{
+          www, dns::RecordType::kA, dns::kClassIn, 300 + i,
+          dns::AData{net::Ipv4Addr(0x0A000001u + i)}});
+    }
+    ok &= dump(dir, "response_compressed", dns::encode(msg));
+  }
+  // TXT response (myaddr-style PoP report).
+  {
+    dns::DnsMessage msg = dns::make_query(
+        5, *dns::DnsName::parse("o-o.myaddr.l.google.com"),
+        dns::RecordType::kTxt, true);
+    msg.header.qr = true;
+    msg.answers.push_back(dns::ResourceRecord{
+        msg.questions[0].name, dns::RecordType::kTxt, dns::kClassIn, 60,
+        dns::TxtData{"173.194.98.1"}});
+    ok &= dump(dir, "response_txt", dns::encode(msg));
+  }
+  // NXDOMAIN.
+  {
+    dns::DnsMessage msg =
+        dns::make_query(6, *dns::DnsName::parse("nx.example.org"),
+                        dns::RecordType::kA, false);
+    msg.header.qr = true;
+    msg.header.rcode = dns::RCode::kNxDomain;
+    ok &= dump(dir, "response_nxdomain", dns::encode(msg));
+  }
+  // Reject-path seeds: header-only, mid-name truncation, pointer ladder.
+  {
+    const auto full =
+        dns::encode(dns::make_query(7, www, dns::RecordType::kA, true));
+    ok &= dump(dir, "truncated_header",
+               {full.begin(), full.begin() + 11});
+    ok &= dump(dir, "truncated_name",
+               {full.begin(), full.begin() + 15});
+    std::vector<std::uint8_t> ladder = {0x00, 0x08, 0x00, 0x00, 0x00, 0x01,
+                                        0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+    ladder.push_back(0x01);
+    ladder.push_back('a');
+    ladder.push_back(0x00);
+    std::size_t prev = 12;
+    for (int i = 0; i < 70; ++i) {
+      const std::size_t here = ladder.size();
+      ladder.push_back(static_cast<std::uint8_t>(0xC0 | (prev >> 8)));
+      ladder.push_back(static_cast<std::uint8_t>(prev & 0xFF));
+      prev = here;
+    }
+    ladder.push_back(static_cast<std::uint8_t>(0xC0 | (prev >> 8)));
+    ladder.push_back(static_cast<std::uint8_t>(prev & 0xFF));
+    ladder.push_back(0x00);
+    ladder.push_back(0x01);
+    ladder.push_back(0x00);
+    ladder.push_back(0x01);
+    ok &= dump(dir, "pointer_ladder", ladder);
+  }
+
+  if (ok) std::printf("wire corpus written to %s\n", dir.c_str());
+  return ok ? 0 : 1;
+}
