@@ -12,7 +12,7 @@
 #include "core/obs/export.h"
 #include "core/chromium/chromium.h"
 #include "core/scenario/scenario.h"
-#include "core/serve/serve.h"
+#include "core/serve/service.h"
 #include "core/snapshot/snapshot.h"
 #include "roots/root_server.h"
 #include "roots/trace.h"
@@ -102,12 +102,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot read back %s\n", snap_path.c_str());
     return 1;
   }
-  const core::serve::ClientIndex index =
-      core::serve::ClientIndex::build(snap->epochs);
+  // Serve the re-imported epoch the way a deployment would: publish it
+  // into a Service and read through a pinned snapshot handle.
+  core::serve::Service service;
+  service.publish(std::span<const core::snapshot::EpochRecord>(snap->epochs));
+  const core::serve::SnapshotHandle handle = service.acquire();
   std::printf("\nsnapshot %s: %zu resolver /24s, %zu ASes, "
-              "total volume %.0f\n",
-              snap_path.c_str(), index.prefix_count(),
-              index.as_aggregates().size(), index.total_volume());
+              "total volume %.0f (serving version %llu)\n",
+              snap_path.c_str(), handle->index().prefix_count(),
+              handle->index().as_aggregates().size(),
+              handle->index().total_volume(),
+              static_cast<unsigned long long>(handle->version()));
 
   std::remove(path.c_str());
   std::remove(snap_path.c_str());

@@ -41,6 +41,17 @@ std::vector<snapshot::EpochRecord> Scenario::run_epochs(int epochs) const {
   return records;
 }
 
+std::unique_ptr<serve::Service> Scenario::serve_epochs(
+    int epochs, serve::ServiceOptions options) const {
+  auto service = std::make_unique<serve::Service>(std::move(options));
+  // Epoch-by-epoch publishes (not the bulk seed): the serving tier sees
+  // the same rolling sequence of swaps a live deployment would.
+  for (auto& record : run_epochs(epochs)) {
+    service->publish(std::move(record));
+  }
+  return service;
+}
+
 Scenario ScenarioBuilder::build() const {
   Scenario scenario;
   sim::WorldConfig config = config_;

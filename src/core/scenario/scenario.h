@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "core/cacheprobe/cacheprobe.h"
+#include "core/serve/service.h"
 #include "core/snapshot/snapshot.h"
 #include "dnssrv/authoritative.h"
 #include "googledns/google_dns.h"
@@ -54,6 +55,13 @@ struct Scenario {
   /// sets overlap heavily but not exactly — exactly the churn the
   /// analytics in core/serve quantify.
   std::vector<snapshot::EpochRecord> run_epochs(int epochs = 0) const;
+
+  /// run_epochs, served: runs the campaign epochs and publishes each
+  /// record into a fresh serving tier in epoch order — the end-to-end
+  /// "measure, then serve through snapshot handles" path. `options`
+  /// configures the tier (shard count, epoch window, instrumentation).
+  std::unique_ptr<serve::Service> serve_epochs(
+      int epochs = 0, serve::ServiceOptions options = {}) const;
 };
 
 /// Fluent assembly of a Scenario. Defaults are the paper's parameters at

@@ -26,8 +26,7 @@ LookupResult result_of(const snapshot::PrefixEntry& entry) {
 
 }  // namespace
 
-ClientIndex ClientIndex::build(
-    const std::vector<snapshot::EpochRecord>& epochs) {
+ClientIndex ClientIndex::build(std::span<const snapshot::EpochRecord> epochs) {
   static obs::Counter& builds_metric =
       obs::Registry::global().counter("serve.index.builds");
   static obs::Counter& prefixes_metric =
@@ -36,25 +35,43 @@ ClientIndex ClientIndex::build(
   ClientIndex index;
   index.epoch_count_ = epochs.size();
 
-  // Union the epochs' active sets. std::map keys by (base, length), which
-  // is exactly prefix order; epochs contribute in epoch order, so volume
-  // sums accumulate in a fixed sequence.
-  std::map<std::uint64_t, snapshot::PrefixEntry> merged;
+  // Union the epochs' active sets. Entries are referenced in place and
+  // sorted by (prefix key, arrival sequence): ascending key is exactly
+  // prefix order, and the sequence tiebreak replays epoch order within a
+  // key — the same deterministic accumulation sequence a key-ordered map
+  // walk over epoch-ordered inserts produces, without a node allocation
+  // per entry.
+  struct Keyed {
+    std::uint64_t key;
+    std::uint32_t seq;
+    const snapshot::PrefixEntry* entry;
+  };
+  std::size_t total = 0;
+  for (const auto& epoch : epochs) total += epoch.prefixes.size();
+  std::vector<Keyed> keyed;
+  keyed.reserve(total);
+  std::uint32_t seq = 0;
   for (const auto& epoch : epochs) {
     for (const auto& entry : epoch.prefixes) {
-      auto [it, inserted] = merged.try_emplace(prefix_key(entry.prefix), entry);
-      if (!inserted) {
-        it->second.volume += entry.volume;
-        it->second.domain_mask |= entry.domain_mask;
-        // Attribution (asn/country) comes from the same public tables in
-        // every epoch; the first epoch's values win.
-      }
+      keyed.push_back(Keyed{prefix_key(entry.prefix), seq++, &entry});
     }
   }
-  index.entries_.reserve(merged.size());
-  for (auto& [key, entry] : merged) {
-    index.entries_.push_back(entry);
-    index.total_volume_ += entry.volume;
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq < b.seq;
+  });
+  index.entries_.reserve(total);
+  for (std::size_t i = 0; i < keyed.size();) {
+    // First occurrence wins attribution (asn/country come from the same
+    // public tables in every epoch); later epochs of the same prefix add
+    // volume and OR domain masks, in epoch order.
+    snapshot::PrefixEntry merged = *keyed[i].entry;
+    for (++i; i < keyed.size() && keyed[i].key == keyed[i - 1].key; ++i) {
+      merged.volume += keyed[i].entry->volume;
+      merged.domain_mask |= keyed[i].entry->domain_mask;
+    }
+    index.total_volume_ += merged.volume;
+    index.entries_.push_back(merged);
   }
 
   // Trie for the single-query path.
@@ -154,12 +171,18 @@ ClientIndex ClientIndex::build(
 LookupResult ClientIndex::lookup(net::Ipv4Addr addr) const {
   static obs::Counter& single_metric =
       obs::Registry::global().counter("serve.lookup.single");
-  static obs::Counter& hits_metric =
-      obs::Registry::global().counter("serve.lookup.hits");
   single_metric.add(1);
+  // Same chunk kernel as the batched path: shared slot table, shared
+  // serve.lookup.hits accounting — single and batched answers cannot
+  // diverge by construction.
+  LookupResult result;
+  lookup_chunk(&addr, 1, &result);
+  return result;
+}
+
+LookupResult ClientIndex::lookup_reference(net::Ipv4Addr addr) const {
   const auto match = trie_.longest_match(addr);
   if (!match) return LookupResult{};
-  hits_metric.add(1);
   return result_of(entries_[*match->second]);
 }
 
@@ -191,21 +214,21 @@ void ClientIndex::lookup_chunk(const net::Ipv4Addr* addrs, std::size_t count,
 }
 
 std::vector<LookupResult> ClientIndex::lookup_many(
-    const std::vector<net::Ipv4Addr>& addrs, int threads) const {
+    std::span<const net::Ipv4Addr> addrs, int threads) const {
   std::vector<LookupResult> results(addrs.size());
-  lookup_many(addrs.data(), addrs.size(), results.data(), threads);
+  lookup_many(addrs, results.data(), threads);
   return results;
 }
 
-void ClientIndex::lookup_many(const net::Ipv4Addr* addrs, std::size_t count,
+void ClientIndex::lookup_many(std::span<const net::Ipv4Addr> addrs,
                               LookupResult* out, int threads) const {
   static obs::Counter& batched_metric =
       obs::Registry::global().counter("serve.lookup.batched");
-  batched_metric.add(count);
+  batched_metric.add(addrs.size());
 
   exec::parallel_for_chunks(
-      0, count, kChunkQueries, threads, [&](exec::ChunkRange range) {
-        lookup_chunk(addrs + range.begin, range.end - range.begin,
+      0, addrs.size(), kChunkQueries, threads, [&](exec::ChunkRange range) {
+        lookup_chunk(addrs.data() + range.begin, range.end - range.begin,
                      out + range.begin);
         return 0;
       });

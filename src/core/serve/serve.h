@@ -5,30 +5,36 @@
 // address sit in a network with client activity, and how much" at high
 // QPS, plus churn analytics between epochs.
 //
-// Two lookup paths, same answers:
+// One lookup code path, two entry shapes:
 //
-//  * `lookup` — the single-query path: longest-prefix match through the
-//    src/net radix trie, per-call metrics. The convenient form for
-//    interactive callers and the baseline `bench_serve` measures.
-//  * `lookup_many` — the serving path: queries are processed in fixed-size
-//    chunks (optionally in parallel via core/exec) against a direct-mapped
-//    /24 slot table built by projecting the prefix set to disjoint
-//    intervals (LPM projection) and paging those intervals into one
-//    uint32 slot per /24. A query is one array read; only slots with
-//    sub-/24 structure fall back to a binary search of the interval
-//    table. One L1-resident array read per query replaces the trie's
-//    per-query pointer chase and per-call metrics, which is what buys
-//    the batched path its throughput multiple — independent of thread
-//    count.
+//  * `lookup_many` — THE serving path (span-style core): queries are
+//    processed in fixed-size chunks (optionally in parallel via
+//    core/exec) against a direct-mapped /24 slot table built by
+//    projecting the prefix set to disjoint intervals (LPM projection)
+//    and paging those intervals into one uint32 slot per /24. A query is
+//    one array read; only slots with sub-/24 structure fall back to a
+//    binary search of the interval table.
+//  * `lookup` — the single-query convenience: a count-1 call through the
+//    same chunk kernel (same slot table, same hit metrics), so per-call
+//    metrics and answers cannot drift from the batched path.
+//  * `lookup_reference` — the independent oracle: longest-prefix match
+//    through the src/net radix trie, kept solely so tests and benches
+//    can cross-check the slot table against a structurally different
+//    implementation.
 //
 // Determinism contract (the repo-wide rule): results are a pure function
 // of (index contents, query list). Chunk boundaries depend only on the
 // query count, each chunk's answers are written into its own output
 // range, and the slot table answers exactly what the trie answers — so
 // `lookup_many` output is byte-identical at any REPRO_THREADS, and
-// identical to calling `lookup` per query.
+// identical to calling `lookup` (or `lookup_reference`) per query.
+//
+// `ClientIndex` is the *internal build artifact* of the serving tier:
+// consumers outside src/core/serve reach it through `serve::Service`
+// snapshot handles (service.h), never by constructing one directly.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/snapshot/snapshot.h"
@@ -64,21 +70,40 @@ class ClientIndex {
   /// for every REPRO_THREADS value.
   static constexpr std::size_t kChunkQueries = std::size_t{1} << 16;
 
-  static ClientIndex build(const std::vector<snapshot::EpochRecord>& epochs);
+  /// Builds the index from a contiguous run of epochs (a std::vector
+  /// converts implicitly). Entry storage is reserved up front from the
+  /// summed epoch sizes; per-epoch aggregates are merged by reference,
+  /// never copied per epoch.
+  static ClientIndex build(std::span<const snapshot::EpochRecord> epochs);
 
-  /// Single-query longest-prefix match via the radix trie.
+  /// Single-query convenience: a count-1 pass through the same chunk
+  /// kernel as `lookup_many` (shared slot table and hit metrics).
   LookupResult lookup(net::Ipv4Addr addr) const;
 
-  /// Batched lookup: one result per query, in query order. `threads <= 0`
-  /// means exec::thread_count() (the REPRO_THREADS env var); 1 is serial.
-  std::vector<LookupResult> lookup_many(
-      const std::vector<net::Ipv4Addr>& addrs, int threads = 0) const;
+  /// Oracle path: longest-prefix match via the radix trie. Structurally
+  /// independent of the slot table — determinism tests and benches assert
+  /// it agrees with `lookup`/`lookup_many` answer for answer.
+  LookupResult lookup_reference(net::Ipv4Addr addr) const;
 
-  /// Allocation-free form: writes one result per query into `out` (which
-  /// must hold `count` slots). The steady-state serving path — callers
-  /// reuse the output buffer across batches.
+  /// THE batched entry point: writes one result per query into `out`
+  /// (which must hold `addrs.size()` slots), in query order. The
+  /// steady-state serving path — callers reuse the output buffer across
+  /// batches. `threads <= 0` means exec::thread_count() (the
+  /// REPRO_THREADS env var); 1 is serial.
+  void lookup_many(std::span<const net::Ipv4Addr> addrs, LookupResult* out,
+                   int threads = 0) const;
+
+  /// Thin allocating convenience over the span core: one result per
+  /// query, in query order.
+  std::vector<LookupResult> lookup_many(std::span<const net::Ipv4Addr> addrs,
+                                        int threads = 0) const;
+
+  /// Pre-span signature, kept for one PR as a compatibility shim.
+  [[deprecated("use lookup_many(std::span, LookupResult*, threads)")]]
   void lookup_many(const net::Ipv4Addr* addrs, std::size_t count,
-                   LookupResult* out, int threads = 0) const;
+                   LookupResult* out, int threads = 0) const {
+    lookup_many(std::span<const net::Ipv4Addr>(addrs, count), out, threads);
+  }
 
   // Aggregate views (keyed lookups are binary search).
   double as_volume(std::uint32_t asn) const;

@@ -4,8 +4,10 @@
 // round-trips, byte-identical encodes regardless of REPRO_THREADS, the
 // tolerant reader's skip-and-count behaviour under truncation and
 // per-section corruption (it must never crash and must keep every intact
-// epoch), the strict validate() gate, ClientIndex lookup determinism
-// across thread counts, and epoch-diff churn analytics.
+// epoch), the strict validate() gate, snapshot-handle lookup determinism
+// across thread counts, and epoch-diff churn analytics. (The serving
+// tier itself — handle lifetime, concurrent publish/read — lives in
+// test_serve.)
 //
 // One shared fixture runs the two-epoch campaign once; every case reads
 // from it. Campaigns are expensive — keep the world at kScale.
@@ -18,7 +20,7 @@
 #include <vector>
 
 #include "core/scenario/scenario.h"
-#include "core/serve/serve.h"
+#include "core/serve/service.h"
 #include "core/snapshot/snapshot.h"
 #include "net/rng.h"
 
@@ -219,8 +221,12 @@ TEST_F(SnapshotSuite, ValidateAcceptsGoodRejectsCorrupt) {
 // ----------------------------------------------------------- serving index
 
 TEST_F(SnapshotSuite, LookupManyIsByteIdenticalAcrossThreadCounts) {
-  const serve::ClientIndex index = serve::ClientIndex::build(epochs());
-  ASSERT_GT(index.prefix_count(), 0u);
+  // All serving goes through the Service handle API; the ClientIndex
+  // underneath is an internal build artifact.
+  serve::Service service;
+  service.publish(std::span<const snapshot::EpochRecord>(epochs()));
+  const serve::SnapshotHandle handle = service.acquire();
+  ASSERT_GT(handle->index().prefix_count(), 0u);
 
   // ~200k deterministic queries spanning hits and misses.
   net::Rng rng(0xD15C0);
@@ -229,26 +235,32 @@ TEST_F(SnapshotSuite, LookupManyIsByteIdenticalAcrossThreadCounts) {
   for (int i = 0; i < 200000; ++i) {
     queries.push_back(net::Ipv4Addr(static_cast<std::uint32_t>(rng())));
   }
-  const auto one = index.lookup_many(queries, 1);
-  const auto eight = index.lookup_many(queries, 8);
+  const auto one = handle->lookup_many(queries, 1);
+  const auto eight = handle->lookup_many(queries, 8);
   EXPECT_EQ(one, eight);
 
   // REPRO_THREADS env form (threads = 0) must agree too.
   const auto env_one =
-      with_threads(1, [&] { return index.lookup_many(queries, 0); });
+      with_threads(1, [&] { return handle->lookup_many(queries, 0); });
   const auto env_eight =
-      with_threads(8, [&] { return index.lookup_many(queries, 0); });
+      with_threads(8, [&] { return handle->lookup_many(queries, 0); });
   EXPECT_EQ(env_one, env_eight);
   EXPECT_EQ(one, env_one);
 
-  // And the batched path answers exactly what the trie answers.
+  // And the batched path answers exactly what the single-query path and
+  // the structurally independent trie oracle answer.
   for (std::size_t i = 0; i < queries.size(); i += 173) {
-    ASSERT_EQ(index.lookup(queries[i]), one[i]) << "query " << i;
+    ASSERT_EQ(handle->lookup(queries[i]), one[i]) << "query " << i;
+    ASSERT_EQ(handle->index().lookup_reference(queries[i]), one[i])
+        << "query " << i;
   }
 }
 
 TEST_F(SnapshotSuite, IndexAggregatesMatchEntrySums) {
-  const serve::ClientIndex index = serve::ClientIndex::build(epochs());
+  serve::Service service;
+  service.publish(std::span<const snapshot::EpochRecord>(epochs()));
+  const serve::SnapshotHandle handle = service.acquire();
+  const serve::ClientIndex& index = handle->index();
   double as_total = 0;
   for (const auto& agg : index.as_aggregates()) {
     EXPECT_EQ(index.as_volume(agg.asn), agg.volume);

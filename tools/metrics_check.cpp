@@ -1,24 +1,93 @@
 // Schema gate for exported measurement artifacts (CI's bench-smoke job):
 //
 //   metrics_check [--snap <file.snap>]... [<metrics.json>
-//                                          [required-metric-name...]]
+//                                          [requirement...]]
 //
 // Each `--snap` file is strictly validated as netclients.snap.v1
 // (header magic, section framing, CRCs, delta-chain integrity). The
 // metrics JSON, when given, must parse as netclients.metrics.v1 and
-// contain every required metric name (counter, gauge, histogram, or
-// span). Prints the first problem and exits 1 on any failure.
+// satisfy every requirement:
+//
+//   name          the metric exists (counter, gauge, histogram, span)
+//   name>=value   the counter/gauge exists AND its value is >= value
+//   name<=value   ... value is <= value
+//
+// Threshold forms gate measured quantities — e.g.
+// `serve.bench.churn_ratio>=0.9` turns "publishes do not stall readers"
+// into a CI failure. They apply to counters and gauges (the scalar
+// metrics); histogram/span requirements are presence-only. Prints every
+// problem and exits 1 on any failure.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/obs/export.h"
 #include "core/snapshot/snapshot.h"
+
+namespace {
+
+/// Scalar value of a counter or gauge; nullopt for histograms/spans
+/// (which have no single value to threshold) and unknown names.
+std::optional<double> scalar_value(const netclients::obs::Snapshot& snapshot,
+                                   const std::string& name) {
+  for (const auto& [metric, value] : snapshot.counters) {
+    if (metric == name) return static_cast<double>(value);
+  }
+  for (const auto& [metric, value] : snapshot.gauges) {
+    if (metric == name) return value;
+  }
+  return std::nullopt;
+}
+
+bool check_requirement(const netclients::obs::Snapshot& snapshot,
+                       const std::vector<std::string>& names,
+                       const char* metrics_path, const std::string& spec) {
+  std::string name = spec;
+  enum { kExists, kAtLeast, kAtMost } mode = kExists;
+  double bound = 0;
+  for (const char* op : {">=", "<="}) {
+    const auto at = spec.find(op);
+    if (at != std::string::npos) {
+      name = spec.substr(0, at);
+      bound = std::atof(spec.c_str() + at + 2);
+      mode = op[0] == '>' ? kAtLeast : kAtMost;
+      break;
+    }
+  }
+
+  if (mode == kExists) {
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      std::fprintf(stderr, "metrics_check: %s: missing required metric %s\n",
+                   metrics_path, name.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  const std::optional<double> value = scalar_value(snapshot, name);
+  if (!value) {
+    std::fprintf(stderr,
+                 "metrics_check: %s: %s is not a counter or gauge (required "
+                 "by '%s')\n",
+                 metrics_path, name.c_str(), spec.c_str());
+    return false;
+  }
+  const bool ok = mode == kAtLeast ? *value >= bound : *value <= bound;
+  if (!ok) {
+    std::fprintf(stderr, "metrics_check: %s: %s = %g violates '%s'\n",
+                 metrics_path, name.c_str(), *value, spec.c_str());
+  }
+  return ok;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<const char*> snaps;
@@ -30,7 +99,7 @@ int main(int argc, char** argv) {
   if (snaps.empty() && arg >= argc) {
     std::fprintf(stderr,
                  "usage: metrics_check [--snap <file.snap>]... "
-                 "[<metrics.json> [required-metric-name...]]\n");
+                 "[<metrics.json> [name | name>=value | name<=value]...]\n");
     return 1;
   }
 
@@ -70,11 +139,7 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   for (int i = arg + 1; i < argc; ++i) {
-    if (std::find(names.begin(), names.end(), argv[i]) == names.end()) {
-      std::fprintf(stderr, "metrics_check: %s: missing required metric %s\n",
-                   argv[arg], argv[i]);
-      ok = false;
-    }
+    ok &= check_requirement(*snapshot, names, argv[arg], argv[i]);
   }
   if (!ok) return 1;
 
