@@ -1,0 +1,112 @@
+// libFuzzer harness for the NCS1 wire protocol — the network front-end's
+// parse surface (netsvc/protocol.h). Properties, any violation traps:
+//
+//   1. Safety: parse_query and parse_response accept arbitrary bytes
+//      without crashing (both sit directly behind the bus).
+//   2. Profile soundness: an accepted query re-parses by the generic
+//      zero-copy packet plane (dns::MessageView) as a well-formed query
+//      with one TXT/IN question per reported address.
+//   3. Answer round-trip: for an accepted query, the full response, the
+//      TC=1 response, and the FORMERR response all encode and parse back
+//      with the query's id, the right truncation flag, and result blobs
+//      identical field for field.
+//
+// Crashing inputs found in CI get uploaded as artifacts and folded back
+// into tests/corpus/netsvc/ as regression seeds.
+//
+// Build:  cmake -DNETCLIENTS_FUZZERS=ON (clang only)
+// Run:    build/fuzz/fuzz_netsvc tests/corpus/netsvc/ -max_total_time=60
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/packet.h"
+#include "net/rng.h"
+#include "netsvc/protocol.h"
+
+using namespace netclients;
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "[fuzz_netsvc] property violated: %s\n", what);
+    std::abort();
+  }
+}
+
+core::serve::LookupResult result_for(std::uint64_t seed) {
+  net::Rng rng(seed);
+  core::serve::LookupResult result;
+  result.active = rng.bernoulli(0.5);
+  result.prefix =
+      net::Prefix(net::Ipv4Addr(static_cast<std::uint32_t>(rng())),
+                  static_cast<std::uint8_t>(rng.below(33)));
+  result.volume = static_cast<double>(rng.below(1u << 16)) / 3.0;
+  result.asn = static_cast<std::uint32_t>(rng());
+  result.country = static_cast<std::uint16_t>(rng.below(300));
+  result.domain_mask = static_cast<std::uint32_t>(rng());
+  return result;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> wire(data, size);
+
+  // Property 1: both parsers must survive arbitrary bytes.
+  netsvc::ResponseView response;
+  (void)netsvc::parse_response(wire, &response);
+
+  netsvc::QueryView query;
+  if (netsvc::parse_query(wire, &query) != netsvc::ParseStatus::kOk) {
+    return 0;
+  }
+
+  // Property 2: an accepted query is a well-formed DNS query under the
+  // generic packet plane, one TXT/IN question per address.
+  std::string error;
+  const auto view = dns::MessageView::parse(wire, &error);
+  require(view.has_value(), "accepted query rejected by MessageView");
+  require(!view->header().qr, "accepted query has qr=1");
+  require(view->question_count() == query.addrs.size(),
+          "address count != question count");
+  require(query.addrs.size() >= 1 &&
+              query.addrs.size() <= netsvc::kMaxQuestionsPerMessage,
+          "accepted batch size out of range");
+  require(query.name_offsets.size() == query.addrs.size(),
+          "name offset per question");
+
+  // Property 3: the whole answer path round-trips.
+  std::vector<core::serve::LookupResult> results(query.addrs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i] = result_for(i ^ (std::uint64_t{query.id} << 32));
+  }
+  dns::WireArena arena;
+  const auto reply = netsvc::encode_response(query, results, arena);
+  require(reply.size() ==
+              netsvc::response_wire_size(query.question_bytes.size(),
+                                         results.size()),
+          "response size formula");
+  require(netsvc::parse_response(reply, &response), "response unparseable");
+  require(response.id == query.id, "response id mismatch");
+  require(!response.truncated, "full response claims truncation");
+  require(response.results == results, "result blobs changed in flight");
+
+  const auto truncated = netsvc::encode_truncated(query, arena);
+  require(netsvc::parse_response(truncated, &response),
+          "TC response unparseable");
+  require(response.truncated && response.results.empty(),
+          "TC response shape");
+
+  const auto formerr = netsvc::encode_formerr(query.id, arena);
+  require(netsvc::parse_response(formerr, &response),
+          "FORMERR response unparseable");
+  require(response.rcode == dns::RCode::kFormErr, "FORMERR rcode");
+  return 0;
+}

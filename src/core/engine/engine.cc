@@ -5,6 +5,7 @@
 #include <tuple>
 #include <utility>
 
+#include "core/engine/timeline.h"
 #include "net/rng.h"
 
 namespace netclients::core::engine {
@@ -300,9 +301,8 @@ class EventProber final : public ProberBase {
   void drain() override {
     refill();
     while (!events_.empty()) {
-      const Completion event = events_.top();
-      events_.pop();
-      clock_ = std::max(clock_, event.deadline);
+      clock_ = std::max(clock_, events_.next_deadline());
+      const Completion event = events_.pop();
       --in_flight_;
       if (event.resolved) deliver(event.outcome);
       refill();
@@ -326,15 +326,8 @@ class EventProber final : public ProberBase {
     }
   };
   struct Completion {
-    double deadline = 0;
-    std::uint64_t seq = 0;
     bool resolved = false;
     ProbeOutcome outcome;
-  };
-  struct CompletionAfter {
-    bool operator()(const Completion& a, const Completion& b) const {
-      return std::tie(a.deadline, a.seq) > std::tie(b.deadline, b.seq);
-    }
   };
 
   void refill() {
@@ -366,8 +359,6 @@ class EventProber final : public ProberBase {
         std::max(engine_stats_.peak_in_flight, in_flight_);
 
     Completion completion;
-    completion.deadline = deadline;
-    completion.seq = next_event_seq_++;
     if (evaluation.hit || chain.loop + 1 >= chain.request.max_loops) {
       completion.resolved = true;
       ProbeOutcome& outcome = completion.outcome;
@@ -390,17 +381,15 @@ class EventProber final : public ProberBase {
       chain.not_before = deadline;
       pending_.push(std::move(chain));
     }
-    events_.push(std::move(completion));
+    events_.push(deadline, std::move(completion));
   }
 
   const int window_;
   std::priority_queue<Chain, std::vector<Chain>, PendingAfter> pending_;
-  std::priority_queue<Completion, std::vector<Completion>, CompletionAfter>
-      events_;
+  Timeline<Completion> events_;
   int in_flight_ = 0;
   double clock_ = 0;
   std::uint64_t next_chain_seq_ = 0;
-  std::uint64_t next_event_seq_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,78 @@
+#pragma once
+
+// The (deadline, sequence) event queue every virtual-time loop in the
+// repo shares. The probe engine's completion events, the netsvc server's
+// service-slot completions, and anything else that models time as "fire
+// events in deadline order, FIFO on ties" use this one primitive, so the
+// ordering rule — and therefore the determinism argument — lives in one
+// place: pop order is a pure function of the push sequence and the
+// deadlines, never of wall clock or thread identity.
+
+#include <cassert>
+#include <cstdint>
+#include <queue>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace netclients::core::engine {
+
+/// Min-queue of timed events: `pop` yields the event with the smallest
+/// deadline, ties broken by push order (FIFO). Deadlines are the caller's
+/// virtual clock — seconds of modeled time, netsim::SimTime, anything
+/// monotone — the queue only compares them.
+template <typename T>
+class Timeline {
+ public:
+  void push(double deadline, T value) {
+    heap_.push(Entry{deadline, sequence_++, std::move(value)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Deadline of the next event. Precondition: !empty().
+  double next_deadline() const {
+    assert(!heap_.empty());
+    return heap_.top().deadline;
+  }
+
+  /// Removes and returns the next event's value. Precondition: !empty().
+  T pop() {
+    assert(!heap_.empty());
+    // priority_queue::top() is const; the entry is moved out immediately
+    // before the pop, which is safe because the heap never reads the
+    // moved-from value again.
+    T value = std::move(const_cast<Entry&>(heap_.top()).value);
+    heap_.pop();
+    return value;
+  }
+
+  /// Pops every event with deadline <= `now` (events already in the
+  /// past), calling `fn(deadline, value)` in (deadline, sequence) order.
+  template <typename Fn>
+  void drain_until(double now, Fn&& fn) {
+    while (!heap_.empty() && heap_.top().deadline <= now) {
+      const double deadline = heap_.top().deadline;
+      fn(deadline, pop());
+    }
+  }
+
+ private:
+  struct Entry {
+    double deadline = 0;
+    std::uint64_t sequence = 0;
+    T value;
+  };
+  struct After {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return std::tie(a.deadline, a.sequence) >
+             std::tie(b.deadline, b.sequence);
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, After> heap_;
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace netclients::core::engine

@@ -98,13 +98,6 @@ class ClientIndex {
   std::vector<LookupResult> lookup_many(std::span<const net::Ipv4Addr> addrs,
                                         int threads = 0) const;
 
-  /// Pre-span signature, kept for one PR as a compatibility shim.
-  [[deprecated("use lookup_many(std::span, LookupResult*, threads)")]]
-  void lookup_many(const net::Ipv4Addr* addrs, std::size_t count,
-                   LookupResult* out, int threads = 0) const {
-    lookup_many(std::span<const net::Ipv4Addr>(addrs, count), out, threads);
-  }
-
   // Aggregate views (keyed lookups are binary search).
   double as_volume(std::uint32_t asn) const;
   double country_volume(std::uint16_t country) const;

@@ -367,6 +367,14 @@ std::optional<net::Ipv4Addr> MessageView::RecordView::a_address() const {
                        std::uint32_t{rdata[3]});
 }
 
+std::optional<std::span<const std::uint8_t>>
+MessageView::RecordView::txt_segment() const {
+  if (rdata.empty()) return std::nullopt;
+  const std::uint8_t len = rdata[0];
+  if (std::size_t{len} + 1 > rdata.size()) return std::nullopt;
+  return rdata.subspan(1, len);
+}
+
 bool MessageView::RecordView::txt_text(std::string* out) const {
   out->clear();
   std::size_t at = 0;

@@ -117,6 +117,11 @@ class NameView {
   bool is_single_label() const { return label_count_ == 1; }
   /// Uncompressed wire length (label bytes + length octets + terminator).
   std::size_t wire_length() const { return wire_length_; }
+  /// Offset of the name's first byte within the packet it was parsed
+  /// from. Encoders echoing a packet's questions can emit a compression
+  /// pointer (0xC000 | offset) at this offset instead of re-writing the
+  /// name — the netsvc responder's answer owner names work this way.
+  std::size_t packet_offset() const { return offset_; }
 
   /// First label's bytes (raw case). Precondition: !is_root().
   std::string_view first_label() const;
@@ -273,6 +278,11 @@ class MessageView {
     /// Concatenates TXT character-strings into `out` (allocates — the
     /// materializing path); returns false on malformed strings.
     bool txt_text(std::string* out) const;
+    /// Zero-copy view of the first TXT character-string (empty optional
+    /// when the RDATA is empty or the length octet overruns it). Binary
+    /// single-segment TXT payloads — the netsvc result blobs — decode
+    /// through this without touching the heap.
+    std::optional<std::span<const std::uint8_t>> txt_segment() const;
   };
 
   enum class Section : std::uint8_t { kAnswer, kAuthority, kAdditional };

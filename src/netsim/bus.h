@@ -88,6 +88,14 @@ class MessageBus {
 
   /// True when no events remain queued.
   bool idle() const { return queue_.empty(); }
+  /// Delivery time of the earliest queued event (nullopt when idle). Lets
+  /// a synchronous caller pump the bus event-by-event —
+  /// `run_until(*next_event_time())` — without overshooting its virtual
+  /// clock past the arrival it is waiting for.
+  std::optional<net::SimTime> next_event_time() const {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.top().datagram.deliver_at;
+  }
   net::SimTime now() const { return now_; }
   const BusStats& stats() const { return stats_; }
 

@@ -6,6 +6,7 @@
 
 #include "dns/packet.h"
 #include "dns/wire.h"
+#include "netsim/endpoint.h"
 
 namespace netclients::netsim {
 namespace {
@@ -22,50 +23,51 @@ void attach_google_dns(MessageBus& bus, net::Ipv4Addr address,
                        GoogleEndpointOptions options) {
   assert(options.locate);
   // The bus delivers on one thread; the arena lives with the handler and
-  // is recycled across every packet this endpoint answers.
+  // is recycled across every packet this endpoint answers. The structured
+  // path materializes into it too, so both modes return arena-backed
+  // spans.
   auto arena = std::make_shared<dns::WireArena>();
-  bus.attach(address, [&bus, &server, address, arena,
-                       options = std::move(options)](const Datagram& d,
-                                                     net::SimTime now) {
-    const net::LatLon where = options.locate(d.src);
-    if (options.mode == DnsWireMode::kWire) {
-      const auto reply =
-          server.handle_wire(d.payload, where, d.src.value(), now,
-                             transport_of(d.proto), *arena, options.vp_id);
-      if (reply.empty()) return;  // unparseable query: dropped
-      bus.send(address, d.src, d.proto, {reply.begin(), reply.end()}, now,
-               options.reply_latency);
-      return;
-    }
-    const auto query = dns::decode(d.payload);
-    if (!query.ok) return;
-    const auto response =
-        server.handle(query.message, where, d.src.value(), now,
-                      transport_of(d.proto), options.vp_id);
-    bus.send(address, d.src, d.proto, dns::encode(response), now,
-             options.reply_latency);
-  });
+  attach_payload_endpoint(
+      bus, address,
+      [&server, arena, options = std::move(options)](
+          const Datagram& d, net::SimTime now) -> PayloadReply {
+        const net::LatLon where = options.locate(d.src);
+        if (options.mode == DnsWireMode::kWire) {
+          const auto reply =
+              server.handle_wire(d.payload, where, d.src.value(), now,
+                                 transport_of(d.proto), *arena,
+                                 options.vp_id);
+          return {reply, options.reply_latency};  // empty: dropped
+        }
+        const auto query = dns::decode(d.payload);
+        if (!query.ok) return {};
+        const auto response =
+            server.handle(query.message, where, d.src.value(), now,
+                          transport_of(d.proto), options.vp_id);
+        return {dns::encode_into(response, *arena), options.reply_latency};
+      });
 }
 
 void attach_authoritative(MessageBus& bus, net::Ipv4Addr address,
                           const dnssrv::AuthoritativeServer& server,
                           AuthoritativeEndpointOptions options) {
   auto arena = std::make_shared<dns::WireArena>();
-  bus.attach(address, [&bus, &server, address, arena,
-                       options](const Datagram& d, net::SimTime now) {
-    if (options.mode == DnsWireMode::kWire) {
-      const auto reply = server.handle_wire(d.payload, options.epoch, *arena);
-      if (reply.empty()) return;  // unparseable query: dropped
-      bus.send(address, d.src, d.proto, {reply.begin(), reply.end()}, now,
-               options.reply_latency);
-      return;
-    }
-    const auto query = dns::decode(d.payload);
-    if (!query.ok) return;
-    bus.send(address, d.src, d.proto,
-             dns::encode(server.handle(query.message, options.epoch)), now,
-             options.reply_latency);
-  });
+  attach_payload_endpoint(
+      bus, address,
+      [&server, arena, options](const Datagram& d,
+                                net::SimTime now) -> PayloadReply {
+        (void)now;
+        if (options.mode == DnsWireMode::kWire) {
+          const auto reply =
+              server.handle_wire(d.payload, options.epoch, *arena);
+          return {reply, options.reply_latency};  // empty: dropped
+        }
+        const auto query = dns::decode(d.payload);
+        if (!query.ok) return {};
+        return {dns::encode_into(server.handle(query.message, options.epoch),
+                                 *arena),
+                options.reply_latency};
+      });
 }
 
 }  // namespace netclients::netsim

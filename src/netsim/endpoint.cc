@@ -1,0 +1,21 @@
+#include "netsim/endpoint.h"
+
+#include <utility>
+#include <vector>
+
+namespace netclients::netsim {
+
+void attach_payload_endpoint(MessageBus& bus, net::Ipv4Addr address,
+                             PayloadHandler handler) {
+  bus.attach(address, [&bus, address, handler = std::move(handler)](
+                          const Datagram& d, net::SimTime now) {
+    const PayloadReply reply = handler(d, now);
+    if (reply.payload.empty()) return;
+    bus.send(address, d.src, d.proto,
+             std::vector<std::uint8_t>(reply.payload.begin(),
+                                       reply.payload.end()),
+             now, reply.latency);
+  });
+}
+
+}  // namespace netclients::netsim

@@ -1,0 +1,45 @@
+#pragma once
+
+// Shared bus-attachment plumbing for request/reply endpoints.
+//
+// Every datagram service on the bus — the two DNS front ends in
+// dns_endpoint.h and the netsvc query server — follows the same shape:
+// receive a datagram, compute an optional reply payload, and send it back
+// to the source over the transport the request arrived on, after a fixed
+// service latency. `attach_payload_endpoint` is that shape, factored out
+// once: the per-service code shrinks to a pure bytes-in/bytes-out
+// function, and the reply-routing rules (same proto, back to d.src, empty
+// payload means drop) live in a single place.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "net/ipv4.h"
+#include "netsim/bus.h"
+
+namespace netclients::netsim {
+
+/// What a payload endpoint's handler returns for one request datagram.
+struct PayloadReply {
+  /// Reply bytes; empty means no reply (the request is silently dropped).
+  /// The span must stay valid until the handler returns — the bus copies
+  /// it into the outgoing datagram — so arena-backed storage recycled on
+  /// the *next* request is fine.
+  std::span<const std::uint8_t> payload;
+  /// Seconds between receiving the request and the reply leaving.
+  double latency = 0.01;
+};
+
+/// Bytes-in/bytes-out service function: one request datagram, one
+/// optional reply.
+using PayloadHandler =
+    std::function<PayloadReply(const Datagram& request, net::SimTime now)>;
+
+/// Attaches `handler` to the bus at `address`. Replies ride the incoming
+/// datagram's transport back to its source. Everything the handler
+/// captures must outlive the bus registration.
+void attach_payload_endpoint(MessageBus& bus, net::Ipv4Addr address,
+                             PayloadHandler handler);
+
+}  // namespace netclients::netsim

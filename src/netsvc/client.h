@@ -1,0 +1,153 @@
+#pragma once
+
+// The network query client: `lookup_many` over the wire.
+//
+// `Client::lookup_many` has the same shape as the serving tier's own
+// batched entry point — a span of addresses in, one `LookupResult` per
+// address out, in order — but every answer crosses the bus as NCS1 wire
+// bytes. Queries are cut into fixed-size chunks (one message each), sent
+// over UDP first, and pumped synchronously on the bus's virtual clock:
+// the client advances the bus event by event (`next_event_time`) so its
+// timeout never overshoots an arrival.
+//
+// Resilience is the stock stack: per-chunk retries with
+// `RetryPolicy`-jittered backoff, per-server `CircuitBreaker`, and two
+// escalation paths to TCP — the protocol one (a TC=1 response: the
+// answer existed but outgrew the UDP cap; escalation is immediate,
+// sticky, and consumes no retry budget) and the optional soft one
+// (`RetryPolicy::escalate_udp_to_tcp`: consecutive UDP timeouts force
+// the flow onto TCP, the paper's forced migration). Chunks whose retry
+// budget exhausts yield miss results (skip-and-count; `failed_chunks`
+// says how many) — the call always returns, it never hangs.
+//
+// Determinism: chunk boundaries depend only on the query count, ids and
+// connection ids are sequential, backoff jitter is keyed by
+// (seed, chunk identity, attempt) through net::stable_seed, and the bus
+// delivers in (deliver_at, sequence) order — so client-observed results
+// are byte-identical across runs and at any REPRO_THREADS, and under a
+// seeded FaultPlane the loss/retry/escalation dance replays exactly.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/resilience/resilience.h"
+#include "core/serve/serve.h"
+#include "dns/packet.h"
+#include "net/ipv4.h"
+#include "netsim/bus.h"
+#include "netsvc/protocol.h"
+#include "netsvc/transport.h"
+
+namespace netclients::netsvc {
+
+struct ClientOptions {
+  /// Addresses per query message (one chunk = one request/response).
+  std::size_t batch_per_message = 8;
+  /// Retry/timeout/backoff policy per chunk. `max_attempts`,
+  /// `udp/tcp_timeout_seconds`, the backoff ladder, and the optional
+  /// `escalate_udp_to_tcp` all apply.
+  core::resilience::RetryPolicy retry;
+  /// Circuit breaker on the server link (skip-and-count while open).
+  core::resilience::BreakerPolicy breaker;
+  /// Propagation latency of a request datagram/segment.
+  double request_latency = 0.01;
+  /// The client's belief of the UDP payload cap: an encoded query larger
+  /// than this is sent over TCP directly (the bus would truncate it).
+  std::size_t udp_payload_cap = 512;
+  /// Start transport (UDP unless configured otherwise); escalation may
+  /// switch the client to TCP permanently.
+  googledns::Transport transport = googledns::Transport::kUdp;
+  StreamOptions stream;
+};
+
+/// Event counts of one client. Opt-in publish(), BusStats-style.
+struct ClientStats {
+  std::uint64_t udp_queries = 0;
+  std::uint64_t tcp_queries = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  /// TC=1 responses observed (each turns into a TCP re-ask).
+  std::uint64_t truncated_seen = 0;
+  /// Permanent switches to TCP (TC-driven or soft-failure-driven).
+  std::uint64_t escalations = 0;
+  /// Chunks that yielded miss results: retry budget exhausted, an open
+  /// breaker, or a server error.
+  std::uint64_t failed_chunks = 0;
+  std::uint64_t breaker_skipped = 0;
+  /// Responses discarded as unusable (stale id, parse failure, count
+  /// mismatch, server error).
+  std::uint64_t discarded = 0;
+  /// Queries too large for the UDP cap, sent over TCP without switching.
+  std::uint64_t oversize_queries = 0;
+
+  /// Registers the values as `netsvc.client.*` counters in the global
+  /// registry. Call once per run.
+  void publish() const;
+};
+
+class Client {
+ public:
+  /// Attaches to `bus` at `address`, talking to the server at `server`.
+  /// The bus must outlive the client; the client detaches on destruction.
+  Client(netsim::MessageBus& bus, net::Ipv4Addr address,
+         net::Ipv4Addr server, ClientOptions options = {});
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// THE entry point, mirroring ClientIndex::lookup_many: one result per
+  /// address written into `out` (which must hold addrs.size() slots), in
+  /// query order. Blocks on the *virtual* clock only.
+  void lookup_many(std::span<const net::Ipv4Addr> addrs,
+                   core::serve::LookupResult* out);
+  /// Allocating convenience over the span core.
+  std::vector<core::serve::LookupResult> lookup_many(
+      std::span<const net::Ipv4Addr> addrs);
+
+  /// Transport the next chunk would use (observes sticky escalation).
+  googledns::Transport transport() const { return transport_; }
+  const ClientStats& stats() const { return stats_; }
+  const StreamStats& stream_stats() const { return stream_.stats(); }
+
+ private:
+  /// One chunk: send, pump, retry until answered or budget exhausted.
+  void lookup_chunk(std::span<const net::Ipv4Addr> addrs,
+                    core::serve::LookupResult* out);
+
+  /// Sends one request for `addrs` at virtual time `send_at` over
+  /// `transport`; returns the conn id used (0 for UDP).
+  std::uint32_t send_request(std::uint16_t id,
+                             std::span<const net::Ipv4Addr> addrs,
+                             googledns::Transport transport, double send_at);
+
+  /// Pumps the bus event by event until a response for `pending_id_`
+  /// arrives or the virtual deadline passes. Returns true on response.
+  bool pump_until(double deadline);
+
+  /// Accepts a candidate response payload delivered to our address.
+  void offer_response(std::span<const std::uint8_t> payload);
+
+  /// Flips the sticky transport to TCP (idempotent).
+  void escalate();
+
+  netsim::MessageBus& bus_;
+  net::Ipv4Addr address_;
+  net::Ipv4Addr server_;
+  ClientOptions options_;
+  StreamSocket stream_;
+  dns::WireArena arena_;
+  core::resilience::CircuitBreaker breaker_;
+  googledns::Transport transport_;
+  int consecutive_soft_failures_ = 0;
+  std::uint16_t next_id_ = 1;
+  std::uint32_t next_conn_ = 1;
+  std::uint16_t pending_id_ = 0;
+  bool have_response_ = false;
+  std::vector<std::uint8_t> response_;  // latest matching payload
+  ResponseView parsed_;                 // reused across chunks
+  ClientStats stats_;
+};
+
+}  // namespace netclients::netsvc

@@ -1,0 +1,252 @@
+#include "netsvc/protocol.h"
+
+#include <bit>
+#include <cassert>
+
+namespace netclients::netsvc {
+namespace {
+
+using core::serve::LookupResult;
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+constexpr std::string_view kSuffixLabel = "ncs1";
+
+/// Packet offset of the ".ncs1" suffix inside the first question's name
+/// (header 12 + length octet 1 + 8 hex chars); later questions emit a
+/// compression pointer here.
+constexpr std::uint16_t kSuffixOffset = 12 + 1 + 8;
+
+constexpr std::uint16_t kTypeTxt =
+    static_cast<std::uint16_t>(dns::RecordType::kTxt);
+
+/// Decodes one lowercase hex digit; -1 on anything else (strict: NCS1
+/// names are canonical, so uppercase is a profile violation, not case
+/// folding).
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+/// Writes the DNS header. `flags` is the raw RFC 1035 flags word.
+void write_header(dns::BufWriter& writer, std::uint16_t id,
+                  std::uint16_t flags, std::uint16_t qd, std::uint16_t an) {
+  writer.u16(id);
+  writer.u16(flags);
+  writer.u16(qd);
+  writer.u16(an);
+  writer.u16(0);  // NSCOUNT
+  writer.u16(0);  // ARCOUNT
+}
+
+constexpr std::uint16_t kFlagsQuery = 0x0000;           // qr=0, rd=0
+constexpr std::uint16_t kFlagsResponse = 0x8400;        // qr=1, aa=1
+constexpr std::uint16_t kFlagsTruncated = 0x8600;       // qr=1, aa=1, tc=1
+constexpr std::uint16_t kFlagsFormErr = 0x8401;         // qr=1, aa=1, rcode=1
+
+}  // namespace
+
+std::span<const std::uint8_t> encode_query(
+    std::uint16_t id, std::span<const net::Ipv4Addr> addrs,
+    dns::WireArena& arena) {
+  assert(!addrs.empty() && addrs.size() <= kMaxQuestionsPerMessage);
+  dns::BufWriter writer(arena);
+  write_header(writer, id, kFlagsQuery,
+               static_cast<std::uint16_t>(addrs.size()), 0);
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    const std::uint32_t value = addrs[i].value();
+    writer.u8(8);
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      writer.u8(static_cast<std::uint8_t>(kHexDigits[(value >> shift) & 0xF]));
+    }
+    if (i == 0) {
+      writer.u8(static_cast<std::uint8_t>(kSuffixLabel.size()));
+      for (char c : kSuffixLabel) writer.u8(static_cast<std::uint8_t>(c));
+      writer.u8(0);
+    } else {
+      writer.u16(0xC000 | kSuffixOffset);
+    }
+    writer.u16(kTypeTxt);
+    writer.u16(dns::kClassIn);
+  }
+  assert(writer.size() == query_wire_size(addrs.size()));
+  return writer.finish();
+}
+
+ParseStatus parse_query(std::span<const std::uint8_t> wire, QueryView* out) {
+  out->clear();
+  const auto view = dns::MessageView::parse(wire);
+  if (!view) return ParseStatus::kDrop;
+  const dns::Header& header = view->header();
+  if (header.qr) return ParseStatus::kDrop;  // a response, not a query
+  out->id = header.id;
+  if (header.opcode != 0 || header.tc) return ParseStatus::kFormErr;
+  const std::size_t count = view->question_count();
+  if (count == 0 || count > kMaxQuestionsPerMessage) {
+    return ParseStatus::kFormErr;
+  }
+  using Section = dns::MessageView::Section;
+  if (view->record_count(Section::kAnswer) != 0 ||
+      view->record_count(Section::kAuthority) != 0 ||
+      view->record_count(Section::kAdditional) != 0 || view->edns()) {
+    return ParseStatus::kFormErr;
+  }
+  // Re-walk the (already fully validated) question section to harvest the
+  // per-question name offsets and the section's end — MessageView keeps
+  // both private. parse_name cannot fail here.
+  dns::PacketReader reader(wire);
+  reader.seek(12);
+  out->addrs.reserve(count);
+  out->name_offsets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t name_offset = reader.pos();
+    dns::NameView name;
+    if (!parse_name(reader, &name)) return ParseStatus::kDrop;  // unreachable
+    std::uint16_t type = 0, qclass = 0;
+    reader.u16(type);
+    reader.u16(qclass);
+    if (type != kTypeTxt || qclass != dns::kClassIn ||
+        name.label_count() != 2) {
+      return ParseStatus::kFormErr;
+    }
+    std::uint32_t value = 0;
+    bool valid = true;
+    std::size_t label_index = 0;
+    name.for_each_label([&](std::string_view label) {
+      if (label_index == 0) {
+        if (label.size() != 8) {
+          valid = false;
+        } else {
+          for (char c : label) {
+            const int digit = hex_value(c);
+            if (digit < 0) {
+              valid = false;
+              break;
+            }
+            value = (value << 4) | static_cast<std::uint32_t>(digit);
+          }
+        }
+      } else if (label != kSuffixLabel) {
+        valid = false;
+      }
+      ++label_index;
+    });
+    if (!valid) return ParseStatus::kFormErr;
+    out->addrs.push_back(net::Ipv4Addr(value));
+    out->name_offsets.push_back(static_cast<std::uint16_t>(name_offset));
+  }
+  out->question_bytes = wire.subspan(12, reader.pos() - 12);
+  return ParseStatus::kOk;
+}
+
+std::span<const std::uint8_t> encode_response(
+    const QueryView& query, std::span<const LookupResult> results,
+    dns::WireArena& arena) {
+  assert(results.size() == query.addrs.size());
+  dns::BufWriter writer(arena);
+  write_header(writer, query.id, kFlagsResponse,
+               static_cast<std::uint16_t>(query.addrs.size()),
+               static_cast<std::uint16_t>(results.size()));
+  writer.bytes(query.question_bytes);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    assert(query.name_offsets[i] < 0x4000);
+    writer.u16(0xC000 | query.name_offsets[i]);  // owner = question's name
+    writer.u16(kTypeTxt);
+    writer.u16(dns::kClassIn);
+    writer.u32(0);  // TTL: answers are snapshots, never cacheable
+    writer.u16(static_cast<std::uint16_t>(kResultBlobSize + 1));
+    writer.u8(static_cast<std::uint8_t>(kResultBlobSize));
+    write_result_blob(results[i], writer);
+  }
+  assert(writer.size() ==
+         response_wire_size(query.question_bytes.size(), results.size()));
+  return writer.finish();
+}
+
+std::span<const std::uint8_t> encode_truncated(const QueryView& query,
+                                               dns::WireArena& arena) {
+  dns::BufWriter writer(arena);
+  write_header(writer, query.id, kFlagsTruncated,
+               static_cast<std::uint16_t>(query.addrs.size()), 0);
+  writer.bytes(query.question_bytes);
+  return writer.finish();
+}
+
+std::span<const std::uint8_t> encode_formerr(std::uint16_t id,
+                                             dns::WireArena& arena) {
+  dns::BufWriter writer(arena);
+  write_header(writer, id, kFlagsFormErr, 0, 0);
+  return writer.finish();
+}
+
+bool parse_response(std::span<const std::uint8_t> wire, ResponseView* out) {
+  out->clear();
+  const auto view = dns::MessageView::parse(wire);
+  if (!view) return false;
+  const dns::Header& header = view->header();
+  if (!header.qr) return false;
+  out->id = header.id;
+  out->truncated = header.tc;
+  out->rcode = header.rcode;
+  if (out->truncated) return true;  // TC responses carry no answers
+  bool ok = true;
+  view->for_each_record(
+      dns::MessageView::Section::kAnswer,
+      [&](const dns::MessageView::RecordView& record) {
+        if (!ok) return;
+        const auto blob = record.txt_segment();
+        if (!blob) {
+          ok = false;
+          return;
+        }
+        const auto result = read_result_blob(*blob);
+        if (!result) {
+          ok = false;
+          return;
+        }
+        out->results.push_back(*result);
+      });
+  return ok;
+}
+
+void write_result_blob(const LookupResult& result, dns::BufWriter& writer) {
+  writer.u8(result.active ? 1 : 0);
+  writer.u8(result.prefix.length());
+  writer.u32(result.prefix.base().value());
+  writer.u32(result.asn);
+  writer.u16(result.country);
+  writer.u32(result.domain_mask);
+  const std::uint64_t volume_bits = std::bit_cast<std::uint64_t>(result.volume);
+  writer.u32(static_cast<std::uint32_t>(volume_bits >> 32));
+  writer.u32(static_cast<std::uint32_t>(volume_bits));
+}
+
+std::optional<LookupResult> read_result_blob(
+    std::span<const std::uint8_t> blob) {
+  if (blob.size() != kResultBlobSize) return std::nullopt;
+  dns::PacketReader reader(blob);
+  std::uint8_t flags = 0, prefix_length = 0;
+  std::uint32_t prefix_base = 0, asn = 0, domain_mask = 0;
+  std::uint16_t country = 0;
+  std::uint32_t volume_hi = 0, volume_lo = 0;
+  reader.u8(flags);
+  reader.u8(prefix_length);
+  reader.u32(prefix_base);
+  reader.u32(asn);
+  reader.u16(country);
+  reader.u32(domain_mask);
+  reader.u32(volume_hi);
+  reader.u32(volume_lo);
+  if (reader.failed() || prefix_length > 32) return std::nullopt;
+  LookupResult result;
+  result.active = (flags & 1) != 0;
+  result.prefix = net::Prefix(net::Ipv4Addr(prefix_base), prefix_length);
+  result.asn = asn;
+  result.country = country;
+  result.domain_mask = domain_mask;
+  result.volume = std::bit_cast<double>(
+      (std::uint64_t{volume_hi} << 32) | volume_lo);
+  return result;
+}
+
+}  // namespace netclients::netsvc

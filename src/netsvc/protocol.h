@@ -1,0 +1,160 @@
+#pragma once
+
+// NCS1: the DNS-shaped query protocol of the network serving front end.
+//
+// The serving tier answers "is this address inside a client network" —
+// the natural wire shape for that question is the one the paper's own
+// measurement rode: an RFC 1035 message. NCS1 is a strict profile of
+// that format, so every packet reuses the zero-copy packet plane
+// (dns::MessageView / dns::BufWriter) unchanged, and every transport
+// behavior — the UDP 512-byte truncation rule, the TC-bit escalation to
+// TCP — is the real DNS dance rather than an invented framing.
+//
+// Query (client → server): a standard DNS query header (qr=0, opcode 0,
+// rd=0), 1..kMaxQuestionsPerMessage questions, no records. Question i
+// asks for the address `a_i` as
+//
+//     <8-lowercase-hex-of-a_i>.ncs1    TXT  IN
+//
+// Response (server → client): header with qr=1, aa=1, the query's id;
+// the query's question section echoed byte-for-byte (the 12-byte header
+// is the same size both ways, so any compression pointers inside the
+// echoed bytes stay valid); then exactly one TXT answer per question, in
+// question order. Each answer's owner name is a compression pointer to
+// its question's name, and its RDATA is a single 24-byte character-string
+// — the LookupResult blob (see write_result_blob). When a batched answer
+// would exceed the UDP payload cap the server instead replies with TC=1
+// and zero answers, and the client escalates the chunk to TCP.
+//
+// A message that fails DNS validation is dropped silently (same rule as
+// the resolver endpoints); a valid DNS message that violates the NCS1
+// profile earns a FORMERR with the offending id, so misconfigured
+// clients see an explicit rejection instead of a timeout.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/serve/serve.h"
+#include "dns/packet.h"
+#include "dns/types.h"
+#include "net/ipv4.h"
+
+namespace netclients::netsvc {
+
+/// Question cap per message. 128 eight-hex questions keep the question
+/// section (≤ 12 + 19 + 127·15 = 1936 bytes) far below the 0x3FFF
+/// compression-pointer ceiling the response encoder relies on.
+inline constexpr std::size_t kMaxQuestionsPerMessage = 128;
+
+/// Size of the fixed LookupResult wire blob (one TXT character-string).
+inline constexpr std::size_t kResultBlobSize = 24;
+
+/// Serialized size of an NCS1 query for `count` addresses. The first
+/// question spells out the ".ncs1" suffix (15-byte name + type + class =
+/// 19); later ones compress the suffix to a pointer (11-byte name + type
+/// + class = 15).
+constexpr std::size_t query_wire_size(std::size_t count) {
+  return count == 0 ? 12 : 12 + 19 + (count - 1) * 15;
+}
+
+/// Serialized size of an untruncated response to a `count`-question query
+/// whose question section is `question_bytes` long (echoed verbatim).
+constexpr std::size_t response_wire_size(std::size_t question_bytes,
+                                         std::size_t count) {
+  return 12 + question_bytes + count * (2 + 2 + 2 + 4 + 2 + 1 +
+                                        kResultBlobSize);
+}
+
+/// Encodes the query for `addrs` into `arena`. Precondition: 0 <
+/// addrs.size() <= kMaxQuestionsPerMessage. The span borrows the arena
+/// (invalidated by the next encode into it).
+std::span<const std::uint8_t> encode_query(
+    std::uint16_t id, std::span<const net::Ipv4Addr> addrs,
+    dns::WireArena& arena);
+
+/// A parsed NCS1 query, viewed in place: `question_bytes` borrows the
+/// packet; the vectors are reused across packets by the server (clear()
+/// keeps their capacity).
+struct QueryView {
+  std::uint16_t id = 0;
+  /// The raw question section (wire bytes 12..end-of-questions), echoed
+  /// verbatim into the response.
+  std::span<const std::uint8_t> question_bytes;
+  /// One queried address per question, in wire order.
+  std::vector<net::Ipv4Addr> addrs;
+  /// Packet offset of each question's name — the response's answer owner
+  /// names point here.
+  std::vector<std::uint16_t> name_offsets;
+
+  void clear() {
+    id = 0;
+    question_bytes = {};
+    addrs.clear();
+    name_offsets.clear();
+  }
+};
+
+enum class ParseStatus : std::uint8_t {
+  kOk,
+  /// Not a valid DNS packet (or not a query at all): drop, no reply.
+  kDrop,
+  /// Valid DNS, invalid NCS1: reply FORMERR with out->id.
+  kFormErr,
+};
+
+/// Validates `wire` against the NCS1 query profile. On kOk, `out` holds
+/// the full view; on kFormErr only `out->id` is meaningful.
+ParseStatus parse_query(std::span<const std::uint8_t> wire, QueryView* out);
+
+/// Encodes the answer message for `query` (one result per question, in
+/// order) into `arena`. Precondition: results.size() ==
+/// query.addrs.size().
+std::span<const std::uint8_t> encode_response(
+    const QueryView& query,
+    std::span<const core::serve::LookupResult> results,
+    dns::WireArena& arena);
+
+/// Encodes the TC=1, zero-answer form of the response (the "retry over
+/// TCP" signal): header + echoed questions only.
+std::span<const std::uint8_t> encode_truncated(const QueryView& query,
+                                               dns::WireArena& arena);
+
+/// Encodes a bare FORMERR response (header only) for a profile-violating
+/// query.
+std::span<const std::uint8_t> encode_formerr(std::uint16_t id,
+                                             dns::WireArena& arena);
+
+/// A parsed NCS1 response. `results` is reused across packets.
+struct ResponseView {
+  std::uint16_t id = 0;
+  bool truncated = false;
+  dns::RCode rcode = dns::RCode::kNoError;
+  std::vector<core::serve::LookupResult> results;
+
+  void clear() {
+    id = 0;
+    truncated = false;
+    rcode = dns::RCode::kNoError;
+    results.clear();
+  }
+};
+
+/// Parses a server response zero-copy (header + answer TXT blobs; the
+/// echoed questions are skipped). Returns false when `wire` is not a
+/// valid DNS response or an answer blob is malformed.
+bool parse_response(std::span<const std::uint8_t> wire, ResponseView* out);
+
+/// Appends the 24-byte result blob (big-endian: flags u8, prefix_len u8,
+/// prefix_base u32, asn u32, country u16, domain_mask u32, volume as
+/// IEEE-754 bits u64).
+void write_result_blob(const core::serve::LookupResult& result,
+                       dns::BufWriter& writer);
+
+/// Decodes a 24-byte result blob (nullopt when blob.size() !=
+/// kResultBlobSize). Inverse of write_result_blob, field for field.
+std::optional<core::serve::LookupResult> read_result_blob(
+    std::span<const std::uint8_t> blob);
+
+}  // namespace netclients::netsvc

@@ -367,20 +367,19 @@ TEST_F(ServeSuite, ConcurrentChurnWorkloadAnswersEveryBatch) {
 
 // ------------------------------------------------------------- API surface
 
-TEST_F(ServeSuite, DeprecatedPointerLookupManyStillAnswers) {
+TEST_F(ServeSuite, SpanLookupManyIsTheOnlyBatchedSurface) {
+  // PR 8's deprecated ptr+count shim is gone; the span core answers
+  // identically through the handle passthrough and the raw index.
   serve::Service service;
   service.publish(chain());
   const serve::SnapshotHandle handle = service.acquire();
   const auto queries = make_queries(4096, 0x5411);
   const auto expected = handle->lookup_many(queries, 1);
 
-  std::vector<serve::LookupResult> via_shim(queries.size());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  handle->index().lookup_many(queries.data(), queries.size(),
-                              via_shim.data(), 1);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(via_shim, expected);
+  std::vector<serve::LookupResult> via_index(queries.size());
+  handle->index().lookup_many(std::span<const net::Ipv4Addr>(queries),
+                              via_index.data(), 1);
+  EXPECT_EQ(via_index, expected);
 }
 
 TEST_F(ServeSuite, ScenarioServeEpochsPublishesRollingChain) {

@@ -1,0 +1,145 @@
+// Regenerates the checked-in seed corpus for fuzz_netsvc
+// (tests/corpus/netsvc/): one file per interesting NCS1 shape — valid
+// queries at several batch sizes (including the kMaxQuestionsPerMessage
+// edge), full/truncated/FORMERR responses, plus profile-violating and
+// DNS-invalid corpses that exercise every parse_query reject path.
+// Deterministic: same binary, same bytes.
+//
+// Run:  build/tools/netsvc_corpus tests/corpus/netsvc
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/wire.h"
+#include "net/prefix.h"
+#include "net/rng.h"
+#include "netsvc/protocol.h"
+
+using namespace netclients;
+
+namespace {
+
+bool dump(const std::filesystem::path& dir, const std::string& name,
+          const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", (dir / name).c_str());
+    return false;
+  }
+  return true;
+}
+
+bool dump(const std::filesystem::path& dir, const std::string& name,
+          std::span<const std::uint8_t> bytes) {
+  return dump(dir, name, std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+}
+
+std::vector<net::Ipv4Addr> addresses(std::size_t count, std::uint64_t seed) {
+  net::Rng rng(seed);
+  std::vector<net::Ipv4Addr> addrs;
+  addrs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    addrs.push_back(net::Ipv4Addr(static_cast<std::uint32_t>(rng())));
+  }
+  return addrs;
+}
+
+core::serve::LookupResult result_for(std::uint64_t seed) {
+  net::Rng rng(seed);
+  core::serve::LookupResult result;
+  result.active = rng.bernoulli(0.5);
+  result.prefix =
+      net::Prefix(net::Ipv4Addr(static_cast<std::uint32_t>(rng())),
+                  static_cast<std::uint8_t>(rng.below(33)));
+  result.volume = static_cast<double>(rng.below(1u << 16)) / 3.0;
+  result.asn = static_cast<std::uint32_t>(rng());
+  result.country = static_cast<std::uint16_t>(rng.below(300));
+  result.domain_mask = static_cast<std::uint32_t>(rng());
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir =
+      argc > 1 ? argv[1] : "tests/corpus/netsvc";
+  std::filesystem::create_directories(dir);
+
+  dns::WireArena arena;
+  bool ok = true;
+
+  // Valid queries across the batch-size range.
+  const auto one = addresses(1, 0xA1);
+  const auto eight = addresses(8, 0xA8);
+  const auto sixteen = addresses(16, 0xA16);
+  const auto full = addresses(netsvc::kMaxQuestionsPerMessage, 0xAFF);
+  ok &= dump(dir, "query_single", netsvc::encode_query(1, one, arena));
+  ok &= dump(dir, "query_batch8", netsvc::encode_query(2, eight, arena));
+  ok &= dump(dir, "query_batch16", netsvc::encode_query(3, sixteen, arena));
+  ok &= dump(dir, "query_batch_max", netsvc::encode_query(4, full, arena));
+
+  // Responses (parse_query drops them as qr=1; parse_response accepts).
+  {
+    netsvc::QueryView query;
+    const auto wire = netsvc::encode_query(5, eight, arena);
+    if (netsvc::parse_query(wire, &query) != netsvc::ParseStatus::kOk) {
+      std::fprintf(stderr, "self-parse of query_batch8 failed\n");
+      return 1;
+    }
+    std::vector<core::serve::LookupResult> results;
+    for (std::size_t i = 0; i < eight.size(); ++i) {
+      results.push_back(result_for(0xBE5E + i));
+    }
+    dns::WireArena response_arena;
+    ok &= dump(dir, "response_batch8",
+               netsvc::encode_response(query, results, response_arena));
+    ok &= dump(dir, "response_truncated",
+               netsvc::encode_truncated(query, response_arena));
+    ok &= dump(dir, "response_formerr",
+               netsvc::encode_formerr(5, response_arena));
+  }
+
+  // Profile violations: valid DNS, invalid NCS1 (the FORMERR paths).
+  ok &= dump(dir, "formerr_bad_hex",
+             dns::encode(dns::make_query(6, *dns::DnsName::parse(
+                                                "deadbeeg.ncs1"),
+                                         dns::RecordType::kTxt, false)));
+  ok &= dump(dir, "formerr_wrong_suffix",
+             dns::encode(dns::make_query(7, *dns::DnsName::parse(
+                                                "deadbeef.wrong"),
+                                         dns::RecordType::kTxt, false)));
+  ok &= dump(dir, "formerr_wrong_type",
+             dns::encode(dns::make_query(8, *dns::DnsName::parse(
+                                                "deadbeef.ncs1"),
+                                         dns::RecordType::kA, false)));
+  ok &= dump(dir, "formerr_edns",
+             dns::encode(dns::make_query(
+                 9, *dns::DnsName::parse("deadbeef.ncs1"),
+                 dns::RecordType::kTxt, false,
+                 dns::EcsOption::for_query(
+                     net::Prefix(*net::Ipv4Addr::parse("100.64.5.0"), 24)))));
+  {
+    // Zero questions: a bare query header.
+    dns::DnsMessage empty;
+    empty.header.id = 10;
+    ok &= dump(dir, "formerr_no_questions", dns::encode(empty));
+  }
+
+  // DNS-invalid corpses (the silent-drop paths).
+  {
+    const auto wire = netsvc::encode_query(11, one, arena);
+    ok &= dump(dir, "drop_truncated_header",
+               std::span<const std::uint8_t>(wire.data(), 11));
+    ok &= dump(dir, "drop_truncated_name",
+               std::span<const std::uint8_t>(wire.data(), 17));
+  }
+
+  if (ok) std::printf("netsvc corpus written to %s\n", dir.c_str());
+  return ok ? 0 : 1;
+}
