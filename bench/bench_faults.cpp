@@ -45,15 +45,7 @@ double truth_coverage(const sim::World& world,
   return total > 0 ? 100.0 * covered / total : 0;
 }
 
-double flag_value(int argc, char** argv, const char* name, double fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::atof(argv[i] + prefix.size());
-    }
-  }
-  return fallback;
-}
+using bench::flag_value;
 
 }  // namespace
 

@@ -48,15 +48,7 @@ namespace serve = core::serve;
 
 namespace {
 
-double flag_value(int argc, char** argv, const char* name, double fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::atof(argv[i] + prefix.size());
-    }
-  }
-  return fallback;
-}
+using bench::flag_value;
 
 std::vector<net::Ipv4Addr> make_queries(std::size_t count,
                                         std::uint64_t seed) {

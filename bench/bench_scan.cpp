@@ -1,20 +1,33 @@
 // Trace-ingestion benchmark: generate a sampled DITL capture, persist it
-// to the NCD1 binary format, then scan it back through both ingestion
-// paths — the materializing reader (read_tolerant + process) and the
-// zero-copy TraceView (process_view) — and report records/sec for each.
+// to the NCD1 binary format, then scan it back through the ingestion
+// paths — the materializing reader (read_tolerant + process), the
+// zero-copy TraceView (process_view), and the sharded multi-file corpus
+// under the work-stealing scheduler (process_corpus) — and report
+// records/sec for each.
 //
 // The bench *checks* the parity contract before it times anything: the
-// view scan must be byte-identical to the materializing scan at
-// threads=1 and threads=8; any mismatch is a hard failure (exit 1).
+// view scan must be byte-identical to the materializing scan, and the
+// corpus scan byte-identical to both, at threads 1/2/8; any mismatch is
+// a hard failure (exit 1).
+//
+// With an internet preset the bench first streams the planned world
+// through the bounded-memory WorldStreamer and hard-fails if the arena
+// high-water mark exceeds the preset's memory budget — the "10M routed
+// /24s without 10M-block allocations" claim, enforced.
 //
 // Output: a throughput table on stdout, rows in
 // bench_out/scan_throughput.csv (CI uploads + gates it), and gauges
 // `chromium.scan.view_records_per_sec` /
-// `chromium.scan.materialize_records_per_sec` / `chromium.scan.speedup`
+// `chromium.scan.materialize_records_per_sec` / `chromium.scan.speedup` /
+// `chromium.scan.corpus_records_per_sec` / `chromium.scan.corpus_speedup` /
+// `chromium.scan.steal_ratio` (plus `bench.stream.*` at internet scale)
 // via --metrics-out. `--require-speedup=X` (CI passes 1.0) exits 1 when
-// the view path is less than X times the materializing throughput.
+// the view path is less than X times the materializing throughput — and,
+// at internet scale, when the multi-file corpus scan is less than X times
+// the single-file view scan at equal threads.
 //
-// Run:  build/bench/bench_scan [--reps=3] [--require-speedup=0]
+// Run:  build/bench/bench_scan [--scale=paper|internet-lite|internet]
+//                              [--reps=3] [--require-speedup=0]
 
 #include <chrono>
 #include <cstdio>
@@ -24,22 +37,17 @@
 #include <vector>
 
 #include "common.h"
+#include "core/exec/steal.h"
+#include "roots/corpus.h"
 #include "roots/trace.h"
 #include "roots/trace_view.h"
+#include "sim/stream.h"
 
 using namespace netclients;
 
 namespace {
 
-double flag_value(int argc, char** argv, const char* name, double fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::atof(argv[i] + prefix.size());
-    }
-  }
-  return fallback;
-}
+using bench::flag_value;
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -61,13 +69,91 @@ bool identical(const core::ChromiumResult& a, const core::ChromiumResult& b) {
   return true;
 }
 
+/// Streams the internet-scale world under the preset's arena budget and
+/// enforces it: arena high-water mark over budget is a hard failure, as
+/// is missing the routed-/24 target by more than per-AS rounding.
+int run_stream_phase(const bench::ScaleSpec& spec) {
+  sim::StreamConfig config;
+  config.target_routed_slash24s = spec.stream_slash24s;
+  config.memory_budget_bytes = spec.stream_budget_bytes;
+  const sim::WorldStreamer streamer(config);
+
+  const std::size_t rss_before = sim::current_rss_bytes();
+  const auto start = std::chrono::steady_clock::now();
+  sim::StreamStats stats;
+  {
+    obs::StageSpan span("scan.bench.world_stream");
+    stats = streamer.run(nullptr);
+  }
+  const double seconds = seconds_since(start);
+  const std::size_t rss_after = sim::current_rss_bytes();
+  const double blocks_per_sec =
+      seconds > 0 ? static_cast<double>(stats.slash24s) / seconds : 0;
+
+  std::printf("world stream (%s): %llu /24s (%llu routed, %llu active) "
+              "over %llu ASes\n",
+              spec.name.c_str(),
+              static_cast<unsigned long long>(stats.slash24s),
+              static_cast<unsigned long long>(stats.routed_slash24s),
+              static_cast<unsigned long long>(stats.active_slash24s),
+              static_cast<unsigned long long>(stats.ases));
+  std::printf("  %llu batches, arena peak %.1f MiB of %.1f MiB budget, "
+              "%.0f blocks/sec\n",
+              static_cast<unsigned long long>(stats.batches),
+              stats.arena_peak_bytes / (1024.0 * 1024.0),
+              spec.stream_budget_bytes / (1024.0 * 1024.0), blocks_per_sec);
+  if (rss_after > 0) {
+    std::printf("  rss %.1f MiB -> %.1f MiB (digest %016llx)\n",
+                rss_before / (1024.0 * 1024.0),
+                rss_after / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(stats.digest));
+  }
+
+  obs::Registry& registry = obs::Registry::global();
+  registry.gauge("bench.stream.slash24s")
+      .set(static_cast<double>(stats.slash24s));
+  registry.gauge("bench.stream.routed_slash24s")
+      .set(static_cast<double>(stats.routed_slash24s));
+  registry.gauge("bench.stream.blocks_per_sec").set(blocks_per_sec);
+  registry.gauge("bench.stream.arena_peak_bytes")
+      .set(static_cast<double>(stats.arena_peak_bytes));
+  registry.gauge("bench.stream.rss_bytes")
+      .set(static_cast<double>(rss_after));
+
+  if (stats.arena_peak_bytes > spec.stream_budget_bytes) {
+    std::fprintf(stderr,
+                 "[scan] FAIL: stream arena peak %llu bytes exceeds the "
+                 "%zu-byte budget\n",
+                 static_cast<unsigned long long>(stats.arena_peak_bytes),
+                 spec.stream_budget_bytes);
+    return 1;
+  }
+  // The plan hits the target within per-AS rounding; 1% slack is generous.
+  const auto target = static_cast<double>(spec.stream_slash24s);
+  if (static_cast<double>(stats.routed_slash24s) < 0.99 * target) {
+    std::fprintf(stderr,
+                 "[scan] FAIL: streamed %llu routed /24s, short of the "
+                 "%llu target\n",
+                 static_cast<unsigned long long>(stats.routed_slash24s),
+                 static_cast<unsigned long long>(spec.stream_slash24s));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   obs::MetricsOutGuard metrics_out(&argc, argv);
+  const bench::ScaleSpec spec = bench::parse_scale(argc, argv);
   const int reps = static_cast<int>(flag_value(argc, argv, "--reps", 3));
   const double require_speedup =
       flag_value(argc, argv, "--require-speedup", 0);
+
+  // ---- 0. Internet-scale streaming world (budget-gated) ----------------
+  if (spec.internet()) {
+    if (const int rc = run_stream_phase(spec); rc != 0) return rc;
+  }
 
   // ---- 1. Capture a sampled DITL to disk -------------------------------
   const core::Scenario scenario =
@@ -105,30 +191,64 @@ int main(int argc, char** argv) {
                records.size(), view->payload_bytes(),
                view->mapped() ? "mmap" : "buffered");
 
+  // The same records sharded across the corpus (1 member in the paper
+  // preset, so the corpus machinery is always exercised).
+  const std::string manifest_path = bench::out_path("scan.manifest");
+  {
+    obs::StageSpan span("scan.bench.corpus_write");
+    if (!roots::write_corpus(manifest_path, records, spec.corpus_files)) {
+      std::fprintf(stderr, "[scan] cannot write corpus %s\n",
+                   manifest_path.c_str());
+      return 1;
+    }
+  }
+  const auto corpus = roots::CorpusView::open(manifest_path);
+  if (!corpus || corpus->stats().members_skipped != 0) {
+    std::fprintf(stderr, "[scan] corpus open failed for %s\n",
+                 manifest_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[scan] corpus: %zu member file(s), %llu records\n",
+               corpus->members().size(),
+               static_cast<unsigned long long>(corpus->declared_records()));
+
   core::ChromiumOptions options;
   options.sample_rate = ditl.sample_rate;
 
   // ---- 2. Parity checks (before timing) --------------------------------
+  // The acceptance contract: the multi-file work-stealing scan must be
+  // byte-identical to the single-file view scan (and both to the
+  // materializing reference) at every thread count, regardless of steal
+  // interleaving.
   const core::ChromiumResult reference =
       core::ChromiumCounter(options).process(records);
-  for (const int threads : {1, 8}) {
+  for (const int threads : {1, 2, 8}) {
     core::ChromiumOptions check = options;
     check.threads = threads;
-    if (!identical(core::ChromiumCounter(check).process_view(*view),
-                   reference)) {
+    const core::ChromiumCounter counter(check);
+    if (!identical(counter.process_view(*view), reference)) {
       std::fprintf(stderr,
                    "[scan] FAIL: process_view differs from process() at "
                    "threads=%d\n",
                    threads);
       return 1;
     }
+    if (!identical(counter.process_corpus(*corpus), reference)) {
+      std::fprintf(stderr,
+                   "[scan] FAIL: process_corpus differs from process() at "
+                   "threads=%d\n",
+                   threads);
+      return 1;
+    }
   }
 
-  // ---- 3. Throughput: file -> ChromiumResult through both paths --------
+  // ---- 3. Throughput: file -> ChromiumResult through each path ---------
   const core::ChromiumCounter counter(options);
   const auto n = static_cast<double>(records.size());
   double materialize_seconds = 1e30;
   double view_seconds = 1e30;
+  double corpus_seconds = 1e30;
+  core::exec::StealTelemetry steal;
   std::uint64_t sink = 0;  // keeps the timed results observable
   for (int rep = 0; rep < reps; ++rep) {
     {
@@ -149,21 +269,50 @@ int main(int argc, char** argv) {
       view_seconds = std::min(view_seconds, seconds_since(start));
       sink += result.signature_matches;
     }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      const auto timed_corpus = roots::CorpusView::open(manifest_path);
+      if (!timed_corpus) return 1;
+      core::exec::StealTelemetry rep_steal;
+      const core::ChromiumResult result =
+          counter.process_corpus(*timed_corpus, &rep_steal);
+      const double seconds = seconds_since(start);
+      if (seconds < corpus_seconds) {
+        corpus_seconds = seconds;
+        steal = rep_steal;
+      }
+      sink += result.signature_matches;
+    }
   }
   const double materialize_rps =
       materialize_seconds > 0 ? n / materialize_seconds : 0;
   const double view_rps = view_seconds > 0 ? n / view_seconds : 0;
+  const double corpus_rps = corpus_seconds > 0 ? n / corpus_seconds : 0;
   const double speedup =
       materialize_rps > 0 ? view_rps / materialize_rps : 0;
+  const double corpus_speedup = view_rps > 0 ? corpus_rps / view_rps : 0;
+  const double steal_ratio =
+      steal.tasks > 0
+          ? static_cast<double>(steal.stolen_tasks) / steal.tasks
+          : 0;
 
-  std::printf("trace scan throughput (%zu records, best of %d)\n",
-              records.size(), reps);
+  std::printf("trace scan throughput (%zu records, %zu corpus file(s), "
+              "best of %d)\n",
+              records.size(), corpus->members().size(), reps);
   std::printf("  %-12s %10s %16s\n", "path", "seconds", "records/sec");
   std::printf("  %-12s %10.3f %16.0f\n", "materialize", materialize_seconds,
               materialize_rps);
   std::printf("  %-12s %10.3f %16.0f\n", "view", view_seconds, view_rps);
-  std::printf("  view/materialize speedup: %.1fx  (checksum %llu)\n",
-              speedup, static_cast<unsigned long long>(sink));
+  std::printf("  %-12s %10.3f %16.0f\n", "corpus", corpus_seconds,
+              corpus_rps);
+  std::printf("  view/materialize speedup: %.1fx, corpus/view: %.2fx  "
+              "(checksum %llu)\n",
+              speedup, corpus_speedup,
+              static_cast<unsigned long long>(sink));
+  std::printf("  steal scheduler: %zu tasks over %zu workers, %zu "
+              "steal(s) moved %zu task(s) (ratio %.3f)\n",
+              steal.tasks, steal.workers, steal.steals, steal.stolen_tasks,
+              steal_ratio);
 
   obs::Registry::global()
       .gauge("chromium.scan.materialize_records_per_sec")
@@ -171,24 +320,48 @@ int main(int argc, char** argv) {
   obs::Registry::global()
       .gauge("chromium.scan.view_records_per_sec")
       .set(view_rps);
+  obs::Registry::global()
+      .gauge("chromium.scan.corpus_records_per_sec")
+      .set(corpus_rps);
   obs::Registry::global().gauge("chromium.scan.speedup").set(speedup);
+  obs::Registry::global()
+      .gauge("chromium.scan.corpus_speedup")
+      .set(corpus_speedup);
+  obs::Registry::global().gauge("chromium.scan.steal_ratio").set(steal_ratio);
 
   if (std::FILE* csv =
           std::fopen(bench::out_path("scan_throughput.csv").c_str(), "w")) {
-    std::fprintf(csv, "path,records,payload_bytes,seconds,records_per_sec\n");
-    std::fprintf(csv, "materialize,%zu,%zu,%.6f,%.0f\n", records.size(),
-                 view->payload_bytes(), materialize_seconds, materialize_rps);
-    std::fprintf(csv, "view,%zu,%zu,%.6f,%.0f\n", records.size(),
-                 view->payload_bytes(), view_seconds, view_rps);
+    std::fprintf(csv,
+                 "path,scale,files,records,payload_bytes,seconds,"
+                 "records_per_sec\n");
+    std::fprintf(csv, "materialize,%s,1,%zu,%zu,%.6f,%.0f\n",
+                 spec.name.c_str(), records.size(), view->payload_bytes(),
+                 materialize_seconds, materialize_rps);
+    std::fprintf(csv, "view,%s,1,%zu,%zu,%.6f,%.0f\n", spec.name.c_str(),
+                 records.size(), view->payload_bytes(), view_seconds,
+                 view_rps);
+    std::fprintf(csv, "corpus,%s,%zu,%zu,%llu,%.6f,%.0f\n", spec.name.c_str(),
+                 corpus->members().size(), records.size(),
+                 static_cast<unsigned long long>(corpus->payload_bytes()),
+                 corpus_seconds, corpus_rps);
     std::fclose(csv);
   }
-  std::remove(path.c_str());  // the CSV is the artifact, not the capture
+  // The CSV (and, in CI, the manifest) are the artifacts, not the capture.
+  std::remove(path.c_str());
 
   if (require_speedup > 0 && speedup < require_speedup) {
     std::fprintf(stderr,
                  "[scan] FAIL: view path %.2fx materializing, below the "
                  "required %.2fx\n",
                  speedup, require_speedup);
+    return 1;
+  }
+  if (require_speedup > 0 && spec.internet() &&
+      corpus_speedup < require_speedup) {
+    std::fprintf(stderr,
+                 "[scan] FAIL: corpus path %.2fx the single-file view, "
+                 "below the required %.2fx\n",
+                 corpus_speedup, require_speedup);
     return 1;
   }
   return 0;

@@ -50,26 +50,9 @@ namespace serve = core::serve;
 
 namespace {
 
-double flag_value(int argc, char** argv, const char* name, double fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::atof(argv[i] + prefix.size());
-    }
-  }
-  return fallback;
-}
+using bench::flag_value;
 
-std::string flag_string(int argc, char** argv, const char* name,
-                        const std::string& fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return argv[i] + prefix.size();
-    }
-  }
-  return fallback;
-}
+using bench::flag_string;
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -137,16 +120,22 @@ void print_phase(const serve::PhaseStats& phase) {
 
 int main(int argc, char** argv) {
   obs::MetricsOutGuard metrics_out(&argc, argv);
+  // The internet presets multiply the query/user volume pushed through
+  // the serving tier (the snapshot itself stays at the campaign's scale;
+  // at internet scale it is the load, not the world, that grows here).
+  const bench::ScaleSpec spec = bench::parse_scale(argc, argv);
+  const std::size_t load_mult =
+      spec.name == "internet" ? 8 : spec.internet() ? 2 : 1;
   const std::size_t queries_n = static_cast<std::size_t>(
-      flag_value(argc, argv, "--queries", 1 << 20));
+      flag_value(argc, argv, "--queries", 1 << 20)) * load_mult;
   const int epochs_n =
       static_cast<int>(flag_value(argc, argv, "--epochs", 2));
   const std::string snap_path = flag_string(
       argc, argv, "--snap-out", bench::out_path("serve.snap"));
   const auto workload_queries = static_cast<std::size_t>(
-      flag_value(argc, argv, "--workload-queries", 1 << 20));
+      flag_value(argc, argv, "--workload-queries", 1 << 20)) * load_mult;
   const auto workload_users = static_cast<std::size_t>(
-      flag_value(argc, argv, "--workload-users", 1 << 20));
+      flag_value(argc, argv, "--workload-users", 1 << 20)) * load_mult;
   const auto workload_batch = static_cast<std::size_t>(
       flag_value(argc, argv, "--batch", 256));
   const double require_churn_ratio =

@@ -38,15 +38,7 @@ using namespace netclients;
 
 namespace {
 
-double flag_value(int argc, char** argv, const char* name, double fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::atof(argv[i] + prefix.size());
-    }
-  }
-  return fallback;
-}
+using bench::flag_value;
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <mutex>
 #include <string>
@@ -46,6 +47,63 @@ double scale_denominator() { return env_denominator("REPRO_SCALE", 64); }
 
 double ditl_sample_denominator() {
   return env_denominator("REPRO_DITL_SAMPLE", 64);
+}
+
+double flag_value(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+std::string flag_string(int argc, char** argv, const char* name,
+                        const std::string& fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  const std::string bare = name;
+  const std::string prefix = bare + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i] ||
+        std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ScaleSpec parse_scale(int argc, char** argv) {
+  const std::string name = flag_string(argc, argv, "--scale", "paper");
+  ScaleSpec spec;
+  spec.name = name;
+  if (name == "paper") return spec;
+  if (name == "internet-lite") {
+    spec.stream_slash24s = 1'250'000;
+    spec.corpus_files = 4;
+    spec.stream_budget_bytes = std::size_t{8} << 20;
+    return spec;
+  }
+  if (name == "internet") {
+    spec.stream_slash24s = 10'000'000;
+    spec.corpus_files = 16;
+    spec.stream_budget_bytes = std::size_t{64} << 20;
+    return spec;
+  }
+  std::fprintf(stderr,
+               "[bench] unknown --scale=%s (want paper, internet-lite, "
+               "or internet)\n",
+               name.c_str());
+  std::exit(2);
 }
 
 Pipelines PipelineBuilder::build() const {

@@ -37,6 +37,48 @@ double scale_denominator();
 /// DITL downsampling used at bench scale (REPRO_DITL_SAMPLE, default 64).
 double ditl_sample_denominator();
 
+// ---- Shared flag parsing ------------------------------------------------
+// Every bench takes `--name=value` flags; these are the one implementation
+// (the per-bench copies predating them drifted on details like whether
+// argv[0] was scanned).
+
+/// Numeric `--name=value`; `fallback` when absent.
+double flag_value(int argc, char** argv, const char* name, double fallback);
+
+/// String `--name=value`; `fallback` when absent.
+std::string flag_string(int argc, char** argv, const char* name,
+                        const std::string& fallback);
+
+/// True when `--name` or `--name=...` appears.
+bool flag_present(int argc, char** argv, const char* name);
+
+/// One parsed `--scale=` preset. The paper preset reproduces the figures
+/// at REPRO_SCALE (a 1/64 Internet by default); the internet presets add
+/// a streaming-world phase (`stream_slash24s` routed /24s generated under
+/// `stream_budget_bytes` of arena) and shard the DITL capture into
+/// `corpus_files` member files for the cross-file work-stealing scan.
+///
+/// The arena budget is deliberately far below the emitted world size so
+/// the internet presets actually exercise the bounded-memory batching.
+///
+///   preset         stream /24s   corpus files   arena budget
+///   paper                    0              1              -
+///   internet-lite    1,250,000              4          8 MiB
+///   internet        10,000,000             16         64 MiB
+struct ScaleSpec {
+  std::string name = "paper";
+  std::uint64_t stream_slash24s = 0;  // 0 = no streaming phase
+  std::size_t corpus_files = 1;
+  std::size_t stream_budget_bytes = 0;
+
+  bool internet() const { return stream_slash24s != 0; }
+};
+
+/// Parses `--scale=paper|internet-lite|internet` (default paper). An
+/// unknown preset is a hard error (exit 2) — a typo'd scale silently
+/// benchmarking the wrong world is worse than failing.
+ScaleSpec parse_scale(int argc, char** argv);
+
 struct Pipelines {
   /// The wired world + probe substrate (core::ScenarioBuilder output).
   core::Scenario scenario;

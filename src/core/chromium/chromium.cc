@@ -8,10 +8,12 @@
 #include "core/chromium/count_table.h"
 #include "core/chromium/sketch.h"
 #include "core/exec/exec.h"
+#include "core/exec/steal.h"
 #include "core/obs/obs.h"
 #include "dns/packet.h"
 #include "net/rng.h"
 #include "net/sim_time.h"
+#include "roots/corpus.h"
 #include "roots/packet_trace.h"
 #include "roots/trace_view.h"
 
@@ -247,150 +249,191 @@ ChromiumResult ChromiumCounter::process(const ReplayFn& replay) const {
 
 namespace {
 
+constexpr std::size_t kPrefetchAhead = 8;
+
+/// Per-chunk pass-2 partial: a flat open-addressing count table plus
+/// integer tallies. Integer sums, so any canonical-order merge of partials
+/// is thread-count independent.
+struct ChunkPartial {
+  ScanCountTable counts;
+  std::uint64_t matches = 0;
+  std::uint64_t rejected = 0;
+};
+
+/// Record-aligned partition of one view: a serial boundary walk validates
+/// the declared records (bounds and label arithmetic only — no field
+/// decode, no allocation) and cuts chunk boundaries by byte offset every
+/// `chunk_records` records. The partition depends on the bytes and the
+/// chunk size alone, so the parallel passes shard identically at every
+/// thread count; the walk doubles as the tolerant skip-and-count
+/// accounting.
+template <typename RefT, typename ViewT>
+std::vector<exec::RecordChunk> partition_view(const ViewT& view,
+                                              std::size_t chunk_records,
+                                              std::uint64_t* scanned,
+                                              std::uint64_t* skipped) {
+  exec::RecordChunker chunker(chunk_records);
+  typename ViewT::Cursor cursor = view.cursor();
+  RefT ref;
+  while (true) {
+    const std::size_t at = cursor.offset();
+    if (!cursor.next(&ref)) break;
+    chunker.note(at);
+  }
+  *scanned = cursor.index();
+  *skipped = view.declared_count() - cursor.index();
+  return chunker.finish(cursor.offset());
+}
+
+/// Pass-1 kernel for one chunk: decode, collect match keys into a flat
+/// buffer (one allocation per chunk), then scatter the buffer into the
+/// shared sketch. Two loops, not one fused loop: at DITL match rates the
+/// sketch's random row accesses dominate the scan, and the tight scatter
+/// loop lets the core overlap those misses across iterations — fusing the
+/// decode into the same loop measurably serializes them. A short prefetch
+/// distance covers hardware where the hint helps; reordering is
+/// irrelevant either way (commutative adds). `serial` skips the atomic
+/// RMW when the whole scan runs inline on one thread.
+template <typename RefT, typename ViewT>
+void pass1_chunk(const ViewT& view, const exec::RecordChunk& chunk,
+                 CountMinSketch& sketch, bool serial) {
+  typename ViewT::Cursor cursor = view.cursor_at(chunk.begin,
+                                                 chunk.first_record);
+  RefT ref;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(static_cast<std::size_t>(chunk.records));
+  for (std::uint64_t r = 0; r < chunk.records; ++r) {
+    if (!cursor.next(&ref)) break;  // unreachable: chunk pre-validated
+    std::string_view label;
+    if (single_label_of(ref, &label) &&
+        matches_chromium_signature_bytes(label)) {
+      keys.push_back(name_day_key(label, ref.timestamp()));
+    }
+  }
+  for (std::size_t j = 0; j < keys.size(); ++j) {
+    if (j + kPrefetchAhead < keys.size()) {
+      sketch.prefetch(keys[j + kPrefetchAhead]);
+    }
+    if (serial) {
+      sketch.add_serial(keys[j]);
+    } else {
+      sketch.add(keys[j]);
+    }
+  }
+}
+
+/// Pass-2 kernel for one chunk: attribute surviving matches to their
+/// resolver. Same two-loop shape as pass 1 (sketch estimates only read
+/// here); the returned partial is merged by the caller in canonical chunk
+/// order.
+template <typename RefT, typename ViewT>
+ChunkPartial pass2_chunk(const ViewT& view, const exec::RecordChunk& chunk,
+                         const CountMinSketch& sketch,
+                         std::uint32_t threshold) {
+  ChunkPartial partial;
+  typename ViewT::Cursor cursor = view.cursor_at(chunk.begin,
+                                                 chunk.first_record);
+  RefT ref;
+  struct Match {
+    std::uint64_t key;
+    std::uint32_t source;
+  };
+  std::vector<Match> matches;
+  matches.reserve(static_cast<std::size_t>(chunk.records));
+  for (std::uint64_t r = 0; r < chunk.records; ++r) {
+    if (!cursor.next(&ref)) break;  // unreachable, as above
+    std::string_view label;
+    if (single_label_of(ref, &label) &&
+        matches_chromium_signature_bytes(label)) {
+      matches.push_back(
+          Match{name_day_key(label, ref.timestamp()), ref.source().value()});
+    }
+  }
+  partial.matches = matches.size();
+  for (std::size_t j = 0; j < matches.size(); ++j) {
+    if (j + kPrefetchAhead < matches.size()) {
+      sketch.prefetch(matches[j + kPrefetchAhead].key);
+    }
+    if (sketch.below(matches[j].key, threshold)) {
+      partial.counts.add(matches[j].source);
+    } else {
+      ++partial.rejected;
+    }
+  }
+  return partial;
+}
+
+/// Folds canonically-ordered pass-2 partials into the result and applies
+/// the 1/sample_rate scaling once — the same integer-sums-then-scale
+/// discipline as the materializing path, so results are byte-identical to
+/// it at any thread count.
+void merge_partials(const std::vector<ChunkPartial>& partials,
+                    double sample_rate, ChromiumResult* result) {
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for (const ChunkPartial& partial : partials) {
+    result->signature_matches += partial.matches;
+    result->rejected_collisions += partial.rejected;
+    partial.counts.for_each([&](std::uint32_t source, std::uint64_t count) {
+      counts[source] += count;
+    });
+  }
+  const double scale = 1.0 / sample_rate;
+  for (const auto& [source, count] : counts) {
+    result->probes_by_resolver[source] = static_cast<double>(count) * scale;
+  }
+}
+
+/// True when the scan's shard loops run inline on one thread, so the
+/// sketch scatter can skip the atomic RMW (a full fence per add on x86) —
+/// same cells, same values, fraction of the cost.
+bool serial_scan(const ChromiumOptions& options) {
+  return (options.threads > 0 ? options.threads : exec::thread_count()) <= 1;
+}
+
 /// The zero-copy two-pass scan, shared by the record-framed (NCD1) and
 /// packet-framed (NCP1) views. `RefT` only needs cursor traversal,
 /// timestamp()/source(), and a `single_label_of` adapter overload; the
 /// chunk partition, sketch pass, attribution pass, and merge discipline
-/// are byte-for-byte the same machinery either way.
+/// are byte-for-byte the same machinery either way — and the same
+/// per-chunk kernels serve the multi-file corpus scan, which is what
+/// makes its results byte-identical to this path.
 template <typename RefT, typename ViewT>
 ChromiumResult scan_view(const ViewT& view, const ChromiumOptions& options_) {
   ChromiumResult result;
   const std::uint32_t threshold = effective_threshold(options_);
 
-  // Record-aligned partition: one serial boundary walk validates the
-  // declared records (bounds and label arithmetic only — no field decode,
-  // no allocation) and cuts chunk boundaries by byte offset every
-  // chunk_records records. The partition depends on the bytes and the
-  // chunk size alone, so both parallel passes below shard identically at
-  // every thread count; the walk doubles as the tolerant skip-and-count
-  // accounting.
   std::vector<exec::RecordChunk> chunks;
   {
     obs::StageSpan span("chromium.scan.partition");
-    exec::RecordChunker chunker(options_.chunk_records);
-    typename ViewT::Cursor cursor = view.cursor();
-    RefT ref;
-    while (true) {
-      const std::size_t at = cursor.offset();
-      if (!cursor.next(&ref)) break;
-      chunker.note(at);
-    }
-    chunks = chunker.finish(cursor.offset());
-    result.records_scanned = cursor.index();
-    result.records_skipped = view.declared_count() - cursor.index();
+    chunks = partition_view<RefT>(view, options_.chunk_records,
+                                  &result.records_scanned,
+                                  &result.records_skipped);
   }
 
   // Pass 1: per-(name, day) frequency sketch over signature matches.
   // Sketch cells are atomic integer increments — commutative, so shards
   // scatter into the shared sketch directly.
-  //
-  // Each shard runs two loops, not one fused loop: first decode the chunk
-  // and collect match keys into a flat buffer (one allocation per chunk),
-  // then scatter the buffer into the sketch. At DITL match rates the
-  // sketch's random row accesses dominate the scan, and the tight scatter
-  // loop lets the core overlap those misses across iterations — fusing
-  // the decode into the same loop measurably serializes them. A short
-  // prefetch distance covers hardware where the hint helps; reordering is
-  // irrelevant either way (commutative adds).
   CountMinSketch sketch(options_.sketch_width, options_.sketch_depth,
                         options_.seed);
-  constexpr std::size_t kPrefetchAhead = 8;
-  // At parallelism 1 the shard loops run inline on one thread, so the
-  // sketch scatter can skip the atomic RMW (a full fence per add on x86)
-  // — same cells, same values, fraction of the cost.
-  const bool serial_scan =
-      (options_.threads > 0 ? options_.threads : exec::thread_count()) <= 1;
+  const bool serial = serial_scan(options_);
   {
     obs::StageSpan span("chromium.scan.pass1_sketch");
     exec::parallel_map(chunks.size(), options_.threads, [&](std::size_t i) {
-      typename ViewT::Cursor cursor =
-          view.cursor_at(chunks[i].begin, chunks[i].first_record);
-      RefT ref;
-      std::vector<std::uint64_t> keys;
-      keys.reserve(static_cast<std::size_t>(chunks[i].records));
-      for (std::uint64_t r = 0; r < chunks[i].records; ++r) {
-        if (!cursor.next(&ref)) break;  // unreachable: chunk pre-validated
-        std::string_view label;
-        if (single_label_of(ref, &label) &&
-            matches_chromium_signature_bytes(label)) {
-          keys.push_back(name_day_key(label, ref.timestamp()));
-        }
-      }
-      for (std::size_t j = 0; j < keys.size(); ++j) {
-        if (j + kPrefetchAhead < keys.size()) {
-          sketch.prefetch(keys[j + kPrefetchAhead]);
-        }
-        if (serial_scan) {
-          sketch.add_serial(keys[j]);
-        } else {
-          sketch.add(keys[j]);
-        }
-      }
+      pass1_chunk<RefT>(view, chunks[i], sketch, serial);
       return 0;
     });
   }
 
-  // Pass 2: attribute surviving matches to their resolver. Each shard
-  // fills a flat open-addressing count table plus integer tallies; the
-  // partials are merged in chunk order, then scaled once — the same
-  // integer-sums-then-scale discipline as the materializing path, so the
-  // result is byte-identical to it at any thread count.
-  struct ChunkPartial {
-    ScanCountTable counts;
-    std::uint64_t matches = 0;
-    std::uint64_t rejected = 0;
-  };
+  // Pass 2: per-chunk partials merged in chunk order, then scaled once.
   std::vector<ChunkPartial> partials;
   {
     obs::StageSpan span("chromium.scan.pass2_attribute");
     partials =
         exec::parallel_map(chunks.size(), options_.threads, [&](std::size_t i) {
-          ChunkPartial partial;
-          typename ViewT::Cursor cursor =
-              view.cursor_at(chunks[i].begin, chunks[i].first_record);
-          RefT ref;
-          // Same two-loop shape as pass 1 (estimates only read here).
-          struct Match {
-            std::uint64_t key;
-            std::uint32_t source;
-          };
-          std::vector<Match> matches;
-          matches.reserve(static_cast<std::size_t>(chunks[i].records));
-          for (std::uint64_t r = 0; r < chunks[i].records; ++r) {
-            if (!cursor.next(&ref)) break;  // unreachable, as above
-            std::string_view label;
-            if (single_label_of(ref, &label) &&
-                matches_chromium_signature_bytes(label)) {
-              matches.push_back(Match{name_day_key(label, ref.timestamp()),
-                                      ref.source().value()});
-            }
-          }
-          partial.matches = matches.size();
-          for (std::size_t j = 0; j < matches.size(); ++j) {
-            if (j + kPrefetchAhead < matches.size()) {
-              sketch.prefetch(matches[j + kPrefetchAhead].key);
-            }
-            if (sketch.below(matches[j].key, threshold)) {
-              partial.counts.add(matches[j].source);
-            } else {
-              ++partial.rejected;
-            }
-          }
-          return partial;
+          return pass2_chunk<RefT>(view, chunks[i], sketch, threshold);
         });
   }
-  std::unordered_map<std::uint32_t, std::uint64_t> counts;
-  for (const ChunkPartial& partial : partials) {
-    result.signature_matches += partial.matches;
-    result.rejected_collisions += partial.rejected;
-    partial.counts.for_each([&](std::uint32_t source, std::uint64_t count) {
-      counts[source] += count;
-    });
-  }
-  const double scale = 1.0 / options_.sample_rate;
-  for (const auto& [source, count] : counts) {
-    result.probes_by_resolver[source] = static_cast<double>(count) * scale;
-  }
+  merge_partials(partials, options_.sample_rate, &result);
 
   record_scan_metrics(result);
   obs::Registry& registry = obs::Registry::global();
@@ -416,6 +459,136 @@ ChromiumResult ChromiumCounter::process_view(
 ChromiumResult ChromiumCounter::process_packets(
     const roots::PacketTraceView& view) const {
   return scan_view<roots::PacketRecordRef>(view, options_);
+}
+
+ChromiumResult ChromiumCounter::process_corpus(
+    const roots::CorpusView& corpus, exec::StealTelemetry* telemetry) const {
+  ChromiumResult result;
+  const std::uint32_t threshold = effective_threshold(options_);
+  const auto& members = corpus.members();
+
+  // Phase A: partition every member in parallel. Each member's boundary
+  // walk is the same serial walk scan_view does — but members are
+  // independent byte streams, so the walks themselves fan out. This is the
+  // structural win over a single concatenated file, where the partition is
+  // one long serial pass.
+  struct MemberPartition {
+    std::vector<exec::RecordChunk> chunks;
+    std::uint64_t scanned = 0;
+    std::uint64_t skipped = 0;
+  };
+  std::vector<MemberPartition> partitions;
+  {
+    obs::StageSpan span("chromium.scan.partition");
+    partitions =
+        exec::parallel_map(members.size(), options_.threads, [&](std::size_t m) {
+          MemberPartition p;
+          if (members[m].trace) {
+            p.chunks = partition_view<roots::TraceRecordRef>(
+                *members[m].trace, options_.chunk_records, &p.scanned,
+                &p.skipped);
+          } else if (members[m].packets) {
+            p.chunks = partition_view<roots::PacketRecordRef>(
+                *members[m].packets, options_.chunk_records, &p.scanned,
+                &p.skipped);
+          }
+          return p;
+        });
+  }
+  // Canonical task order: (file, chunk) ascending. The steal scheduler may
+  // execute tasks in any interleaving; every merge below replays this
+  // order, which is what keeps the result byte-identical to the
+  // single-file path at any REPRO_THREADS and any steal pattern.
+  struct CorpusTask {
+    std::size_t member = 0;
+    exec::RecordChunk chunk;
+  };
+  std::vector<CorpusTask> tasks;
+  for (std::size_t m = 0; m < partitions.size(); ++m) {
+    result.records_scanned += partitions[m].scanned;
+    result.records_skipped += partitions[m].skipped;
+    for (const exec::RecordChunk& chunk : partitions[m].chunks) {
+      tasks.push_back(CorpusTask{m, chunk});
+    }
+  }
+  // Members the manifest promised but the open skipped entirely.
+  result.records_skipped += corpus.stats().records_skipped;
+
+  // Pass 1: one shared sketch across all files — commutative atomic adds,
+  // so steal order is invisible. The same (name, day) keys go in as a
+  // single-file scan of the same records would insert.
+  CountMinSketch sketch(options_.sketch_width, options_.sketch_depth,
+                        options_.seed);
+  const bool serial = serial_scan(options_);
+  exec::StealTelemetry pass1_telemetry;
+  {
+    obs::StageSpan span("chromium.scan.pass1_sketch");
+    exec::steal_map(
+        tasks.size(), options_.threads,
+        [&](std::size_t t) {
+          const CorpusTask& task = tasks[t];
+          if (members[task.member].trace) {
+            pass1_chunk<roots::TraceRecordRef>(*members[task.member].trace,
+                                               task.chunk, sketch, serial);
+          } else {
+            pass1_chunk<roots::PacketRecordRef>(*members[task.member].packets,
+                                                task.chunk, sketch, serial);
+          }
+          return 0;
+        },
+        &pass1_telemetry);
+  }
+
+  // Pass 2: per-task partials, returned by task index (canonical order)
+  // regardless of who executed them, merged exactly like scan_view's.
+  std::vector<ChunkPartial> partials;
+  exec::StealTelemetry pass2_telemetry;
+  {
+    obs::StageSpan span("chromium.scan.pass2_attribute");
+    partials = exec::steal_map(
+        tasks.size(), options_.threads,
+        [&](std::size_t t) {
+          const CorpusTask& task = tasks[t];
+          if (members[task.member].trace) {
+            return pass2_chunk<roots::TraceRecordRef>(
+                *members[task.member].trace, task.chunk, sketch, threshold);
+          }
+          return pass2_chunk<roots::PacketRecordRef>(
+              *members[task.member].packets, task.chunk, sketch, threshold);
+        },
+        &pass2_telemetry);
+  }
+  merge_partials(partials, options_.sample_rate, &result);
+
+  if (telemetry) {
+    telemetry->tasks = pass1_telemetry.tasks + pass2_telemetry.tasks;
+    telemetry->workers =
+        std::max(pass1_telemetry.workers, pass2_telemetry.workers);
+    telemetry->steals = pass1_telemetry.steals + pass2_telemetry.steals;
+    telemetry->stolen_tasks =
+        pass1_telemetry.stolen_tasks + pass2_telemetry.stolen_tasks;
+    telemetry->attempts = pass1_telemetry.attempts + pass2_telemetry.attempts;
+  }
+
+  record_scan_metrics(result);
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("chromium.scan.records").add(result.records_scanned);
+  registry.counter("chromium.scan.chunks").add(tasks.size());
+  registry.counter("chromium.scan.bytes").add(corpus.payload_bytes());
+  registry.counter("chromium.scan.files").add(corpus.stats().members_opened);
+  if (result.records_skipped > 0) {
+    registry.counter("chromium.trace.records_skipped")
+        .add(result.records_skipped);
+  }
+  return result;
+}
+
+std::optional<ChromiumResult> ChromiumCounter::process_corpus_file(
+    const std::string& manifest_path,
+    exec::StealTelemetry* telemetry) const {
+  const auto corpus = roots::CorpusView::open(manifest_path);
+  if (!corpus) return std::nullopt;
+  return process_corpus(*corpus, telemetry);
 }
 
 ChromiumResult ChromiumCounter::process(

@@ -12,9 +12,14 @@
 #include "roots/trace.h"
 
 namespace netclients::roots {
+class CorpusView;
 class PacketTraceView;
 class TraceView;
 }  // namespace netclients::roots
+
+namespace netclients::core::exec {
+struct StealTelemetry;
+}  // namespace netclients::core::exec
 
 namespace netclients::core {
 
@@ -129,6 +134,29 @@ class ChromiumCounter {
   /// process_file for NCP1 packet traces.
   std::optional<ChromiumResult> process_packet_file(
       const std::string& path) const;
+
+  /// The cross-file scan over a sharded multi-file corpus. Member files
+  /// are partitioned in parallel (one boundary walk each), the resulting
+  /// (file, chunk) tasks — in canonical ascending order — are executed by
+  /// the work-stealing scheduler (`exec::steal_map`), and per-task
+  /// partials are merged back in that canonical order. The result is
+  /// byte-identical to writing the same records into one file and calling
+  /// process_view, at any REPRO_THREADS and any steal interleaving:
+  /// determinism comes from merge order, not execution order. NCD1 and
+  /// NCP1 members may be mixed. Unreadable members were already counted
+  /// by CorpusView::open; their declared records land in records_skipped.
+  /// `telemetry`, when non-null, receives the summed steal telemetry of
+  /// both passes (for the bench's steal-ratio gauge).
+  ChromiumResult process_corpus(const roots::CorpusView& corpus,
+                                exec::StealTelemetry* telemetry
+                                  = nullptr) const;
+
+  /// process_file for a corpus manifest: opens the corpus (tolerantly)
+  /// and scans it. Returns nullopt only when the manifest itself is
+  /// unreadable or malformed.
+  std::optional<ChromiumResult> process_corpus_file(
+      const std::string& manifest_path,
+      exec::StealTelemetry* telemetry = nullptr) const;
 
   const ChromiumOptions& options() const { return options_; }
 

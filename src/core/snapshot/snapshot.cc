@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "core/obs/obs.h"
+#include "net/crc32.h"
 #include "net/rng.h"
 
 namespace netclients::core::snapshot {
@@ -35,24 +36,7 @@ constexpr std::size_t kFrameBytes = 20;
 /// frame corruption, not a huge section.
 constexpr std::uint64_t kMaxPayload = std::uint64_t{1} << 40;
 
-std::uint32_t crc32(std::string_view bytes) {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (unsigned char byte : bytes) {
-    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
+using net::crc32;
 
 void put_u8(std::string& out, std::uint8_t v) {
   out.push_back(static_cast<char>(v));
@@ -466,6 +450,48 @@ std::string encode(const std::vector<EpochRecord>& epochs) {
   epochs_metric.add(epochs.size());
   bytes_metric.add(out.size());
   return out;
+}
+
+std::string_view section_kind_name(std::uint32_t kind) {
+  switch (kind) {
+    case kEpochHeader:
+      return "epoch_header";
+    case kPrefixes:
+      return "prefixes";
+    case kAsAggregates:
+      return "as_aggregates";
+    case kCountries:
+      return "countries";
+    default:
+      return "unknown";
+  }
+}
+
+std::optional<std::vector<SectionInfo>> section_sizes(std::string_view bytes) {
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::vector<SectionInfo> sections;
+  std::size_t pos = sizeof(kMagic);
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameBytes) break;
+    Cursor frame(bytes.substr(pos, kFrameBytes));
+    SectionInfo info;
+    info.kind = frame.u32();
+    info.epoch_id = frame.u32();
+    const std::uint64_t payload_size = frame.u64();
+    const std::uint32_t crc = frame.u32();
+    if (payload_size > kMaxPayload ||
+        payload_size > bytes.size() - pos - kFrameBytes) {
+      break;
+    }
+    info.payload_bytes = payload_size;
+    info.crc_ok = crc32(bytes.substr(pos + kFrameBytes, payload_size)) == crc;
+    sections.push_back(info);
+    pos += kFrameBytes + payload_size;
+  }
+  return sections;
 }
 
 std::optional<SnapshotFile> decode(std::string_view bytes) {

@@ -164,6 +164,27 @@ struct SnapshotFile {
   ReadStats stats;
 };
 
+/// Per-section framing facts surfaced by section_sizes(): enough to render
+/// a footprint breakdown (`snapctl inspect`) without decoding payloads.
+struct SectionInfo {
+  std::uint32_t kind = 0;
+  std::uint32_t epoch_id = 0;
+  std::uint64_t payload_bytes = 0;  // payload only; the frame adds 20 bytes
+  bool crc_ok = true;
+
+  friend bool operator==(const SectionInfo&, const SectionInfo&) = default;
+};
+
+/// Stable display name for a section kind ("epoch_header", "prefixes",
+/// "as_aggregates", "countries", or "unknown").
+std::string_view section_kind_name(std::uint32_t kind);
+
+/// Walks the section frames of a v1 snapshot without decoding payloads,
+/// returning one entry per well-framed section in file order. Tolerant the
+/// same way decode() is — stops at truncation, flags bad CRCs — and
+/// returns nullopt only when the magic is wrong.
+std::optional<std::vector<SectionInfo>> section_sizes(std::string_view bytes);
+
 /// Serialises epochs to the v1 wire bytes (epoch 0 full, the rest
 /// delta-encoded against their predecessor). Deterministic: equal inputs
 /// encode to equal bytes.

@@ -1,0 +1,32 @@
+#pragma once
+
+// Shared CRC-32 (IEEE 802.3, reflected 0xEDB88320 polynomial) used by the
+// snapshot frame checksums and the trace-corpus manifest. Kept header-only
+// so leaf libraries (roots, snapshot) can use it without a new link edge.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace netclients::net {
+
+inline std::uint32_t crc32(std::string_view bytes) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : bytes) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace netclients::net

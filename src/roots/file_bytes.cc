@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "core/obs/obs.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define NETCLIENTS_TRACE_MMAP 1
 #include <fcntl.h>
@@ -30,6 +32,14 @@ std::optional<FileBytes> FileBytes::open(const std::string& path,
           bytes.data_ = static_cast<const char*>(mem);
           bytes.size_ = size;
           bytes.mapped_ = true;
+        } else {
+          // mmap was genuinely attempted and refused (not small-file
+          // policy, not an explicit kBuffer request). The slurp fallback
+          // below still works, but the corpus benches need to see when
+          // the fast path silently degrades — count it.
+          static obs::Counter& fallbacks_metric = obs::Registry::global()
+              .counter("roots.io.mmap_fallbacks");
+          fallbacks_metric.add(1);
         }
       }
       ::close(fd);

@@ -1,0 +1,341 @@
+#include "sim/stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "core/exec/exec.h"
+#include "net/rng.h"
+#include "sim/world.h"
+
+namespace netclients::sim {
+namespace {
+
+constexpr std::uint32_t kFirstSlash24 = 1u << 16;  // 1.0.0.0
+constexpr std::uint32_t kMaxAnnouncedPerAs = 1u << 14;
+
+/// RNG stream tags: the plan and the fill draw from *different* per-AS
+/// streams so batch boundaries can never perturb either.
+constexpr std::uint64_t kPlanTag = 0x57AE4C0DEull;
+constexpr std::uint64_t kFillTag = 0x57AEF111ull;
+
+/// Streaming counterpart of world.cc's TypeParams (same aggregate shape:
+/// ~475 users per active /24, ~74% of routed /24s active).
+struct StreamTypeParams {
+  double users_per_active24;
+  double active_frac;
+  bool bots;
+};
+
+StreamTypeParams stream_params(AsType type) {
+  switch (type) {
+    case AsType::kIspEyeball:
+      return {450, 0.85, false};
+    case AsType::kMobileCarrier:
+      return {900, 0.88, false};
+    case AsType::kEducation:
+      return {150, 0.60, false};
+    case AsType::kEnterprise:
+      return {60, 0.55, false};
+    case AsType::kGovernment:
+      return {60, 0.55, false};
+    case AsType::kHostingCloud:
+      return {30, 0.55, true};
+    case AsType::kContentCdn:
+      return {60, 0.40, true};
+    case AsType::kTransit:
+      return {40, 0.25, true};
+    case AsType::kPublicDns:
+      return {0, 0.0, false};
+  }
+  return {};
+}
+
+AsType sample_stream_type(net::Rng& rng) {
+  // Same global mix as world.cc's sample_type.
+  const double u = rng.uniform();
+  if (u < 0.30) return AsType::kIspEyeball;
+  if (u < 0.36) return AsType::kMobileCarrier;
+  if (u < 0.53) return AsType::kHostingCloud;
+  if (u < 0.61) return AsType::kEducation;
+  if (u < 0.86) return AsType::kEnterprise;
+  if (u < 0.90) return AsType::kGovernment;
+  if (u < 0.92) return AsType::kContentCdn;
+  return AsType::kTransit;
+}
+
+std::uint64_t block_hash(const StreamBlock& block) {
+  std::uint64_t lo, hi;
+  static_assert(sizeof(StreamBlock) == 2 * sizeof(std::uint64_t));
+  std::memcpy(&lo, &block, sizeof(lo));
+  std::memcpy(&hi, reinterpret_cast<const char*>(&block) + sizeof(lo),
+              sizeof(hi));
+  return net::hash_combine(net::mix64(lo), hi);
+}
+
+}  // namespace
+
+WorldStreamer::WorldStreamer(StreamConfig config)
+    : config_(config), countries_(builtin_countries()) {
+  const std::uint32_t ases = config_.derived_ases();
+  plan_.resize(ases);
+
+  // Country sampling weights (cumulative internet-user mass).
+  std::vector<double> country_cum(countries_.size());
+  double country_total = 0;
+  for (std::size_t c = 0; c < countries_.size(); ++c) {
+    country_total += countries_[c].internet_users;
+    country_cum[c] = country_total;
+  }
+
+  // Per-AS announced-space weights: the same heavy tail world.cc uses
+  // (Pareto head over a lognormal body), drawn from each AS's own plan
+  // stream so the plan is order- and thread-independent by construction.
+  std::vector<double> weights(ases);
+  double weight_total = 0;
+  for (std::uint32_t k = 0; k < ases; ++k) {
+    net::Rng rng = core::exec::shard_rng(config_.seed ^ kPlanTag, k);
+    weights[k] = rng.pareto(1.0, 0.75) * rng.lognormal(0.0, 2.0);
+    weight_total += weights[k];
+  }
+
+  const double target = static_cast<double>(config_.target_routed_slash24s);
+  std::uint64_t announced_total = 0;
+  for (std::uint32_t k = 0; k < ases; ++k) {
+    const auto announced = static_cast<std::uint32_t>(std::clamp<double>(
+        static_cast<double>(std::llround(target * weights[k] / weight_total)),
+        1.0, kMaxAnnouncedPerAs));
+    plan_[k].announced = announced;
+    announced_total += announced;
+  }
+  // The per-AS cap clips the heavy tail, which can leave the plan well
+  // short of the target; hand the deficit to ASes with headroom,
+  // proportionally, in one deterministic pass.
+  if (announced_total < config_.target_routed_slash24s) {
+    const std::uint64_t deficit =
+        config_.target_routed_slash24s - announced_total;
+    std::uint64_t headroom_total = 0;
+    for (const AsPlan& as : plan_) {
+      headroom_total += kMaxAnnouncedPerAs - as.announced;
+    }
+    if (headroom_total > 0) {
+      for (AsPlan& as : plan_) {
+        const std::uint64_t headroom = kMaxAnnouncedPerAs - as.announced;
+        as.announced += static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(headroom,
+                                    deficit * headroom / headroom_total));
+      }
+    }
+  }
+
+  // Second per-AS plan pass: identity, activity, and the unrouted gap
+  // preceding each AS's announced span. Drawn from a forked stream so the
+  // weight draws above keep their own positions.
+  const double uf = std::clamp(config_.unrouted_fraction, 0.0, 0.9);
+  const double gap_ratio = uf / (1.0 - uf);
+  for (std::uint32_t k = 0; k < ases; ++k) {
+    AsPlan& as = plan_[k];
+    net::Rng rng =
+        core::exec::shard_rng(config_.seed ^ kPlanTag ^ 0x1D0ull, k);
+    const AsType type = sample_stream_type(rng);
+    const StreamTypeParams tp = stream_params(type);
+    as.type = static_cast<std::uint8_t>(type);
+    as.bots = tp.bots ? 1 : 0;
+    // Country sampled by internet-user mass.
+    const double pick = rng.uniform() * country_total;
+    const auto c = static_cast<std::size_t>(
+        std::lower_bound(country_cum.begin(), country_cum.end(), pick) -
+        country_cum.begin());
+    as.country = static_cast<std::uint16_t>(
+        c >= countries_.size() ? countries_.size() - 1 : c);
+    as.gap = static_cast<std::uint32_t>(
+        std::llround(as.announced * gap_ratio * rng.uniform(0.7, 1.3)));
+    as.active = std::min(
+        as.announced,
+        static_cast<std::uint32_t>(std::ceil(
+            as.announced * tp.active_frac * rng.uniform(0.6, 1.2))));
+    as.users = static_cast<float>(as.active * tp.users_per_active24 *
+                                  rng.uniform(0.7, 1.3));
+  }
+
+  // Address layout: one prefix-sum walk pins every AS's span up front, so
+  // the emit phase can fill any batch of ASes independently.
+  block_offsets_.resize(static_cast<std::size_t>(ases) + 1);
+  std::uint64_t cursor = kFirstSlash24;
+  planned_routed_ = 0;
+  for (std::uint32_t k = 0; k < ases; ++k) {
+    block_offsets_[k] = cursor - kFirstSlash24;
+    plan_[k].first_index = cursor;
+    cursor += plan_[k].span();
+    planned_routed_ += plan_[k].announced;
+  }
+  block_offsets_[ases] = cursor - kFirstSlash24;
+  planned_slash24s_ = cursor - kFirstSlash24;
+}
+
+void WorldStreamer::fill_as(const AsPlan& as, std::uint32_t as_index,
+                            StreamBlock* out) const {
+  // Unrouted gap first: allocated-but-unannounced space.
+  for (std::uint32_t g = 0; g < as.gap; ++g) {
+    StreamBlock block;
+    block.index = static_cast<std::uint32_t>(as.first_index + g);
+    block.as_index = StreamBlock::kNoAs;
+    block.country = as.country;
+    out[g] = block;
+  }
+
+  net::Rng rng = core::exec::shard_rng(config_.seed ^ kFillTag, as_index);
+  StreamBlock* announced = out + as.gap;
+  const auto first_announced =
+      static_cast<std::uint32_t>(as.first_index + as.gap);
+
+  // Pass 1: base fields plus a density-walk active selection (clustered,
+  // like world.cc's span walk), topped up deterministically to exactly
+  // `as.active`.
+  const double density =
+      as.announced > 0
+          ? std::clamp(static_cast<double>(as.active) / as.announced *
+                           rng.uniform(0.6, 1.6),
+                       0.02, 1.0)
+          : 0.0;
+  std::uint32_t still_needed = as.active;
+  for (std::uint32_t i = 0; i < as.announced; ++i) {
+    StreamBlock block;
+    block.index = first_announced + i;
+    block.as_index = as_index;
+    block.country = as.country;
+    block.as_type = as.type;
+    block.flags = StreamBlock::kRouted;
+    if (still_needed > 0 && rng.bernoulli(density)) {
+      block.flags |= StreamBlock::kActive;
+      --still_needed;
+    }
+    announced[i] = block;
+  }
+  for (std::uint32_t i = 0; i < as.announced && still_needed > 0; ++i) {
+    if (!(announced[i].flags & StreamBlock::kActive)) {
+      announced[i].flags |= StreamBlock::kActive;
+      --still_needed;
+    }
+  }
+
+  // Pass 2: split the AS's client mass across its active blocks with
+  // lognormal weights (drawn in ascending block order — deterministic).
+  std::vector<float> block_weights;
+  block_weights.reserve(as.active);
+  double weight_total = 0;
+  for (std::uint32_t i = 0; i < as.announced; ++i) {
+    if (announced[i].flags & StreamBlock::kActive) {
+      const auto w = static_cast<float>(rng.lognormal(0.0, 0.9));
+      block_weights.push_back(w);
+      weight_total += w;
+    }
+  }
+  std::size_t at = 0;
+  for (std::uint32_t i = 0; i < as.announced; ++i) {
+    if (!(announced[i].flags & StreamBlock::kActive)) continue;
+    announced[i].users =
+        weight_total > 0
+            ? static_cast<float>(as.users * block_weights[at] / weight_total)
+            : 0.0f;
+    if (as.bots) announced[i].flags |= StreamBlock::kBots;
+    ++at;
+  }
+}
+
+StreamStats WorldStreamer::run(const Visitor& visit) const {
+  StreamStats stats;
+  stats.ases = plan_.size();
+
+  std::uint64_t max_span = 1;
+  for (const AsPlan& as : plan_) max_span = std::max(max_span, as.span());
+
+  // The arena is the only world-size-proportional allocation: budget
+  // bytes worth of blocks, floored at one maximal AS span (progress
+  // guarantee), capped at the whole world (tiny worlds under huge
+  // budgets don't over-allocate).
+  std::uint64_t capacity = std::max<std::uint64_t>(
+      config_.memory_budget_bytes / sizeof(StreamBlock), max_span);
+  capacity = std::min<std::uint64_t>(capacity, planned_slash24s_);
+  capacity = std::max<std::uint64_t>(capacity, max_span);
+  stats.arena_capacity_blocks = capacity;
+  std::vector<StreamBlock> arena(static_cast<std::size_t>(capacity));
+
+  std::size_t as_at = 0;
+  while (as_at < plan_.size()) {
+    // Greedy batch: as many consecutive ASes as fit the arena.
+    std::size_t batch_end = as_at;
+    std::uint64_t batch_blocks = 0;
+    while (batch_end < plan_.size() &&
+           batch_blocks + plan_[batch_end].span() <= capacity) {
+      batch_blocks += plan_[batch_end].span();
+      ++batch_end;
+    }
+    if (batch_end == as_at) {  // unreachable: capacity >= max_span
+      batch_blocks = plan_[as_at].span();
+      batch_end = as_at + 1;
+    }
+
+    // Parallel fill: each AS writes its own pre-computed arena slice.
+    // Slices are disjoint; every draw comes from the AS's own fill
+    // stream, so the batch split and the worker schedule are invisible
+    // in the output.
+    const std::uint64_t batch_base = block_offsets_[as_at];
+    core::exec::parallel_map(
+        batch_end - as_at, config_.threads, [&](std::size_t k) {
+          const std::size_t as_index = as_at + k;
+          fill_as(plan_[as_index], static_cast<std::uint32_t>(as_index),
+                  arena.data() + (block_offsets_[as_index] - batch_base));
+          return 0;
+        });
+
+    // Serial fold in emission order: digest + tallies, then the visitor.
+    const std::span<const StreamBlock> batch(
+        arena.data(), static_cast<std::size_t>(batch_blocks));
+    for (const StreamBlock& block : batch) {
+      stats.digest = net::hash_combine(stats.digest, block_hash(block));
+      if (block.routed()) ++stats.routed_slash24s;
+      if (block.active()) {
+        ++stats.active_slash24s;
+        stats.total_users += block.users;
+      }
+    }
+    stats.slash24s += batch_blocks;
+    stats.arena_peak_blocks = std::max(stats.arena_peak_blocks, batch_blocks);
+    ++stats.batches;
+    if (visit) visit(batch);
+
+    as_at = batch_end;
+  }
+  stats.arena_peak_bytes = stats.arena_peak_blocks * sizeof(StreamBlock);
+
+  obs::Registry& registry = obs::Registry::global();
+  registry.gauge("sim.stream.slash24s")
+      .set(static_cast<double>(stats.slash24s));
+  registry.gauge("sim.stream.routed")
+      .set(static_cast<double>(stats.routed_slash24s));
+  registry.gauge("sim.stream.arena_peak_bytes")
+      .set(static_cast<double>(stats.arena_peak_bytes));
+  registry.gauge("sim.stream.arena_flushes")
+      .set(static_cast<double>(stats.batches));
+  return stats;
+}
+
+std::size_t current_rss_bytes() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::size_t rss = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
+      rss = static_cast<std::size_t>(kb) * 1024;
+      break;
+    }
+  }
+  std::fclose(status);
+  return rss;
+}
+
+}  // namespace netclients::sim

@@ -1,0 +1,151 @@
+#pragma once
+
+// Streaming, bounded-memory world generation at the real IPv4 order of
+// magnitude (~10M routed /24s).
+//
+// `World::generate` materializes every Slash24Block (and the AS table, the
+// trie, the geo database...) before anyone can look at one — fine at paper
+// scale (REPRO_SCALE shrinks the world to thousands of blocks), hopeless
+// at internet scale where the block array alone is gigabytes. The
+// streamer inverts that: a *plan* phase sizes every AS from O(ases) state
+// (per-AS RNG streams, prefix-sum address layout — the same shard-RNG
+// discipline as `exec`), then an *emit* phase generates blocks batch by
+// batch into one fixed-size arena and hands each batch to a visitor. Peak
+// memory is a function of the `memory_budget_bytes` knob, never of the
+// world size.
+//
+// Determinism: every AS draws from `exec::shard_rng(seed, as_index)`
+// streams keyed by its logical index — never by thread, batch, or budget.
+// The emitted block sequence (ascending /24 index) is therefore
+// byte-identical for any `threads`, any memory budget, and any batch
+// split; `StreamStats::digest` folds the sequence so tests can assert
+// exactly that.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/country.h"
+
+namespace netclients::sim {
+
+struct StreamConfig {
+  std::uint64_t seed = 42;
+
+  /// Announced (routed) /24 target. The plan hits this within per-AS
+  /// rounding; `StreamStats` reports the exact count. The real Internet:
+  /// ~12M routed /24s.
+  std::uint64_t target_routed_slash24s = 10'000'000;
+
+  /// Fraction of allocated /24 space left unannounced (the paper: 15.5M
+  /// public vs ~12M routed). Unrouted blocks are emitted too (flagged),
+  /// interleaved as per-AS allocation gaps.
+  double unrouted_fraction = 0.22;
+
+  /// Arena budget. The emit arena is the only world-size-proportional
+  /// allocation, and it is capped at this many bytes (rounded down to
+  /// whole blocks; floored at one maximal AS span so generation always
+  /// makes progress).
+  std::size_t memory_budget_bytes = std::size_t{256} << 20;
+
+  /// ASes to spread the address space over. 0 = derived from the target
+  /// at the real-world density (~180 announced /24s per AS).
+  std::uint32_t ases = 0;
+
+  /// Parallelism for the per-batch fill. 0 = exec::thread_count();
+  /// 1 = serial. Any value produces the identical stream.
+  int threads = 0;
+
+  std::uint32_t derived_ases() const {
+    if (ases != 0) return ases;
+    const auto n = static_cast<std::uint32_t>(target_routed_slash24s / 180);
+    return n < 64 ? 64 : n;
+  }
+};
+
+/// One emitted /24: the compact streaming counterpart of Slash24Block.
+/// 16 bytes so a 256 MiB arena holds 16M blocks.
+struct StreamBlock {
+  std::uint32_t index = 0;     // address >> 8
+  std::uint32_t as_index = kNoAs;
+  float users = 0;             // client mass (human or bot, see flags)
+  std::uint16_t country = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t as_type = 0;    // AsType ordinal of the owner
+
+  static constexpr std::uint32_t kNoAs = 0xFFFFFFFF;
+  static constexpr std::uint8_t kRouted = 1;  // announced by an AS
+  static constexpr std::uint8_t kActive = 2;  // has client mass
+  static constexpr std::uint8_t kBots = 4;    // mass is non-human
+
+  bool routed() const { return flags & kRouted; }
+  bool active() const { return flags & kActive; }
+
+  friend bool operator==(const StreamBlock&, const StreamBlock&) = default;
+};
+static_assert(sizeof(StreamBlock) == 16);
+
+struct StreamStats {
+  std::uint64_t ases = 0;
+  std::uint64_t slash24s = 0;          // blocks emitted (routed + unrouted)
+  std::uint64_t routed_slash24s = 0;
+  std::uint64_t active_slash24s = 0;
+  double total_users = 0;
+  std::uint64_t batches = 0;           // arena flushes
+  std::uint64_t arena_capacity_blocks = 0;
+  std::uint64_t arena_peak_blocks = 0; // high-water mark of one batch
+  std::uint64_t arena_peak_bytes = 0;  // == peak_blocks * sizeof(StreamBlock)
+  /// Order-sensitive fold over every emitted block, identical across
+  /// thread counts, budgets, and batch splits by construction.
+  std::uint64_t digest = 0;
+};
+
+/// Generates the planned world as a stream of StreamBlock batches.
+class WorldStreamer {
+ public:
+  using Visitor = std::function<void(std::span<const StreamBlock>)>;
+
+  explicit WorldStreamer(StreamConfig config);
+
+  /// Blocks the plan will emit (exact; cheap — the plan is O(ases)).
+  std::uint64_t planned_slash24s() const { return planned_slash24s_; }
+  std::uint64_t planned_routed_slash24s() const { return planned_routed_; }
+
+  /// Emits every block in ascending /24-index order, calling `visit` once
+  /// per arena flush. The visitor borrows the span only for the duration
+  /// of the call (the arena is reused). Pass a null visitor to measure
+  /// pure generation throughput.
+  StreamStats run(const Visitor& visit) const;
+
+ private:
+  struct AsPlan {
+    std::uint64_t first_index = 0;  // first /24 of the gap+announced span
+    std::uint32_t gap = 0;          // unrouted blocks before the announced
+    std::uint32_t announced = 0;
+    std::uint32_t active = 0;
+    float users = 0;                // total client mass of this AS
+    std::uint16_t country = 0;
+    std::uint8_t type = 0;
+    std::uint8_t bots = 0;
+
+    std::uint64_t span() const { return std::uint64_t{gap} + announced; }
+  };
+
+  void fill_as(const AsPlan& as, std::uint32_t as_index,
+               StreamBlock* out) const;
+
+  StreamConfig config_;
+  std::vector<CountryInfo> countries_;
+  std::vector<AsPlan> plan_;
+  std::vector<std::uint64_t> block_offsets_;  // prefix sums of span()
+  std::uint64_t planned_slash24s_ = 0;
+  std::uint64_t planned_routed_ = 0;
+};
+
+/// Current process resident-set size in bytes (Linux /proc/self/status;
+/// 0 where unavailable). The bench's memory-budget gate reads this next
+/// to the arena gauge.
+std::size_t current_rss_bytes();
+
+}  // namespace netclients::sim

@@ -39,12 +39,16 @@
 //     user_zipf=1.2
 //     miss_fraction=0.4
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/serve/service.h"
 #include "core/serve/workload.h"
@@ -60,6 +64,31 @@ namespace snapshot = core::snapshot;
 namespace serve = core::serve;
 
 namespace {
+
+std::optional<std::string> slurp(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+/// "1.2 MiB"-style rendering; bytes below 1 KiB print exact.
+std::string human_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else if (bytes < (std::uint64_t{1} << 20)) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", bytes / 1024.0);
+  } else if (bytes < (std::uint64_t{1} << 30)) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", bytes / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GiB",
+                  bytes / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
 
 std::optional<snapshot::SnapshotFile> load(const char* path) {
   auto file = snapshot::read(path);
@@ -102,6 +131,52 @@ int run_inspect(const char* path, int, char**) {
         static_cast<unsigned long long>(epoch.totals.cache_hits),
         epoch.as_aggregates.size(), epoch.countries.size(),
         epoch.domain_count);
+  }
+
+  // Footprint breakdown: walk the raw frames so per-section byte sizes
+  // (and their share of the file) are visible without decoding twice.
+  const auto bytes = slurp(path);
+  const auto sections =
+      bytes ? snapshot::section_sizes(*bytes) : std::nullopt;
+  if (sections) {
+    struct KindTotal {
+      std::uint64_t payload = 0;
+      std::uint64_t count = 0;
+    };
+    // Aggregate by kind in first-seen order (epoch_header first in a
+    // well-formed file), framing overhead accounted separately.
+    std::vector<std::pair<std::uint32_t, KindTotal>> by_kind;
+    std::uint64_t payload_total = 0;
+    for (const auto& section : *sections) {
+      auto it = std::find_if(by_kind.begin(), by_kind.end(),
+                             [&](const auto& entry) {
+                               return entry.first == section.kind;
+                             });
+      if (it == by_kind.end()) {
+        by_kind.emplace_back(section.kind, KindTotal{});
+        it = by_kind.end() - 1;
+      }
+      it->second.payload += section.payload_bytes;
+      it->second.count += 1;
+      payload_total += section.payload_bytes;
+    }
+    const std::uint64_t file_bytes = bytes->size();
+    std::printf("  footprint: %s file, %zu section(s), %s payload\n",
+                human_bytes(file_bytes).c_str(), sections->size(),
+                human_bytes(payload_total).c_str());
+    for (const auto& [kind, total] : by_kind) {
+      const double share =
+          file_bytes == 0 ? 0.0 : 100.0 * total.payload / file_bytes;
+      std::printf("    %-14s %10s  %5.1f%%  (%llu section(s))\n",
+                  std::string(snapshot::section_kind_name(kind)).c_str(),
+                  human_bytes(total.payload).c_str(), share,
+                  static_cast<unsigned long long>(total.count));
+    }
+    const std::uint64_t framing =
+        file_bytes > payload_total ? file_bytes - payload_total : 0;
+    std::printf("    %-14s %10s  %5.1f%%\n", "framing+magic",
+                human_bytes(framing).c_str(),
+                file_bytes == 0 ? 0.0 : 100.0 * framing / file_bytes);
   }
   return 0;
 }
